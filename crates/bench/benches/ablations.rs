@@ -1,0 +1,33 @@
+//! Criterion bench: the discussion-section ablations (LPDDR4 swap, body
+//! bias optimization, uncore leakage modes, consolidation packing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("lpddr4_swap", |b| {
+        b.iter(|| black_box(ntc_bench::ablation_lpddr4(Fidelity::Fast)))
+    });
+    g.bench_function("body_bias_optimum", |b| {
+        b.iter(|| black_box(ntc_bench::ablation_bias()))
+    });
+    g.bench_function("uncore_modes", |b| {
+        b.iter(|| black_box(ntc_bench::ablation_uncore(Fidelity::Fast)))
+    });
+    g.bench_function("consolidation_packing", |b| {
+        b.iter(|| black_box(ntc_bench::ablation_consolidation(Fidelity::Fast)))
+    });
+    g.bench_function("prefetch_degrees", |b| {
+        b.iter(|| black_box(ntc_bench::ablation_prefetch(Fidelity::Fast)))
+    });
+    g.bench_function("governor_policies", |b| {
+        b.iter(|| black_box(ntc_bench::ablation_governor(Fidelity::Fast)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench: regenerating Figure 1 (voltage/frequency/power curves
+//! for bulk, FD-SOI and FD-SOI+FBB).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("vf_power_curves_3_technologies", |b| {
+        b.iter(|| black_box(ntc_bench::fig1_curves()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench: regenerating Figure 2 (normalized tail latency vs
+//! frequency). One iteration runs the full 20-point simulator sweep for
+//! the four CloudSuite applications at fast fidelity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("qos_curves_4_apps", |b| {
+        b.iter(|| black_box(ntc_bench::fig2_qos(Fidelity::Fast)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench: regenerating Figure 3 (three-scope efficiency of the
+//! scale-out applications).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("efficiency_panels_scaleout", |b| {
+        b.iter(|| black_box(ntc_bench::fig3_efficiency(Fidelity::Fast)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

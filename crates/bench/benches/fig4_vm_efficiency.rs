@@ -1,0 +1,18 @@
+//! Criterion bench: regenerating Figure 4 (three-scope efficiency of the
+//! virtualized banking VMs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("efficiency_panels_vms", |b| {
+        b.iter(|| black_box(ntc_bench::fig4_efficiency(Fidelity::Fast)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: regenerating Table I and evaluating the DRAM power
+//! model across a bandwidth sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_power::{DramPowerModel, DramTraffic};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("table_rows", |b| {
+        b.iter(|| black_box(ntc_bench::table1_dram()))
+    });
+    let dram = DramPowerModel::paper_server();
+    g.bench_function("power_bandwidth_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for gbs in 0..100 {
+                let t = DramTraffic::new(f64::from(gbs) * 1e9, f64::from(gbs) * 0.3e9);
+                total += dram.power(black_box(t)).0;
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! **Ablation B** (paper Sec. II-A): the forward-body-bias knob — the
+//! power-optimal FBB per frequency for one A57 core, and the boost/sleep
+//! transition economics of the bias manager.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin ablation_bias`.
+
+use ntc_core::{BiasManager, ManagedPhase, ManagerPolicy};
+use ntc_power::CorePowerModel;
+use ntc_tech::{
+    BodyBias, CoreModel, MegaHertz, OperatingPoint, Seconds, Technology, TechnologyKind, Volts,
+};
+
+fn main() {
+    let fig = ntc_bench::ablation_bias();
+    println!("{}", fig.to_table());
+    ntc_bench::write_json("ablation_bias.json", &fig.to_json());
+
+    // Boost: extra frequency available at fixed voltage via FBB.
+    let timing = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28));
+    let power = CorePowerModel::cortex_a57(timing).expect("preset calibrates");
+    let op = OperatingPoint::at(power.timing(), MegaHertz(500.0), BodyBias::ZERO)
+        .expect("500 MHz is reachable");
+    let mgr = BiasManager::new(&power, op);
+    let fbb = BodyBias::forward(Volts(2.0)).expect("2 V fbb is legal");
+    let (extra, slew) = mgr.boost_headroom(fbb).expect("boost query succeeds");
+    println!("boost: +{extra:.0} at fixed {:.3} via {fbb}, engaged in {slew:.0}", op.vdd);
+
+    // Sleep: RBB vs power gating on a 20% duty cycle with millisecond gaps
+    // (conventional-well flavour, which supports RBB).
+    let timing = CoreModel::cortex_a57(Technology::preset(
+        TechnologyKind::FdSoi28ConventionalWell,
+    ));
+    let power = CorePowerModel::cortex_a57(timing).expect("preset calibrates");
+    let op = OperatingPoint::at(power.timing(), MegaHertz(500.0), BodyBias::ZERO)
+        .expect("500 MHz is reachable");
+    let mgr = BiasManager::new(&power, op);
+    let phases: Vec<ManagedPhase> = vec![
+        ManagedPhase {
+            busy: Seconds(1e-3),
+            idle: Seconds(4e-3),
+        };
+        100
+    ];
+    println!("\nidle management on 1 ms busy / 4 ms idle bursts (one core):");
+    for (name, policy) in [
+        ("clock gate", ManagerPolicy::ClockGateOnly),
+        ("RBB sleep", ManagerPolicy::RbbSleep { bias_volts: 3.0 }),
+        ("power gate", ManagerPolicy::PowerGate),
+    ] {
+        let e = mgr.run(&phases, policy).expect("policy is legal here");
+        println!(
+            "  {:<11} total {:>9.3e} J (idle {:>9.3e} J, transitions {:>9.3e} J, skipped gaps {})",
+            name,
+            e.total().0,
+            e.idle_energy.0,
+            e.transition_energy.0,
+            e.skipped_gaps
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! **Ablation C** (paper Sec. V-C): consolidation under relaxed
+//! public-cloud QoS — packing the Bitbrains VM population onto servers at
+//! three (frequency, degradation-bound) service classes.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin ablation_consolidation`.
+
+use ntc_bench::Fidelity;
+
+fn main() {
+    let plans = ntc_bench::ablation_consolidation(Fidelity::from_env());
+    println!("== Ablation C: consolidating 1750 Bitbrains-class VMs ==");
+    println!(
+        "{:>8} {:>6} {:>9} {:>14} {:>12} {:>12}",
+        "MHz", "bound", "servers", "VMs/server", "W/server", "W/VM"
+    );
+    for p in &plans {
+        println!(
+            "{:>8.0} {:>5.0}x {:>9} {:>14.1} {:>12.1} {:>12.3}",
+            p.mhz, p.max_slowdown, p.servers, p.vms_per_server, p.server_watts, p.watts_per_vm
+        );
+    }
+    ntc_bench::write_json(
+        "ablation_consolidation.json",
+        &serde_json::to_string_pretty(&plans).expect("plans serialize"),
+    );
+    println!("\nexpectation: the 500 MHz / 4x class matches the 2 GHz / 1x class");
+    println!("in capacity but at a fraction of the watts per VM.");
+}

@@ -1,0 +1,27 @@
+//! **Ablation F**: frequency-governor policies over a diurnal day —
+//! operationalizing the paper's conclusion that QoS headroom can be
+//! harvested whenever load allows.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin ablation_governor`.
+
+use ntc_bench::Fidelity;
+
+fn main() {
+    let rows = ntc_bench::ablation_governor(Fidelity::from_env());
+    println!("== Ablation F: 24 h diurnal Web Search, 288 epochs ==");
+    println!(
+        "{:<20} {:>12} {:>11} {:>9}",
+        "policy", "mean power", "violations", "overload"
+    );
+    let base = rows[0].1;
+    for (name, watts, violations, saturated) in &rows {
+        println!(
+            "{name:<20} {watts:>10.1} W {violations:>11} {saturated:>9}   ({:.0}% of static)",
+            watts / base * 100.0
+        );
+    }
+    ntc_bench::write_json(
+        "ablation_governor.json",
+        &serde_json::to_string_pretty(&rows).expect("rows serialize"),
+    );
+}

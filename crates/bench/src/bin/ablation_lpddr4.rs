@@ -1,0 +1,15 @@
+//! **Ablation A** (paper Sec. V-C discussion): replacing DDR4 with
+//! mobile LPDDR4 lowers the memory background power and pushes the
+//! server-scope efficiency optimum back toward lower frequencies.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin ablation_lpddr4`.
+
+use ntc_bench::Fidelity;
+
+fn main() {
+    let fig = ntc_bench::ablation_lpddr4(Fidelity::from_env());
+    println!("{}", fig.to_table());
+    ntc_bench::write_json("ablation_lpddr4.json", &fig.to_json());
+    println!("expectation: LPDDR4 raises server efficiency everywhere and");
+    println!("moves its optimum to a lower frequency than DDR4's.");
+}

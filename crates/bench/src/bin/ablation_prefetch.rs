@@ -1,0 +1,14 @@
+//! **Ablation E**: next-line prefetching on the streaming workload —
+//! server efficiency versus prefetch degree across the frequency ladder.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin ablation_prefetch`.
+
+use ntc_bench::Fidelity;
+
+fn main() {
+    let fig = ntc_bench::ablation_prefetch(Fidelity::from_env());
+    println!("{}", fig.to_table());
+    ntc_bench::write_json("ablation_prefetch.json", &fig.to_json());
+    println!("expectation: modest gains for the sequential stream at low");
+    println!("degrees; aggressive degrees waste the bandwidth they need.");
+}

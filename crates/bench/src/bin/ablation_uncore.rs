@@ -1,0 +1,15 @@
+//! **Ablation D** (paper Sec. V-C): making the uncore more energy
+//! proportional — drowsy or way-gated LLC modes — recovers server
+//! efficiency at near-threshold frequencies.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin ablation_uncore`.
+
+use ntc_bench::Fidelity;
+
+fn main() {
+    let fig = ntc_bench::ablation_uncore(Fidelity::from_env());
+    println!("{}", fig.to_table());
+    ntc_bench::write_json("ablation_uncore.json", &fig.to_json());
+    println!("expectation: cutting LLC leakage raises efficiency most at the");
+    println!("low-frequency end and shifts the server optimum leftward.");
+}

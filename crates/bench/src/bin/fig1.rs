@@ -1,0 +1,28 @@
+//! Regenerates **Figure 1**: A57 performance and power model in bulk,
+//! FD-SOI and FD-SOI+FBB — supply voltage and 36-core chip power versus
+//! core frequency, 100 MHz to 3.5 GHz.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin fig1`.
+
+fn main() {
+    let (vdd, power) = ntc_bench::fig1_curves();
+    println!("{}", vdd.to_table());
+    println!("{}", power.to_table());
+    ntc_bench::write_json("fig1_vdd.json", &vdd.to_json());
+    ntc_bench::write_json("fig1_power.json", &power.to_json());
+
+    println!("paper anchors:");
+    use ntc_tech::{BodyBias, CoreModel, Technology, TechnologyKind, Volts};
+    let core = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28));
+    let f_nt = core
+        .fmax(Volts(0.5), BodyBias::ZERO)
+        .expect("0.5 V is functional in FD-SOI");
+    println!("  FD-SOI frequency at 0.5 V  : {f_nt:.0} (paper: almost 100 MHz)");
+    let fbb = BodyBias::forward(Volts(2.0)).expect("legal bias");
+    let f_fbb = core.fmax(Volts(0.5), fbb).expect("0.5 V is functional");
+    println!("  FD-SOI+FBB(2V) at 0.5 V    : {f_fbb:.0} (paper: more than 500 MHz)");
+    let fbb_max = vdd.series[2].points.last().map(|(f, _)| *f).unwrap_or(0.0);
+    println!("  FD-SOI+FBB max frequency   : {fbb_max:.0} MHz (paper axis: 3500 MHz)");
+    let bulk_max = vdd.series[0].points.last().map(|(f, _)| *f).unwrap_or(0.0);
+    println!("  bulk max frequency         : {bulk_max:.0} MHz");
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Figure 2**: 99th-percentile latency normalized to each
+//! application's QoS budget versus core frequency, plus the Sec. V-A VM
+//! degradation floors (4× → ≈500 MHz, 2× → ≈1 GHz).
+//!
+//! Run with `cargo run --release -p ntc-bench --bin fig2`; set
+//! `NTC_FIDELITY=paper` for the paper's full SMARTS windows.
+
+use ntc_bench::Fidelity;
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    let (fig, floors) = ntc_bench::fig2_qos(fidelity);
+    println!("{}", fig.to_table());
+    ntc_bench::write_json("fig2.json", &fig.to_json());
+
+    println!("minimum QoS-safe frequency per application (paper: 200-500 MHz):");
+    for (app, floor) in &floors {
+        println!("  {app:<16} {floor:>6.0} MHz");
+    }
+
+    let ((f4, f2), _) = ntc_bench::vm_degradation_floors(fidelity);
+    println!("\nvirtualized VMs, minimum frequency under degradation bounds:");
+    println!("  4x bound: {f4:>6.0} MHz (paper: 500 MHz)");
+    println!("  2x bound: {f2:>6.0} MHz (paper: 1000 MHz)");
+}

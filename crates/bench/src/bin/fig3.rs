@@ -1,0 +1,18 @@
+//! Regenerates **Figure 3**: efficiency (UIPS/W) of the cores, SoC and
+//! server versus core frequency for the four CloudSuite scale-out
+//! applications.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin fig3`; set
+//! `NTC_FIDELITY=paper` for the paper's full SMARTS windows.
+
+use ntc_bench::Fidelity;
+
+fn main() {
+    let panels = ntc_bench::fig3_efficiency(Fidelity::from_env());
+    for (panel, name) in panels.iter().zip(["fig3a.json", "fig3b.json", "fig3c.json"]) {
+        println!("{}", panel.to_table());
+        ntc_bench::write_json(name, &panel.to_json());
+    }
+    println!("paper shape: cores peak at the lowest functional frequency;");
+    println!("SoC optimum ~1 GHz; server optimum ~1-1.2 GHz.");
+}

@@ -1,0 +1,18 @@
+//! Regenerates **Figure 4**: efficiency (UIPS/W) of the cores, SoC and
+//! server versus core frequency for the virtualized banking VMs (low-mem
+//! and high-mem classes).
+//!
+//! Run with `cargo run --release -p ntc-bench --bin fig4`; set
+//! `NTC_FIDELITY=paper` for the paper's full SMARTS windows.
+
+use ntc_bench::Fidelity;
+
+fn main() {
+    let panels = ntc_bench::fig4_efficiency(Fidelity::from_env());
+    for (panel, name) in panels.iter().zip(["fig4a.json", "fig4b.json", "fig4c.json"]) {
+        println!("{}", panel.to_table());
+        ntc_bench::write_json(name, &panel.to_json());
+    }
+    println!("paper shape: high-mem VMs deliver higher UIPS than low-mem;");
+    println!("server-scope optimum ~1 GHz.");
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table I**: power/energy constants of an 8x 4Gbit DDR4
+//! chip at a 1.6 GHz channel clock, plus the derived server-level
+//! background power.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin table1`.
+
+use ntc_power::DramPowerModel;
+
+fn main() {
+    println!("== Table I: 8x 4Gbit DDR4 chip at 1.6 GHz ==");
+    println!("{:<20} {:>12} {:>12}", "quantity", "model", "paper");
+    let rows = ntc_bench::table1_dram();
+    for row in &rows {
+        println!(
+            "{:<20} {:>12.4} {:>12.4}",
+            row.quantity, row.value_nj, row.paper_nj
+        );
+    }
+    ntc_bench::write_json(
+        "table1.json",
+        &serde_json::to_string_pretty(&rows).expect("rows serialize"),
+    );
+
+    let dram = DramPowerModel::paper_server();
+    println!("\nderived server memory figures (4 ch x 4 ranks x 8 chips = 64 GB):");
+    println!("  background power : {:.2}", dram.background_power());
+    println!(
+        "  peak bandwidth   : {:.1} GB/s",
+        dram.config().peak_bandwidth() / 1e9
+    );
+}

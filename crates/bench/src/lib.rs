@@ -1,0 +1,456 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each `fig*`/`table*` function computes the corresponding artifact as
+//! [`ntc_core::report::Figure`] data; the `src/bin/*` binaries print the
+//! tables (and emit JSON under `results/`), and the Criterion benches in
+//! `benches/` time the same computations.
+//!
+//! | artifact | function | binary |
+//! |---|---|---|
+//! | Figure 1 (Vdd & power vs f, 3 technologies) | [`fig1_curves`] | `fig1` |
+//! | Figure 2 (normalized L99 vs f, 4 apps) | [`fig2_qos`] | `fig2` |
+//! | Figure 3a/b/c (scale-out efficiency) | [`fig3_efficiency`] | `fig3` |
+//! | Figure 4a/b/c (VM efficiency) | [`fig4_efficiency`] | `fig4` |
+//! | Table I (DDR4 chip energy) | [`table1_dram`] | `table1` |
+//! | LPDDR4 ablation | [`ablation_lpddr4`] | `ablation_lpddr4` |
+//! | Body-bias ablation | [`ablation_bias`] | `ablation_bias` |
+//! | Uncore-proportionality ablation | [`ablation_uncore`] | `ablation_uncore` |
+//! | Consolidation ablation | [`ablation_consolidation`] | `ablation_consolidation` |
+
+use ntc_core::report::{Figure, Series};
+use ntc_core::{
+    ConsolidationPlan, Consolidator, FrequencySweep, ServerConfig, ServerModel, SimMeasurer,
+    SweepResult,
+};
+use ntc_power::{
+    BiasOptimizer, CoreActivity, CorePowerModel, DramConfig, DramPowerModel, DramTechnology,
+    LlcLeakageMode, LlcPowerModel,
+};
+use ntc_qos::QosCurve;
+use ntc_sampling::SampleWindow;
+use ntc_tech::{BodyBias, CoreModel, MegaHertz, Technology, TechnologyKind};
+use ntc_workloads::{BitbrainsSynthesizer, CloudSuiteApp, WorkloadProfile};
+
+/// Measurement fidelity for the simulator-backed figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Short windows (16 K/16 K cycles): seconds per figure; the shape is
+    /// already stable.
+    Fast,
+    /// The paper's SMARTS windows (100 K/50 K; 2 M/400 K for Data
+    /// Serving): minutes per figure.
+    Paper,
+}
+
+impl Fidelity {
+    /// Reads `NTC_FIDELITY=paper` from the environment, defaulting to fast.
+    pub fn from_env() -> Self {
+        match std::env::var("NTC_FIDELITY").as_deref() {
+            Ok("paper") => Fidelity::Paper,
+            _ => Fidelity::Fast,
+        }
+    }
+
+    fn measurer(self, profile: WorkloadProfile) -> SimMeasurer {
+        match self {
+            Fidelity::Fast => SimMeasurer::fast(profile),
+            Fidelity::Paper => {
+                let window = if profile.name == "Data Serving" {
+                    SampleWindow::paper_data_serving()
+                } else {
+                    SampleWindow::paper_default()
+                };
+                SimMeasurer::new(profile).with_window(window)
+            }
+        }
+    }
+}
+
+/// The paper's server model.
+pub fn paper_server() -> ServerModel {
+    ServerConfig::paper()
+        .build()
+        .expect("the paper configuration is valid")
+}
+
+/// Runs the 100 MHz–2 GHz sweep for one workload profile.
+pub fn sweep_profile(server: &ServerModel, profile: &WorkloadProfile, fidelity: Fidelity) -> SweepResult {
+    let mut measurer = fidelity.measurer(profile.clone());
+    FrequencySweep::paper_ladder()
+        .run(server, &mut measurer)
+        .expect("the FD-SOI ladder is fully reachable")
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+/// The paper's Figure 1 power axis tops out at 175 W; points beyond it are
+/// not plotted (deep-FBB points at the far right of the frequency range
+/// carry a leakage cost our device model makes explicit).
+pub const FIG1_POWER_AXIS_W: f64 = 175.0;
+
+/// Figure 1: `Vdd(f)` and 36-core chip power for bulk, FD-SOI and
+/// FD-SOI+FBB (power-optimal forward bias), 100 MHz – 3.5 GHz.
+///
+/// Returns `(vdd_figure, power_figure)`; the power figure is clipped at
+/// [`FIG1_POWER_AXIS_W`] like the paper's axis.
+pub fn fig1_curves() -> (Figure, Figure) {
+    let freqs: Vec<f64> = (1..=35).map(|i| f64::from(i) * 100.0).collect();
+    let mut vdd_fig = Figure::new("Figure 1 (Vdd)", "MHz", "Vdd (V)");
+    let mut pow_fig = Figure::new("Figure 1 (power)", "MHz", "chip power (W)");
+
+    let variants: [(&str, TechnologyKind, bool); 3] = [
+        ("Bulk", TechnologyKind::Bulk28, false),
+        ("FD-SOI", TechnologyKind::FdSoi28, false),
+        ("FD-SOI+FBB", TechnologyKind::FdSoi28, true),
+    ];
+    for (label, kind, fbb) in variants {
+        let timing = CoreModel::cortex_a57(Technology::preset(kind));
+        let power = CorePowerModel::cortex_a57(timing).expect("preset calibrates");
+        let opt = BiasOptimizer::new(&power, CoreActivity::BUSY);
+        let mut vdd_pts = Vec::new();
+        let mut pow_pts = Vec::new();
+        for &mhz in &freqs {
+            let point = if fbb {
+                opt.optimal_fbb(MegaHertz(mhz)).ok()
+            } else {
+                opt.power_at(MegaHertz(mhz), BodyBias::ZERO).ok()
+            };
+            if let Some(p) = point {
+                vdd_pts.push((mhz, p.op.vdd.0));
+                let chip_watts = p.power.0 * 36.0;
+                if chip_watts <= FIG1_POWER_AXIS_W {
+                    pow_pts.push((mhz, chip_watts));
+                }
+            }
+        }
+        vdd_fig = vdd_fig.with_series(Series::new(label, vdd_pts));
+        pow_fig = pow_fig.with_series(Series::new(label, pow_pts));
+    }
+    (vdd_fig, pow_fig)
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+/// Figure 2: 99th-percentile latency normalized to each application's QoS
+/// budget versus core frequency, plus the VM degradation curves from the
+/// same sweeps. Returns `(figure, per-app QoS floor MHz)`.
+pub fn fig2_qos(fidelity: Fidelity) -> (Figure, Vec<(String, f64)>) {
+    let server = paper_server();
+    let mut fig = Figure::new("Figure 2", "MHz", "normalized 99th-pct latency");
+    let mut floors = Vec::new();
+    for app in CloudSuiteApp::ALL {
+        let profile = WorkloadProfile::cloudsuite(app);
+        let sweep = sweep_profile(&server, &profile, fidelity);
+        let curve = QosCurve::build(&profile, &sweep.uips_samples());
+        let pts = curve
+            .points()
+            .iter()
+            .map(|p| (p.mhz, p.normalized_l99))
+            .collect();
+        fig = fig.with_series(Series::new(app.to_string(), pts));
+        floors.push((
+            app.to_string(),
+            curve.min_qos_frequency().unwrap_or(f64::NAN),
+        ));
+    }
+    (fig, floors)
+}
+
+/// The Sec. V-A VM result: minimum frequencies under the 2× and 4×
+/// degradation bounds. Returns `((f_4x, f_2x), sweep)`.
+pub fn vm_degradation_floors(fidelity: Fidelity) -> ((f64, f64), SweepResult) {
+    let server = paper_server();
+    let profile = WorkloadProfile::banking_low_mem(4.0);
+    let sweep = sweep_profile(&server, &profile, fidelity);
+    let samples = sweep.uips_samples();
+    let base = samples.last().expect("non-empty sweep").1;
+    let model = ntc_qos::DegradationModel::new(base);
+    let f4 = model.min_frequency(&samples, 4.0).unwrap_or(f64::NAN);
+    let f2 = model.min_frequency(&samples, 2.0).unwrap_or(f64::NAN);
+    ((f4, f2), sweep)
+}
+
+// ------------------------------------------------------------ Figures 3/4
+
+/// Figure 3 (scale-out apps) or Figure 4 (VMs): efficiency (UIPS/W) at the
+/// three scopes. Returns `[panel_a_cores, panel_b_soc, panel_c_server]`.
+pub fn efficiency_panels(
+    id_prefix: &str,
+    profiles: &[WorkloadProfile],
+    fidelity: Fidelity,
+) -> [Figure; 3] {
+    let server = paper_server();
+    let mut panels = [
+        Figure::new(
+            format!("{id_prefix}a (cores)"),
+            "MHz",
+            "UIPS/W (cores)",
+        ),
+        Figure::new(format!("{id_prefix}b (SoC)"), "MHz", "UIPS/W (SoC)"),
+        Figure::new(
+            format!("{id_prefix}c (server)"),
+            "MHz",
+            "UIPS/W (server)",
+        ),
+    ];
+    for profile in profiles {
+        let sweep = sweep_profile(&server, profile, fidelity);
+        let eff = sweep.efficiency();
+        let series = [
+            eff.iter().map(|e| (e.mhz, e.cores)).collect::<Vec<_>>(),
+            eff.iter().map(|e| (e.mhz, e.soc)).collect::<Vec<_>>(),
+            eff.iter().map(|e| (e.mhz, e.server)).collect::<Vec<_>>(),
+        ];
+        for (panel, pts) in panels.iter_mut().zip(series) {
+            panel.series.push(Series::new(profile.name.clone(), pts));
+        }
+    }
+    panels
+}
+
+/// Figure 3: the four CloudSuite applications.
+pub fn fig3_efficiency(fidelity: Fidelity) -> [Figure; 3] {
+    let profiles: Vec<WorkloadProfile> = CloudSuiteApp::ALL
+        .iter()
+        .map(|&a| WorkloadProfile::cloudsuite(a))
+        .collect();
+    efficiency_panels("Figure 3", &profiles, fidelity)
+}
+
+/// Figure 4: the two VM classes.
+pub fn fig4_efficiency(fidelity: Fidelity) -> [Figure; 3] {
+    let profiles = vec![
+        WorkloadProfile::banking_low_mem(4.0),
+        WorkloadProfile::banking_high_mem(4.0),
+    ];
+    efficiency_panels("Figure 4", &profiles, fidelity)
+}
+
+// ----------------------------------------------------------------- Table I
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Table1Row {
+    /// Quantity name.
+    pub quantity: String,
+    /// Modelled value.
+    pub value_nj: f64,
+    /// The paper's published value.
+    pub paper_nj: f64,
+}
+
+/// Table I: energy constants of an 8×4 Gbit DDR4 chip at 1.6 GHz.
+pub fn table1_dram() -> Vec<Table1Row> {
+    let chip = ntc_power::dram::DramChipParams::ddr4_micron_4gb();
+    vec![
+        Table1Row {
+            quantity: "EIDLE [nJ/cycle]".to_owned(),
+            value_nj: chip.idle_energy_per_cycle.0,
+            paper_nj: 0.0728,
+        },
+        Table1Row {
+            quantity: "EREAD [nJ/byte]".to_owned(),
+            value_nj: chip.read_energy_per_byte.0,
+            paper_nj: 0.2566,
+        },
+        Table1Row {
+            quantity: "EWRITE [nJ/byte]".to_owned(),
+            value_nj: chip.write_energy_per_byte.0,
+            paper_nj: 0.2495,
+        },
+    ]
+}
+
+// --------------------------------------------------------------- Ablations
+
+/// LPDDR4 ablation: server-scope efficiency with DDR4 vs LPDDR4 memory.
+pub fn ablation_lpddr4(fidelity: Fidelity) -> Figure {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let ddr4 = paper_server();
+    let lp = paper_server().with_dram(DramPowerModel::new(
+        DramTechnology::Lpddr4,
+        DramConfig::paper_server(),
+    ));
+    let mut fig = Figure::new("Ablation A (LPDDR4)", "MHz", "UIPS/W (server)");
+    for (label, server) in [("DDR4", &ddr4), ("LPDDR4", &lp)] {
+        let sweep = sweep_profile(server, &profile, fidelity);
+        let pts = sweep
+            .efficiency()
+            .iter()
+            .map(|e| (e.mhz, e.server))
+            .collect();
+        fig = fig.with_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Uncore-proportionality ablation: server efficiency with the LLC in
+/// nominal, drowsy and half-way-gated modes.
+pub fn ablation_uncore(fidelity: Fidelity) -> Figure {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let mut fig = Figure::new("Ablation D (uncore)", "MHz", "UIPS/W (server)");
+    let modes = [
+        ("nominal LLC", LlcLeakageMode::Nominal),
+        ("drowsy LLC", LlcLeakageMode::Drowsy { residual: 0.25 }),
+        (
+            "half ways gated",
+            LlcLeakageMode::WayGated {
+                live_fraction: 0.5,
+            },
+        ),
+    ];
+    for (label, mode) in modes {
+        let server = paper_server().with_llc(LlcPowerModel::paper_cluster().with_mode(mode));
+        let sweep = sweep_profile(&server, &profile, fidelity);
+        let pts = sweep
+            .efficiency()
+            .iter()
+            .map(|e| (e.mhz, e.server))
+            .collect();
+        fig = fig.with_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Body-bias ablation: power-optimal FBB per frequency versus zero bias
+/// (one core), plus the optimal bias magnitude chosen.
+pub fn ablation_bias() -> Figure {
+    let timing = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28));
+    let power = CorePowerModel::cortex_a57(timing).expect("preset calibrates");
+    let opt = BiasOptimizer::new(&power, CoreActivity::BUSY);
+    let freqs: Vec<f64> = (1..=20).map(|i| f64::from(i) * 100.0).collect();
+    let mut zero = Vec::new();
+    let mut best = Vec::new();
+    let mut bias = Vec::new();
+    for &mhz in &freqs {
+        if let Ok(p0) = opt.power_at(MegaHertz(mhz), BodyBias::ZERO) {
+            zero.push((mhz, p0.power.0));
+        }
+        if let Ok(pb) = opt.optimal_fbb(MegaHertz(mhz)) {
+            best.push((mhz, pb.power.0));
+            bias.push((mhz, pb.op.bias.signed().0));
+        }
+    }
+    Figure::new("Ablation B (body bias)", "MHz", "core power (W)")
+        .with_series(Series::new("no bias", zero))
+        .with_series(Series::new("optimal FBB", best))
+        .with_series(Series::new("chosen FBB (V)", bias))
+}
+
+/// Prefetch ablation: server efficiency for Media Streaming with next-line
+/// prefetch degrees 0/1/2/4 — streams benefit, but the gain must pay for
+/// its DRAM bandwidth.
+pub fn ablation_prefetch(fidelity: Fidelity) -> Figure {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::MediaStreaming);
+    let server = paper_server();
+    let mut fig = Figure::new("Ablation E (prefetch)", "MHz", "UIPS/W (server)");
+    for degree in [0u32, 1, 2, 4] {
+        let mut measurer = fidelity.measurer(profile.clone()).with_prefetch(degree);
+        let sweep = FrequencySweep::paper_ladder()
+            .run(&server, &mut measurer)
+            .expect("ladder is reachable");
+        let pts = sweep
+            .efficiency()
+            .iter()
+            .map(|e| (e.mhz, e.server))
+            .collect();
+        fig = fig.with_series(Series::new(format!("degree {degree}"), pts));
+    }
+    fig
+}
+
+/// Governor ablation: mean server power of the three policies over a
+/// 24-hour diurnal Web Search trace. Returns `(policy_name, mean_watts,
+/// violations, saturated)` rows.
+pub fn ablation_governor(fidelity: Fidelity) -> Vec<(String, f64, u32, u32)> {
+    use ntc_core::{GovernorPolicy, QosGovernor};
+    use ntc_workloads::DiurnalLoad;
+    let server = paper_server();
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let sweep = sweep_profile(&server, &profile, fidelity);
+    let governor = QosGovernor::new(&sweep, &profile);
+    let trace = DiurnalLoad::interactive_service(7).trace(24.0, 288);
+    [
+        ("static max", GovernorPolicy::StaticMax),
+        ("load-proportional", GovernorPolicy::LoadProportional),
+        ("QoS-aware", GovernorPolicy::QosAware),
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        let r = governor.run(policy, &trace);
+        (name.to_owned(), r.mean_watts, r.violations, r.saturated)
+    })
+    .collect()
+}
+
+/// Consolidation ablation: packing the Bitbrains population at three
+/// (frequency, degradation) service classes.
+pub fn ablation_consolidation(fidelity: Fidelity) -> Vec<ConsolidationPlan> {
+    let server = paper_server();
+    let profile = WorkloadProfile::banking_low_mem(4.0);
+    let sweep = sweep_profile(&server, &profile, fidelity);
+    let population = BitbrainsSynthesizer::new(42).trace_population();
+    let consolidator = Consolidator::paper_server();
+    [(2000.0, 1.0), (1000.0, 2.0), (500.0, 4.0)]
+        .into_iter()
+        .map(|(mhz, slow)| consolidator.pack(&sweep, mhz, slow, &population))
+        .collect()
+}
+
+/// Writes a JSON artifact under `results/` (best effort, for diffing).
+pub fn write_json(name: &str, json: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(name), json);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper_exactly() {
+        for row in table1_dram() {
+            assert!(
+                (row.value_nj - row.paper_nj).abs() < 1e-12,
+                "{}: {} vs {}",
+                row.quantity,
+                row.value_nj,
+                row.paper_nj
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_reproduces_the_anchor_points() {
+        let (vdd, power) = fig1_curves();
+        // Bulk reaches fewer frequencies than FD-SOI; FBB reaches the most.
+        let lens: Vec<usize> = vdd.series.iter().map(|s| s.points.len()).collect();
+        assert!(lens[0] < lens[1], "bulk tops out before fd-soi");
+        assert!(lens[1] < lens[2], "fbb extends beyond plain fd-soi");
+        // FD-SOI+FBB reaches ~3.5 GHz.
+        let fbb_max = vdd.series[2].points.last().unwrap().0;
+        assert!(fbb_max >= 3000.0, "fbb should reach beyond 3 GHz, got {fbb_max}");
+        // At every shared frequency FD-SOI needs less voltage than bulk and
+        // burns less power.
+        for (b, f) in vdd.series[0].points.iter().zip(&vdd.series[1].points) {
+            assert!(f.1 < b.1, "fd-soi vdd below bulk at {} MHz", b.0);
+        }
+        for (b, f) in power.series[0].points.iter().zip(&power.series[1].points) {
+            assert!(f.1 < b.1, "fd-soi power below bulk at {} MHz", b.0);
+        }
+    }
+
+    #[test]
+    fn fig1_fbb_never_exceeds_plain_power() {
+        let (_, power) = fig1_curves();
+        for (plain, fbb) in power.series[1].points.iter().zip(&power.series[2].points) {
+            assert!(
+                fbb.1 <= plain.1 * 1.0001,
+                "optimal fbb can never be worse than zero bias at {} MHz",
+                plain.0
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Process-variation study: speed binning and body-bias compensation.
+//!
+//! Paper Sec. II-A, point 4: *"Part of the body bias range can be used to
+//! mitigate the effect of variations that are magnified in near-threshold
+//! operation, leaving the remaining part available for performance energy
+//! trade-off and power management."*
+//!
+//! This module quantifies both halves of that sentence over a synthesized
+//! core population:
+//!
+//! * **magnification** — a fixed σ(Vth) spreads Fmax a little at nominal
+//!   voltage and a lot at 0.5 V (the exponential near-threshold current);
+//! * **compensation** — per-core forward bias re-centres slow cores,
+//!   recovering frequency yield at the cost of the bias range consumed.
+
+use ntc_tech::{BodyBias, CoreModel, Technology, TechnologyKind, VariationModel, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Fmax statistics of a core population at one voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinningStats {
+    /// Supply voltage of the measurement.
+    pub vdd: Volts,
+    /// Population mean Fmax (MHz).
+    pub mean_mhz: f64,
+    /// Population standard deviation of Fmax (MHz).
+    pub sigma_mhz: f64,
+    /// Coefficient of variation σ/μ — the "magnification" metric.
+    pub cv: f64,
+    /// Fraction of cores meeting the target frequency.
+    pub yield_at_target: f64,
+    /// The target frequency used for the yield figure (MHz).
+    pub target_mhz: f64,
+}
+
+/// The variation study: population + technology.
+#[derive(Debug, Clone)]
+pub struct VariationStudy {
+    tech: Technology,
+    variation: VariationModel,
+    population: u32,
+}
+
+impl VariationStudy {
+    /// A study over `population` cores of the given flavour.
+    pub fn new(kind: TechnologyKind, population: u32, seed: u64) -> Self {
+        VariationStudy {
+            tech: Technology::preset(kind),
+            variation: VariationModel::preset(kind, seed),
+            population,
+        }
+    }
+
+    fn fmax_of(&self, sample_idx: u32, vdd: Volts, bias: BodyBias) -> Option<f64> {
+        let sample = self.variation.sample(sample_idx);
+        let tech = self.variation.apply(&self.tech, sample);
+        let core = CoreModel::cortex_a57(tech);
+        core.fmax(vdd, bias).ok().map(|f| f.0)
+    }
+
+    /// Bins the population at a voltage: the target frequency for yield is
+    /// the *typical* (no-variation) core's Fmax — cores slower than typical
+    /// fail the bin.
+    pub fn bin_at(&self, vdd: Volts) -> BinningStats {
+        let typical = CoreModel::cortex_a57(self.tech.clone())
+            .fmax(vdd, BodyBias::ZERO)
+            .expect("voltage is functional")
+            .0;
+        let fmaxes: Vec<f64> = (0..self.population)
+            .filter_map(|i| self.fmax_of(i, vdd, BodyBias::ZERO))
+            .collect();
+        let n = fmaxes.len() as f64;
+        let mean = fmaxes.iter().sum::<f64>() / n;
+        let var = fmaxes.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / n;
+        let meeting = fmaxes.iter().filter(|&&f| f >= typical).count() as f64;
+        BinningStats {
+            vdd,
+            mean_mhz: mean,
+            sigma_mhz: var.sqrt(),
+            cv: var.sqrt() / mean,
+            yield_at_target: meeting / n,
+            target_mhz: typical,
+        }
+    }
+
+    /// Yield at the typical-core target after per-core body-bias
+    /// compensation (each core applies the clipped bias that re-centres
+    /// its Vth), plus the mean forward bias spent.
+    pub fn yield_with_compensation(&self, vdd: Volts) -> (f64, f64) {
+        let typical = CoreModel::cortex_a57(self.tech.clone())
+            .fmax(vdd, BodyBias::ZERO)
+            .expect("voltage is functional")
+            .0;
+        let mut meeting = 0u32;
+        let mut bias_spent = 0.0;
+        let mut counted = 0u32;
+        for i in 0..self.population {
+            let sample = self.variation.sample(i);
+            let (bias, _residual) = self.variation.compensating_bias(&self.tech, sample);
+            let tech = self.variation.apply(&self.tech, sample);
+            let core = CoreModel::cortex_a57(tech);
+            if let Ok(f) = core.fmax(vdd, bias) {
+                counted += 1;
+                bias_spent += bias.signed().0.max(0.0);
+                // Compensation must recover at least 99% of typical speed.
+                if f.0 >= typical * 0.99 {
+                    meeting += 1;
+                }
+            }
+        }
+        (
+            f64::from(meeting) / f64::from(counted.max(1)),
+            bias_spent / f64::from(counted.max(1)),
+        )
+    }
+}
+
+/// Convenience: the near-threshold magnification ratio — CV at `low` over
+/// CV at `high` voltage.
+pub fn magnification(study: &VariationStudy, low: Volts, high: Volts) -> f64 {
+    study.bin_at(low).cv / study.bin_at(high).cv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study(kind: TechnologyKind) -> VariationStudy {
+        VariationStudy::new(kind, 2000, 7)
+    }
+
+    #[test]
+    fn variation_is_magnified_near_threshold() {
+        let s = study(TechnologyKind::FdSoi28);
+        let mag = magnification(&s, Volts(0.5), Volts(1.1));
+        assert!(
+            mag > 2.0,
+            "CV at 0.5 V should be several times the 1.1 V CV, got {mag:.2}"
+        );
+    }
+
+    #[test]
+    fn fdsoi_spreads_less_than_bulk() {
+        let f = study(TechnologyKind::FdSoi28).bin_at(Volts(0.8));
+        let b = study(TechnologyKind::Bulk28).bin_at(Volts(0.8));
+        assert!(
+            f.cv < b.cv,
+            "no-RDF FD-SOI must bin tighter: {:.4} vs {:.4}",
+            f.cv,
+            b.cv
+        );
+    }
+
+    #[test]
+    fn uncompensated_yield_is_about_half() {
+        // The target is the typical core, so ~half the Gaussian fails.
+        let s = study(TechnologyKind::FdSoi28);
+        let b = s.bin_at(Volts(0.6));
+        assert!(
+            (b.yield_at_target - 0.5).abs() < 0.06,
+            "uncompensated yield ~50%, got {:.2}",
+            b.yield_at_target
+        );
+    }
+
+    #[test]
+    fn body_bias_compensation_recovers_yield() {
+        let s = study(TechnologyKind::FdSoi28);
+        let before = s.bin_at(Volts(0.6)).yield_at_target;
+        let (after, mean_bias) = s.yield_with_compensation(Volts(0.6));
+        assert!(
+            after > 0.95,
+            "compensated yield should approach 100%, got {after:.3}"
+        );
+        assert!(after > before + 0.3);
+        // And the bias budget spent is a fraction of the 3 V range,
+        // leaving room for the performance/energy knob.
+        assert!(
+            mean_bias < 0.6,
+            "mean compensation bias should be small, got {mean_bias:.2} V"
+        );
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let s = study(TechnologyKind::FdSoi28);
+        let b = s.bin_at(Volts(0.8));
+        assert!(b.sigma_mhz > 0.0);
+        assert!((b.cv - b.sigma_mhz / b.mean_mhz).abs() < 1e-12);
+        assert!(b.mean_mhz > 0.0 && b.target_mhz > 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Server architecture configuration (paper Sec. II-B, IV).
+//!
+//! The paper's chip: 300 mm², 100 W budget, Cortex-A57 cores organized as
+//! scale-out clusters of 4 cores + 4 MB LLC behind a crossbar, as many
+//! clusters as the area allows (9 → 36 cores), a 5 W UltraSPARC-T2-style
+//! I/O ring, and 4 channels of DDR4-1600 totalling 64 GB.
+//!
+//! The area model derives the cluster count from the budget instead of
+//! hard-coding it, reproducing the paper's "the server die can accommodate
+//! 9 clusters before hitting the area limit".
+
+use ntc_power::{
+    CorePowerModel, DramConfig, DramPowerModel, DramTechnology, IoPowerModel, LlcPowerModel,
+    XbarPowerModel,
+};
+use ntc_tech::{CoreModel, Kelvin, TechError, Technology, TechnologyKind, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Die area of one Cortex-A57 core with its L1 caches, 28 nm (mm²).
+pub const CORE_AREA_MM2: f64 = 2.0;
+
+/// LLC area per megabyte, 28 nm (mm²).
+pub const LLC_AREA_MM2_PER_MB: f64 = 2.2;
+
+/// Crossbar area per cluster (mm²).
+pub const XBAR_AREA_MM2: f64 = 1.0;
+
+/// I/O peripheral ring area (mm²).
+pub const IO_AREA_MM2: f64 = 50.0;
+
+/// Global overhead factor: clocking, power delivery, pads, whitespace.
+pub const AREA_OVERHEAD: f64 = 1.35;
+
+/// Server architecture description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Process technology for the cores.
+    pub technology: TechnologyKind,
+    /// Die area budget in mm².
+    pub area_budget_mm2: f64,
+    /// Chip power budget.
+    pub power_budget: Watts,
+    /// Cores per cluster.
+    pub cores_per_cluster: u32,
+    /// LLC capacity per cluster in MB.
+    pub llc_mb_per_cluster: f64,
+    /// Memory technology.
+    pub dram_technology: DramTechnology,
+    /// Memory organization.
+    pub dram_config: DramConfig,
+    /// Die temperature.
+    pub temperature: Kelvin,
+}
+
+impl ServerConfig {
+    /// The paper's server: 300 mm², 100 W, FD-SOI, 4-core clusters with
+    /// 4 MB LLC, DDR4 64 GB.
+    pub fn paper() -> Self {
+        ServerConfig {
+            technology: TechnologyKind::FdSoi28,
+            area_budget_mm2: 300.0,
+            power_budget: Watts(100.0),
+            cores_per_cluster: 4,
+            llc_mb_per_cluster: 4.0,
+            dram_technology: DramTechnology::Ddr4,
+            dram_config: DramConfig::paper_server(),
+            temperature: Kelvin(300.0),
+        }
+    }
+
+    /// Area of one cluster (cores + LLC + crossbar) in mm².
+    pub fn cluster_area_mm2(&self) -> f64 {
+        f64::from(self.cores_per_cluster) * CORE_AREA_MM2
+            + self.llc_mb_per_cluster * LLC_AREA_MM2_PER_MB
+            + XBAR_AREA_MM2
+    }
+
+    /// Maximum cluster count within the area budget.
+    pub fn max_clusters(&self) -> u32 {
+        let mut clusters = 0u32;
+        loop {
+            let next = clusters + 1;
+            let die = (f64::from(next) * self.cluster_area_mm2() + IO_AREA_MM2) * AREA_OVERHEAD;
+            if die > self.area_budget_mm2 {
+                return clusters;
+            }
+            clusters = next;
+        }
+    }
+
+    /// Total core count (clusters × cores per cluster).
+    pub fn total_cores(&self) -> u32 {
+        self.max_clusters() * self.cores_per_cluster
+    }
+
+    /// Builds the full server model (timing + power).
+    ///
+    /// # Errors
+    ///
+    /// Propagates technology-calibration errors.
+    pub fn build(&self) -> Result<ServerModel, TechError> {
+        let tech = Technology::preset(self.technology);
+        let timing = CoreModel::cortex_a57(tech).with_temperature(self.temperature);
+        let core_power = CorePowerModel::cortex_a57(timing)?.with_temperature(self.temperature);
+        Ok(ServerModel {
+            clusters: self.max_clusters(),
+            core_power,
+            llc: LlcPowerModel::new(self.llc_mb_per_cluster),
+            xbar: XbarPowerModel::paper_cluster(),
+            io: IoPowerModel::ultrasparc_t2(),
+            dram: DramPowerModel::new(self.dram_technology, self.dram_config),
+            config: self.clone(),
+        })
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A fully-instantiated server: timing and power models for every
+/// component.
+#[derive(Debug, Clone)]
+pub struct ServerModel {
+    config: ServerConfig,
+    clusters: u32,
+    core_power: CorePowerModel,
+    llc: LlcPowerModel,
+    xbar: XbarPowerModel,
+    io: IoPowerModel,
+    dram: DramPowerModel,
+}
+
+impl ServerModel {
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Cluster count (area-derived).
+    pub fn clusters(&self) -> u32 {
+        self.clusters
+    }
+
+    /// Total core count.
+    pub fn cores(&self) -> u32 {
+        self.clusters * self.config.cores_per_cluster
+    }
+
+    /// The per-core power model.
+    pub fn core_power(&self) -> &CorePowerModel {
+        &self.core_power
+    }
+
+    /// The per-cluster LLC power model.
+    pub fn llc(&self) -> &LlcPowerModel {
+        &self.llc
+    }
+
+    /// Returns a copy with a different LLC power model (uncore ablations).
+    pub fn with_llc(mut self, llc: LlcPowerModel) -> Self {
+        self.llc = llc;
+        self
+    }
+
+    /// The per-cluster crossbar power model.
+    pub fn xbar(&self) -> &XbarPowerModel {
+        &self.xbar
+    }
+
+    /// The I/O peripheral power model.
+    pub fn io(&self) -> &IoPowerModel {
+        &self.io
+    }
+
+    /// The memory-system power model.
+    pub fn dram(&self) -> &DramPowerModel {
+        &self.dram
+    }
+
+    /// Returns a copy with a different memory system (the LPDDR4 ablation).
+    pub fn with_dram(mut self, dram: DramPowerModel) -> Self {
+        self.dram = dram;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_nine_clusters_36_cores() {
+        let c = ServerConfig::paper();
+        assert_eq!(c.max_clusters(), 9, "300 mm² fits exactly 9 clusters");
+        assert_eq!(c.total_cores(), 36);
+    }
+
+    #[test]
+    fn a_tenth_cluster_would_not_fit() {
+        let c = ServerConfig::paper();
+        let die10 = (10.0 * c.cluster_area_mm2() + IO_AREA_MM2) * AREA_OVERHEAD;
+        assert!(die10 > 300.0);
+        let die9 = (9.0 * c.cluster_area_mm2() + IO_AREA_MM2) * AREA_OVERHEAD;
+        assert!(die9 <= 300.0);
+    }
+
+    #[test]
+    fn bigger_budget_fits_more_clusters() {
+        let mut c = ServerConfig::paper();
+        c.area_budget_mm2 = 600.0;
+        assert!(c.max_clusters() > 9);
+    }
+
+    #[test]
+    fn model_builds_with_paper_components() {
+        let m = ServerConfig::paper().build().unwrap();
+        assert_eq!(m.clusters(), 9);
+        assert_eq!(m.cores(), 36);
+        assert!((m.io().power().0 - 5.0).abs() < 1e-9);
+        assert!((m.llc().capacity_mb() - 4.0).abs() < 1e-12);
+        assert!((m.dram().config().capacity_gb() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_swap_for_ablation() {
+        let m = ServerConfig::paper().build().unwrap();
+        let lp = m.clone().with_dram(DramPowerModel::new(
+            DramTechnology::Lpddr4,
+            DramConfig::paper_server(),
+        ));
+        assert!(lp.dram().background_power() < m.dram().background_power());
+    }
+}

@@ -1,0 +1,226 @@
+//! Workload consolidation under relaxed public-cloud QoS (paper Sec. V-C).
+//!
+//! "Given that the core frequency can be greatly reduced, application
+//! consolidation should be possible [...] under the more relaxed latency
+//! constraints of the public cloud environments, where servers are usually
+//! oversubscribed, the optimal energy efficiency point could be adjusted
+//! to accommodate more workloads on the same server."
+//!
+//! [`Consolidator`] packs a Bitbrains-style VM population onto servers
+//! running at a chosen operating point: each server offers
+//! `cores × f/f_ref` of CPU capacity inflated by the degradation bound the
+//! tenants tolerate, and VMs are first-fit-decreasing packed by CPU and
+//! memory. Output: servers needed, energy per VM, and how both improve as
+//! QoS relaxes.
+
+use crate::efficiency::SweepResult;
+use ntc_workloads::VmRecord;
+use serde::{Deserialize, Serialize};
+
+/// Reference frequency VM demand is quoted against (the 2 GHz baseline).
+pub const REFERENCE_MHZ: f64 = 2000.0;
+
+/// A consolidation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidationPlan {
+    /// Operating frequency of every server (MHz).
+    pub mhz: f64,
+    /// Degradation bound offered to tenants.
+    pub max_slowdown: f64,
+    /// Number of servers used.
+    pub servers: usize,
+    /// VMs placed (always the full population).
+    pub vms: usize,
+    /// Mean VMs per server.
+    pub vms_per_server: f64,
+    /// Server power at the operating point (W).
+    pub server_watts: f64,
+    /// Fleet power (W).
+    pub fleet_watts: f64,
+    /// Watts per VM — the consolidation figure of merit.
+    pub watts_per_vm: f64,
+}
+
+/// Packs VM populations onto near-threshold servers.
+#[derive(Debug, Clone)]
+pub struct Consolidator {
+    /// CPU capacity of one core at the reference frequency (one VM at
+    /// 100 % utilization consumes 1.0).
+    cores_per_server: u32,
+    /// Server memory capacity in bytes.
+    memory_bytes: u64,
+}
+
+impl Consolidator {
+    /// The paper's server: 36 cores, 64 GB.
+    pub fn paper_server() -> Self {
+        Consolidator {
+            cores_per_server: 36,
+            memory_bytes: 64 << 30,
+        }
+    }
+
+    /// A custom server shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-core or zero-memory server.
+    pub fn new(cores_per_server: u32, memory_bytes: u64) -> Self {
+        assert!(cores_per_server > 0 && memory_bytes > 0, "degenerate server");
+        Consolidator {
+            cores_per_server,
+            memory_bytes,
+        }
+    }
+
+    /// CPU capacity of one server at `mhz` under a degradation bound:
+    /// cores × (f/f_ref) × slowdown (tenants accepting 4× effectively
+    /// let 4× more work share a core).
+    pub fn cpu_capacity(&self, mhz: f64, max_slowdown: f64) -> f64 {
+        f64::from(self.cores_per_server) * (mhz / REFERENCE_MHZ) * max_slowdown
+    }
+
+    /// Packs `population` onto servers at the sweep point closest to the
+    /// QoS-feasible efficiency optimum.
+    ///
+    /// First-fit-decreasing by CPU demand, respecting both the CPU and the
+    /// memory capacity of each server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty, the sweep lacks the requested
+    /// frequency, or any single VM exceeds a server's capacity.
+    pub fn pack(
+        &self,
+        result: &SweepResult,
+        mhz: f64,
+        max_slowdown: f64,
+        population: &[VmRecord],
+    ) -> ConsolidationPlan {
+        assert!(!population.is_empty(), "nothing to consolidate");
+        let point = result
+            .at(mhz)
+            .unwrap_or_else(|| panic!("sweep has no point at {mhz} MHz"));
+        let cpu_cap = self.cpu_capacity(mhz, max_slowdown);
+
+        let mut vms: Vec<&VmRecord> = population.iter().collect();
+        vms.sort_by(|a, b| {
+            b.cpu_utilization
+                .partial_cmp(&a.cpu_utilization)
+                .expect("finite utilizations")
+        });
+
+        let mut servers: Vec<(f64, u64)> = Vec::new(); // (cpu used, mem used)
+        for vm in vms {
+            assert!(
+                vm.cpu_utilization <= cpu_cap && vm.memory_bytes <= self.memory_bytes,
+                "vm {} does not fit an empty server",
+                vm.id
+            );
+            let slot = servers.iter_mut().find(|(cpu, mem)| {
+                cpu + vm.cpu_utilization <= cpu_cap && mem + vm.memory_bytes <= self.memory_bytes
+            });
+            match slot {
+                Some((cpu, mem)) => {
+                    *cpu += vm.cpu_utilization;
+                    *mem += vm.memory_bytes;
+                }
+                None => servers.push((vm.cpu_utilization, vm.memory_bytes)),
+            }
+        }
+
+        let server_watts = point.power.server().0;
+        let fleet_watts = server_watts * servers.len() as f64;
+        ConsolidationPlan {
+            mhz,
+            max_slowdown,
+            servers: servers.len(),
+            vms: population.len(),
+            vms_per_server: population.len() as f64 / servers.len() as f64,
+            server_watts,
+            fleet_watts,
+            watts_per_vm: fleet_watts / population.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::measure::TableMeasurer;
+    use crate::sweep::FrequencySweep;
+    use ntc_workloads::BitbrainsSynthesizer;
+
+    fn result() -> SweepResult {
+        let server = ServerConfig::paper().build().unwrap();
+        let mut m = TableMeasurer::synthetic(3.2, 1.6);
+        FrequencySweep::paper_ladder().run(&server, &mut m).unwrap()
+    }
+
+    fn population() -> Vec<ntc_workloads::VmRecord> {
+        BitbrainsSynthesizer::new(11).trace_population()
+    }
+
+    #[test]
+    fn relaxed_qos_packs_more_vms_per_server() {
+        let r = result();
+        let c = Consolidator::paper_server();
+        let pop = population();
+        let tight = c.pack(&r, 1000.0, 2.0, &pop);
+        let loose = c.pack(&r, 1000.0, 4.0, &pop);
+        assert!(loose.vms_per_server > tight.vms_per_server);
+        assert!(loose.servers < tight.servers);
+        assert!(loose.watts_per_vm < tight.watts_per_vm);
+    }
+
+    #[test]
+    fn near_threshold_fleet_beats_full_speed_on_watts_per_vm() {
+        // Run the fleet at 500 MHz/4x instead of 2 GHz/1x: per-server
+        // capacity matches (36 * 0.25 * 4 = 36), but each server burns far
+        // less power.
+        let r = result();
+        let c = Consolidator::paper_server();
+        let pop = population();
+        let fast = c.pack(&r, 2000.0, 1.0, &pop);
+        let ntc = c.pack(&r, 500.0, 4.0, &pop);
+        assert!(
+            (c.cpu_capacity(2000.0, 1.0) - c.cpu_capacity(500.0, 4.0)).abs() < 1e-9,
+            "capacities match by construction"
+        );
+        assert!(
+            ntc.watts_per_vm < fast.watts_per_vm * 0.7,
+            "NTC consolidation should cut watts/VM: {} vs {}",
+            ntc.watts_per_vm,
+            fast.watts_per_vm
+        );
+    }
+
+    #[test]
+    fn all_vms_are_placed() {
+        let r = result();
+        let c = Consolidator::paper_server();
+        let pop = population();
+        let plan = c.pack(&r, 1000.0, 4.0, &pop);
+        assert_eq!(plan.vms, pop.len());
+        assert!(plan.servers >= 1);
+        assert!((plan.fleet_watts - plan.server_watts * plan.servers as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_formula() {
+        let c = Consolidator::paper_server();
+        assert!((c.cpu_capacity(2000.0, 1.0) - 36.0).abs() < 1e-12);
+        assert!((c.cpu_capacity(500.0, 1.0) - 9.0).abs() < 1e-12);
+        assert!((c.cpu_capacity(500.0, 4.0) - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no point at")]
+    fn unknown_frequency_panics() {
+        let r = result();
+        let c = Consolidator::paper_server();
+        let pop = population();
+        let _ = c.pack(&r, 1234.0, 2.0, &pop);
+    }
+}

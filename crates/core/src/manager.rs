@@ -1,0 +1,268 @@
+//! Body-bias boost/sleep management (paper Sec. II-A points 2–3).
+//!
+//! FD-SOI's back gate gives a server two fast, state-retentive knobs:
+//!
+//! * **FBB boost** — temporarily raise frequency at fixed voltage to absorb
+//!   a computation spike, with < 1 µs bias slew;
+//! * **RBB sleep** — cut leakage by up to an order of magnitude during idle
+//!   gaps too short for power gating (whose state loss costs ~100 µs to
+//!   recover).
+//!
+//! [`BiasManager`] plays a duty-cycled load timeline (bursts of work
+//! separated by idle gaps) under different policies and accounts energy,
+//! including transition costs — the paper's qualitative argument made
+//! quantitative.
+
+use ntc_power::{CoreActivity, CorePowerModel};
+use ntc_tech::{
+    BodyBias, Joules, MegaHertz, OperatingPoint, Picoseconds, Seconds, SleepMode, TechError,
+    Volts, Watts,
+};
+use serde::{Deserialize, Serialize};
+
+/// Idle-period handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ManagerPolicy {
+    /// Stay at the operating point, clock-gated (leakage burns).
+    ClockGateOnly,
+    /// Enter reverse-body-bias sleep at the retention voltage.
+    RbbSleep {
+        /// Reverse bias magnitude to apply (volts).
+        bias_volts: f64,
+    },
+    /// Power-gate the core (near-zero leakage, slow, state lost).
+    PowerGate,
+}
+
+/// One phase of the managed timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManagedPhase {
+    /// Busy time of the burst.
+    pub busy: Seconds,
+    /// Idle gap after the burst.
+    pub idle: Seconds,
+}
+
+/// Energy account of a managed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManagedEnergy {
+    /// Energy spent executing bursts.
+    pub busy_energy: Joules,
+    /// Energy spent across idle gaps (residual leakage).
+    pub idle_energy: Joules,
+    /// Energy-equivalent of transition time (entry/exit at awake leakage)
+    /// plus any wake-up work.
+    pub transition_energy: Joules,
+    /// Total wall-clock time, including wake-up delays.
+    pub total_time: Seconds,
+    /// Number of idle gaps too short to use the policy (fell back to clock
+    /// gating).
+    pub skipped_gaps: u64,
+}
+
+impl ManagedEnergy {
+    /// Total energy.
+    pub fn total(&self) -> Joules {
+        self.busy_energy + self.idle_energy + self.transition_energy
+    }
+}
+
+/// Plays load timelines against bias policies.
+#[derive(Debug, Clone)]
+pub struct BiasManager<'a> {
+    core: &'a CorePowerModel,
+    op: OperatingPoint,
+}
+
+impl<'a> BiasManager<'a> {
+    /// Creates a manager for one core at an operating point.
+    pub fn new(core: &'a CorePowerModel, op: OperatingPoint) -> Self {
+        BiasManager { core, op }
+    }
+
+    /// Runs the timeline under a policy and accounts energy for one core.
+    ///
+    /// # Errors
+    ///
+    /// Returns a technology error if the policy's bias is illegal for the
+    /// core's flavour (e.g. RBB on a flip-well device).
+    pub fn run(
+        &self,
+        phases: &[ManagedPhase],
+        policy: ManagerPolicy,
+    ) -> Result<ManagedEnergy, TechError> {
+        let busy_power = self.core.power(self.op, CoreActivity::BUSY);
+        let awake_leak = self.core.static_power(self.op, CoreActivity::IDLE);
+        let retention = self.core.timing().technology().sram().vmin_retain();
+
+        let (sleep_power, entry, exit, min_gap): (Watts, Picoseconds, Picoseconds, Seconds) =
+            match policy {
+                ManagerPolicy::ClockGateOnly => {
+                    (awake_leak, Picoseconds(0.0), Picoseconds(0.0), Seconds(0.0))
+                }
+                ManagerPolicy::RbbSleep { bias_volts } => {
+                    let bias = BodyBias::reverse(Volts(bias_volts))?;
+                    self.core.timing().technology().check_bias(bias)?;
+                    let t = SleepMode::ReverseBias { bias }.transition(0.0);
+                    let p = self.core.sleep_power(retention, bias);
+                    let min_gap = Seconds((t.entry + t.exit).as_seconds().0 * 4.0);
+                    (p, t.entry, t.exit, min_gap)
+                }
+                ManagerPolicy::PowerGate => {
+                    let t = SleepMode::PowerGated.transition(0.0);
+                    let min_gap = Seconds((t.entry + t.exit).as_seconds().0 * 2.0);
+                    (awake_leak * 0.02, t.entry, t.exit, min_gap)
+                }
+            };
+
+        let mut acc = ManagedEnergy {
+            busy_energy: Joules(0.0),
+            idle_energy: Joules(0.0),
+            transition_energy: Joules(0.0),
+            total_time: Seconds(0.0),
+            skipped_gaps: 0,
+        };
+        for ph in phases {
+            acc.busy_energy += busy_power.over_time(ph.busy);
+            acc.total_time += ph.busy;
+            if ph.idle.0 <= 0.0 {
+                continue;
+            }
+            if ph.idle < min_gap {
+                // Gap too short: transitions would dominate; clock-gate.
+                acc.idle_energy += awake_leak.over_time(ph.idle);
+                acc.total_time += ph.idle;
+                acc.skipped_gaps += 1;
+                continue;
+            }
+            let trans = entry.as_seconds() + exit.as_seconds();
+            let asleep = Seconds(ph.idle.0 - trans.0);
+            acc.transition_energy += awake_leak.over_time(trans);
+            acc.idle_energy += sleep_power.over_time(asleep);
+            // Wake-up latency extends the timeline beyond the gap.
+            acc.total_time += ph.idle + exit.as_seconds();
+        }
+        Ok(acc)
+    }
+
+    /// Boost check: the extra frequency available by applying `fbb` at the
+    /// manager's current voltage, and the time to engage it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bias/voltage range errors.
+    pub fn boost_headroom(&self, fbb: BodyBias) -> Result<(MegaHertz, Picoseconds), TechError> {
+        let base = self.core.timing().fmax(self.op.vdd, self.op.bias)?;
+        let boosted = self.core.timing().fmax(self.op.vdd, fbb)?;
+        let slew = self.op.bias.transition_time(fbb);
+        Ok((MegaHertz((boosted.0 - base.0).max(0.0)), slew))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_tech::{CoreModel, Technology, TechnologyKind};
+
+    fn core(kind: TechnologyKind) -> CorePowerModel {
+        CorePowerModel::cortex_a57(CoreModel::cortex_a57(Technology::preset(kind))).unwrap()
+    }
+
+    fn op(core: &CorePowerModel, mhz: f64) -> OperatingPoint {
+        OperatingPoint::at(core.timing(), MegaHertz(mhz), BodyBias::ZERO).unwrap()
+    }
+
+    /// 1 ms bursts with 4 ms gaps — a 20% duty cycle with gaps far above
+    /// the microsecond transition scale.
+    fn duty_cycle() -> Vec<ManagedPhase> {
+        vec![
+            ManagedPhase {
+                busy: Seconds(1e-3),
+                idle: Seconds(4e-3),
+            };
+            50
+        ]
+    }
+
+    #[test]
+    fn rbb_sleep_beats_clock_gating_on_idle_energy() {
+        let c = core(TechnologyKind::FdSoi28ConventionalWell);
+        let m = BiasManager::new(&c, op(&c, 500.0));
+        let cg = m.run(&duty_cycle(), ManagerPolicy::ClockGateOnly).unwrap();
+        let rbb = m
+            .run(&duty_cycle(), ManagerPolicy::RbbSleep { bias_volts: 3.0 })
+            .unwrap();
+        assert!(
+            rbb.idle_energy.0 < cg.idle_energy.0 * 0.4,
+            "rbb should slash idle leakage: {} vs {}",
+            rbb.idle_energy,
+            cg.idle_energy
+        );
+        assert!(rbb.total().0 < cg.total().0);
+    }
+
+    #[test]
+    fn rbb_is_illegal_on_flip_well_cores() {
+        let c = core(TechnologyKind::FdSoi28);
+        let m = BiasManager::new(&c, op(&c, 500.0));
+        assert!(m
+            .run(&duty_cycle(), ManagerPolicy::RbbSleep { bias_volts: 3.0 })
+            .is_err());
+    }
+
+    #[test]
+    fn short_gaps_defeat_power_gating_but_not_rbb() {
+        // 50 us gaps: far above RBB's ~5 us round trip, far below power
+        // gating's ~100 us wake.
+        let phases: Vec<ManagedPhase> = vec![
+            ManagedPhase {
+                busy: Seconds(50e-6),
+                idle: Seconds(50e-6),
+            };
+            200
+        ];
+        let c = core(TechnologyKind::FdSoi28ConventionalWell);
+        let m = BiasManager::new(&c, op(&c, 500.0));
+        let rbb = m
+            .run(&phases, ManagerPolicy::RbbSleep { bias_volts: 3.0 })
+            .unwrap();
+        let pg = m.run(&phases, ManagerPolicy::PowerGate).unwrap();
+        assert_eq!(rbb.skipped_gaps, 0, "rbb fits in 50 us gaps");
+        assert_eq!(pg.skipped_gaps, 200, "power gating cannot use 50 us gaps");
+        assert!(rbb.total().0 < pg.total().0);
+    }
+
+    #[test]
+    fn power_gate_wins_on_very_long_gaps() {
+        let phases: Vec<ManagedPhase> = vec![
+            ManagedPhase {
+                busy: Seconds(1e-3),
+                idle: Seconds(1.0),
+            };
+            3
+        ];
+        let c = core(TechnologyKind::FdSoi28ConventionalWell);
+        let m = BiasManager::new(&c, op(&c, 500.0));
+        let rbb = m
+            .run(&phases, ManagerPolicy::RbbSleep { bias_volts: 3.0 })
+            .unwrap();
+        let pg = m.run(&phases, ManagerPolicy::PowerGate).unwrap();
+        assert!(
+            pg.idle_energy.0 < rbb.idle_energy.0,
+            "gating's near-zero leakage wins second-scale gaps"
+        );
+    }
+
+    #[test]
+    fn boost_headroom_is_positive_and_fast() {
+        let c = core(TechnologyKind::FdSoi28);
+        let m = BiasManager::new(&c, op(&c, 500.0));
+        let fbb = BodyBias::forward(Volts(2.0)).unwrap();
+        let (extra, slew) = m.boost_headroom(fbb).unwrap();
+        assert!(extra.0 > 100.0, "fbb boost should add real headroom: {extra}");
+        assert!(
+            slew.as_seconds().0 < 2e-6,
+            "bias slew is about a microsecond: {slew}"
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Cluster throughput measurement.
+//!
+//! The sweep engine needs, per frequency point, the cluster's UIPS and its
+//! uncore/memory traffic rates. [`SimMeasurer`] obtains them by running the
+//! `ntc-sim` cluster under a workload profile with checkpoint-warmed caches
+//! and SMARTS-style warm-up/measure windows — the paper's methodology.
+//! [`TableMeasurer`] replays pre-computed curves (log-interpolated) for
+//! fast analytic studies and tests.
+
+use ntc_sampling::SampleWindow;
+use ntc_sim::{ClusterSim, SimConfig, SimStats};
+use ntc_workloads::{prewarm_cluster, ProfileStream, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// What the sweep needs to know about one cluster at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterMeasurement {
+    /// Core frequency of the measurement (MHz).
+    pub mhz: f64,
+    /// User instructions per second, one cluster.
+    pub uips: f64,
+    /// Aggregate UIPC across the cluster's cores.
+    pub uipc: f64,
+    /// LLC accesses per second (64-byte), one cluster.
+    pub llc_accesses_per_sec: f64,
+    /// Crossbar transfers per second, one cluster.
+    pub xbar_flits_per_sec: f64,
+    /// DRAM read bandwidth in bytes/second, one cluster.
+    pub dram_read_bps: f64,
+    /// DRAM write bandwidth in bytes/second, one cluster.
+    pub dram_write_bps: f64,
+}
+
+impl ClusterMeasurement {
+    /// Builds a measurement from simulator statistics.
+    pub fn from_stats(stats: &SimStats) -> Self {
+        ClusterMeasurement {
+            mhz: stats.core_mhz,
+            uips: stats.uips(),
+            uipc: stats.uipc(),
+            llc_accesses_per_sec: stats.llc_access_rate(),
+            xbar_flits_per_sec: stats.xbar_rate(),
+            dram_read_bps: stats.dram_read_bw(),
+            dram_write_bps: stats.dram_write_bw(),
+        }
+    }
+}
+
+/// Source of per-frequency cluster measurements.
+pub trait ClusterMeasurer {
+    /// Measures the cluster at `mhz`.
+    fn measure(&mut self, mhz: f64) -> ClusterMeasurement;
+}
+
+/// Execution-driven measurement via the `ntc-sim` cluster simulator.
+#[derive(Debug, Clone)]
+pub struct SimMeasurer {
+    profile: WorkloadProfile,
+    window: SampleWindow,
+    seed: u64,
+    prefetch_degree: u32,
+}
+
+impl SimMeasurer {
+    /// A measurer using the paper's standard window (100 K warm-up / 50 K
+    /// measured cycles; use [`SampleWindow::paper_data_serving`] via
+    /// [`SimMeasurer::with_window`] for Data Serving).
+    pub fn new(profile: WorkloadProfile) -> Self {
+        SimMeasurer {
+            profile,
+            window: SampleWindow::paper_default(),
+            seed: 0,
+            prefetch_degree: 0,
+        }
+    }
+
+    /// A fast variant for tests and examples: shorter windows (16 K / 16 K
+    /// cycles) that still capture the UIPC-vs-frequency shape.
+    pub fn fast(profile: WorkloadProfile) -> Self {
+        SimMeasurer {
+            profile,
+            window: SampleWindow {
+                warmup_cycles: 16_000,
+                measure_cycles: 16_000,
+            },
+            seed: 0,
+            prefetch_degree: 0,
+        }
+    }
+
+    /// Overrides the warm-up/measure window (builder style).
+    pub fn with_window(mut self, window: SampleWindow) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides the stream seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables next-line prefetching at the given degree (builder style).
+    pub fn with_prefetch(mut self, degree: u32) -> Self {
+        self.prefetch_degree = degree;
+        self
+    }
+
+    /// The driving profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+}
+
+impl ClusterMeasurer for SimMeasurer {
+    fn measure(&mut self, mhz: f64) -> ClusterMeasurement {
+        let seed = self.seed;
+        let profile = self.profile.clone();
+        let mut config = SimConfig::paper_cluster(mhz);
+        config.core.prefetch_degree = self.prefetch_degree;
+        let mut sim = ClusterSim::new(config, |core| {
+            ProfileStream::new(profile.clone(), seed.wrapping_mul(64) + u64::from(core))
+        });
+        prewarm_cluster(&mut sim, &self.profile);
+        sim.warm_up(self.window.warmup_cycles);
+        let stats = sim.run_measured(self.window.measure_cycles);
+        ClusterMeasurement::from_stats(&stats)
+    }
+}
+
+/// Interpolating measurer over pre-computed `(mhz, measurement)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeasurer {
+    points: Vec<ClusterMeasurement>,
+}
+
+impl TableMeasurer {
+    /// Builds from measurement points (sorted by frequency internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given.
+    pub fn new(mut points: Vec<ClusterMeasurement>) -> Self {
+        assert!(points.len() >= 2, "interpolation needs at least two points");
+        points.sort_by(|a, b| a.mhz.partial_cmp(&b.mhz).expect("finite frequencies"));
+        TableMeasurer { points }
+    }
+
+    /// A synthetic sub-linear throughput curve: UIPC falls from
+    /// `uipc_low_f` at 100 MHz to `uipc_high_f` at 2 GHz with a smooth
+    /// memory-stall shape — handy for analytic studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `uipc_low_f >= uipc_high_f > 0`.
+    pub fn synthetic(uipc_low_f: f64, uipc_high_f: f64) -> Self {
+        assert!(
+            uipc_low_f >= uipc_high_f && uipc_high_f > 0.0,
+            "UIPC must not increase with frequency"
+        );
+        // uipc(f) = a / (1 + b f); fit at 100 and 2000 MHz.
+        let ratio = uipc_low_f / uipc_high_f;
+        let b = (ratio - 1.0) / (2000.0 - ratio * 100.0);
+        let a = uipc_low_f * (1.0 + b * 100.0);
+        let points = (1..=20)
+            .map(|i| {
+                let mhz = 100.0 * f64::from(i);
+                let uipc = a / (1.0 + b * mhz);
+                let uips = uipc * mhz * 1e6;
+                ClusterMeasurement {
+                    mhz,
+                    uips,
+                    uipc,
+                    llc_accesses_per_sec: uips * 0.03,
+                    xbar_flits_per_sec: uips * 0.03,
+                    dram_read_bps: uips * 0.008 * 64.0,
+                    dram_write_bps: uips * 0.003 * 64.0,
+                }
+            })
+            .collect();
+        TableMeasurer { points }
+    }
+
+    fn lerp(a: &ClusterMeasurement, b: &ClusterMeasurement, t: f64) -> ClusterMeasurement {
+        let l = |x: f64, y: f64| x + (y - x) * t;
+        ClusterMeasurement {
+            mhz: l(a.mhz, b.mhz),
+            uips: l(a.uips, b.uips),
+            uipc: l(a.uipc, b.uipc),
+            llc_accesses_per_sec: l(a.llc_accesses_per_sec, b.llc_accesses_per_sec),
+            xbar_flits_per_sec: l(a.xbar_flits_per_sec, b.xbar_flits_per_sec),
+            dram_read_bps: l(a.dram_read_bps, b.dram_read_bps),
+            dram_write_bps: l(a.dram_write_bps, b.dram_write_bps),
+        }
+    }
+}
+
+impl ClusterMeasurer for TableMeasurer {
+    fn measure(&mut self, mhz: f64) -> ClusterMeasurement {
+        let pts = &self.points;
+        if mhz <= pts[0].mhz {
+            let mut m = pts[0];
+            // Extrapolate throughput proportionally below the table.
+            m.uips *= mhz / m.mhz;
+            m.mhz = mhz;
+            return m;
+        }
+        if mhz >= pts[pts.len() - 1].mhz {
+            let mut m = pts[pts.len() - 1];
+            m.uips *= mhz / m.mhz;
+            m.mhz = mhz;
+            return m;
+        }
+        let i = pts.partition_point(|p| p.mhz < mhz);
+        let (a, b) = (&pts[i - 1], &pts[i]);
+        let t = (mhz - a.mhz) / (b.mhz - a.mhz);
+        Self::lerp(a, b, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_workloads::CloudSuiteApp;
+
+    #[test]
+    fn sim_measurer_produces_consistent_rates() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let mut m = SimMeasurer::fast(p);
+        let x = m.measure(1000.0);
+        assert!(x.uips > 0.0);
+        assert!((x.uips / (x.uipc * 1000.0 * 1e6) - 1.0).abs() < 1e-9);
+        assert!(x.llc_accesses_per_sec > 0.0);
+    }
+
+    #[test]
+    fn sim_measurer_shows_the_uipc_frequency_effect() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
+        let mut m = SimMeasurer::fast(p);
+        let hi = m.measure(2000.0);
+        let lo = m.measure(200.0);
+        assert!(lo.uipc > hi.uipc, "UIPC rises as the clock slows");
+        assert!(hi.uips > lo.uips, "UIPS still grows with frequency");
+    }
+
+    #[test]
+    fn table_measurer_interpolates_and_extrapolates() {
+        let mut t = TableMeasurer::synthetic(3.0, 1.5);
+        let m500 = t.measure(500.0);
+        let m550 = t.measure(550.0);
+        let m600 = t.measure(600.0);
+        assert!(m500.uips < m550.uips && m550.uips < m600.uips);
+        let m50 = t.measure(50.0);
+        assert!(m50.uips < m500.uips && m50.uips > 0.0);
+    }
+
+    #[test]
+    fn synthetic_curve_hits_its_anchors() {
+        let mut t = TableMeasurer::synthetic(3.0, 1.5);
+        assert!((t.measure(100.0).uipc - 3.0).abs() < 1e-6);
+        assert!((t.measure(2000.0).uipc - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not increase")]
+    fn synthetic_rejects_rising_uipc() {
+        let _ = TableMeasurer::synthetic(1.0, 2.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! QoS-constrained optimum selection.
+//!
+//! The unconstrained efficiency optimum is worthless if it violates the
+//! application's latency contract. [`ConstrainedOptimum`] intersects a
+//! sweep's efficiency series with either a tail-latency curve (scale-out)
+//! or a degradation bound (VMs) and picks the best *feasible* point — the
+//! paper's actual operating recommendation.
+
+use crate::efficiency::{EfficiencyPoint, SweepResult};
+use ntc_power::Scope;
+use ntc_qos::{DegradationModel, QosCurve};
+use ntc_workloads::{QosTarget, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// A feasible-optimum query over a sweep.
+#[derive(Debug, Clone)]
+pub struct ConstrainedOptimum<'a> {
+    result: &'a SweepResult,
+    profile: &'a WorkloadProfile,
+}
+
+/// The outcome: the chosen point and the QoS floor that constrained it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeasibleOptimum {
+    /// The selected efficiency point.
+    pub point: EfficiencyPoint,
+    /// The lowest QoS-feasible frequency on the ladder (MHz).
+    pub qos_floor_mhz: f64,
+}
+
+impl<'a> ConstrainedOptimum<'a> {
+    /// Creates the query.
+    pub fn new(result: &'a SweepResult, profile: &'a WorkloadProfile) -> Self {
+        ConstrainedOptimum { result, profile }
+    }
+
+    /// The lowest frequency meeting the profile's QoS, if any.
+    pub fn qos_floor(&self) -> Option<f64> {
+        let samples = self.result.uips_samples();
+        match self.profile.qos {
+            QosTarget::TailLatency { .. } => {
+                QosCurve::build(self.profile, &samples).min_qos_frequency()
+            }
+            QosTarget::BatchDegradation { max_slowdown } => {
+                let base = samples
+                    .iter()
+                    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))?
+                    .1;
+                DegradationModel::new(base).min_frequency(&samples, max_slowdown)
+            }
+        }
+    }
+
+    /// The most efficient point at `scope` among those meeting QoS.
+    pub fn best(&self, scope: Scope) -> Option<FeasibleOptimum> {
+        let floor = self.qos_floor()?;
+        let point = self
+            .result
+            .efficiency()
+            .into_iter()
+            .filter(|e| e.mhz >= floor)
+            .max_by(|a, b| {
+                a.at_scope(scope)
+                    .partial_cmp(&b.at_scope(scope))
+                    .expect("finite efficiencies")
+            })?;
+        Some(FeasibleOptimum {
+            point,
+            qos_floor_mhz: floor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::measure::TableMeasurer;
+    use crate::sweep::FrequencySweep;
+    use ntc_workloads::CloudSuiteApp;
+
+    fn result() -> SweepResult {
+        let server = ServerConfig::paper().build().unwrap();
+        let mut m = TableMeasurer::synthetic(3.2, 1.6);
+        FrequencySweep::paper_ladder().run(&server, &mut m).unwrap()
+    }
+
+    #[test]
+    fn scale_out_floor_lands_in_200_500mhz() {
+        let r = result();
+        for app in CloudSuiteApp::ALL {
+            let p = WorkloadProfile::cloudsuite(app);
+            let floor = ConstrainedOptimum::new(&r, &p).qos_floor().unwrap();
+            assert!(
+                (100.0..=600.0).contains(&floor),
+                "{app}: QoS floor {floor} MHz outside the paper's window"
+            );
+        }
+    }
+
+    #[test]
+    fn vm_floors_match_the_degradation_bounds() {
+        // CPU-bound VMs: UIPC nearly flat in frequency, so degradation
+        // tracks the frequency ratio.
+        let server = ServerConfig::paper().build().unwrap();
+        let mut m = TableMeasurer::synthetic(2.15, 2.0);
+        let r = FrequencySweep::paper_ladder().run(&server, &mut m).unwrap();
+        let p4 = WorkloadProfile::banking_low_mem(4.0);
+        let p2 = WorkloadProfile::banking_low_mem(2.0);
+        let f4 = ConstrainedOptimum::new(&r, &p4).qos_floor().unwrap();
+        let f2 = ConstrainedOptimum::new(&r, &p2).qos_floor().unwrap();
+        assert!(f4 < f2, "a looser bound admits lower frequency");
+        assert!(
+            (300.0..=700.0).contains(&f4),
+            "4x bound should admit roughly 500 MHz, got {f4}"
+        );
+        assert!(
+            (800.0..=1200.0).contains(&f2),
+            "2x bound should admit roughly 1 GHz, got {f2}"
+        );
+    }
+
+    #[test]
+    fn best_point_is_feasible_and_scoped() {
+        let r = result();
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let q = ConstrainedOptimum::new(&r, &p);
+        let cores = q.best(Scope::Cores).unwrap();
+        let server = q.best(Scope::Server).unwrap();
+        assert!(cores.point.mhz >= cores.qos_floor_mhz);
+        // Cores-only efficiency peaks at the QoS floor; server-scope
+        // efficiency peaks much higher.
+        assert!(server.point.mhz > cores.point.mhz);
+    }
+
+    #[test]
+    fn cores_scope_optimum_sits_at_the_qos_floor() {
+        // Paper: "the QoS requirements dictate this operating point".
+        let r = result();
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
+        let q = ConstrainedOptimum::new(&r, &p);
+        let best = q.best(Scope::Cores).unwrap();
+        assert!(
+            (best.point.mhz - best.qos_floor_mhz).abs() < 1e-9,
+            "cores-only optimum is the lowest feasible frequency"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Energy-proportionality analysis (paper Sec. V-C / conclusions).
+//!
+//! "In order to substantially increase the energy efficiency of a server,
+//! all the server components of the system, not only the cores, need to be
+//! energy proportional." This module quantifies that: it sweeps server
+//! *utilization* (fraction of busy cores) at a fixed operating point and
+//! scores how proportionally each component's power follows load, using
+//! the standard Barroso–Hölzle framing (idle power vs. peak power).
+
+use crate::config::ServerModel;
+use crate::measure::ClusterMeasurement;
+use ntc_power::{CoreActivity, DramTraffic, PowerBreakdown};
+use ntc_tech::OperatingPoint;
+use serde::{Deserialize, Serialize};
+
+/// Power at one utilization level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationPoint {
+    /// Fraction of cores busy, in `[0, 1]`.
+    pub utilization: f64,
+    /// Per-component power.
+    pub power: PowerBreakdown,
+    /// Chip UIPS delivered at this utilization.
+    pub uips: f64,
+}
+
+/// Energy-proportionality score in `[0, 1]`: `1 - idle/peak`.
+///
+/// A perfectly proportional server (zero idle power) scores 1; a server
+/// that burns at idle what it burns at peak scores 0.
+///
+/// # Panics
+///
+/// Panics if `peak` is not positive or `idle` is negative.
+pub fn proportionality_score(idle_watts: f64, peak_watts: f64) -> f64 {
+    assert!(peak_watts > 0.0, "peak power must be positive");
+    assert!(idle_watts >= 0.0, "idle power cannot be negative");
+    (1.0 - idle_watts / peak_watts).max(0.0)
+}
+
+/// Sweeps utilization at a fixed operating point: `k` of the server's
+/// cores run the measured workload, the rest idle (clock-gated).
+///
+/// Traffic scales with the busy fraction; uncore and DRAM background do
+/// not — which is precisely the proportionality problem.
+pub fn utilization_sweep(
+    server: &ServerModel,
+    op: OperatingPoint,
+    full_load: ClusterMeasurement,
+    steps: u32,
+) -> Vec<UtilizationPoint> {
+    assert!(steps >= 1, "need at least one utilization step");
+    let n_clusters = f64::from(server.clusters());
+    let n_cores = f64::from(server.cores());
+    (0..=steps)
+        .map(|i| {
+            let u = f64::from(i) / f64::from(steps);
+            let busy_cores = n_cores * u;
+            let idle_cores = n_cores - busy_cores;
+            let busy = CoreActivity::BUSY;
+            let idle = CoreActivity::IDLE;
+            let traffic = DramTraffic::new(
+                full_load.dram_read_bps * n_clusters * u,
+                full_load.dram_write_bps * n_clusters * u,
+            );
+            let power = PowerBreakdown {
+                cores_dynamic: server.core_power().dynamic_power(op, busy) * busy_cores,
+                cores_static: server.core_power().static_power(op, busy) * busy_cores
+                    + server.core_power().static_power(op, idle) * idle_cores,
+                llc: server.llc().static_power() * n_clusters
+                    + server
+                        .llc()
+                        .dynamic_power(full_load.llc_accesses_per_sec * u)
+                        * n_clusters,
+                xbar: server.xbar().static_power() * n_clusters
+                    + server
+                        .xbar()
+                        .dynamic_power(full_load.xbar_flits_per_sec * u)
+                        * n_clusters,
+                io: server.io().power(),
+                dram_background: server.dram().background_power(),
+                dram_dynamic: server.dram().dynamic_power(traffic),
+            };
+            UtilizationPoint {
+                utilization: u,
+                power,
+                uips: full_load.uips * n_clusters * u,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::measure::{ClusterMeasurer, TableMeasurer};
+    use ntc_tech::{BodyBias, MegaHertz};
+
+    fn setup() -> (ServerModel, OperatingPoint, ClusterMeasurement) {
+        let server = ServerConfig::paper().build().unwrap();
+        let op = OperatingPoint::at(
+            server.core_power().timing(),
+            MegaHertz(1000.0),
+            BodyBias::ZERO,
+        )
+        .unwrap();
+        let m = TableMeasurer::synthetic(3.2, 1.6).measure(1000.0);
+        (server, op, m)
+    }
+
+    #[test]
+    fn score_extremes() {
+        assert!((proportionality_score(0.0, 100.0) - 1.0).abs() < 1e-12);
+        assert!((proportionality_score(100.0, 100.0) - 0.0).abs() < 1e-12);
+        assert!((proportionality_score(40.0, 100.0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn servers_are_far_from_proportional() {
+        let (server, op, m) = setup();
+        let sweep = utilization_sweep(&server, op, m, 10);
+        let idle = sweep.first().unwrap().power.server().0;
+        let peak = sweep.last().unwrap().power.server().0;
+        let score = proportionality_score(idle, peak);
+        assert!(
+            score < 0.6,
+            "uncore + DRAM background must spoil proportionality, got {score:.2}"
+        );
+        assert!(idle > 15.0, "idle floor comes from LLC+IO+DRAM: {idle:.1} W");
+    }
+
+    #[test]
+    fn cores_alone_are_nearly_proportional() {
+        let (server, op, m) = setup();
+        let sweep = utilization_sweep(&server, op, m, 10);
+        let idle = sweep.first().unwrap().power.cores().0;
+        let peak = sweep.last().unwrap().power.cores().0;
+        let score = proportionality_score(idle, peak);
+        assert!(
+            score > 0.85,
+            "clock-gated idle cores leak only, got {score:.2}"
+        );
+    }
+
+    #[test]
+    fn power_and_uips_rise_with_utilization() {
+        let (server, op, m) = setup();
+        let sweep = utilization_sweep(&server, op, m, 5);
+        for w in sweep.windows(2) {
+            assert!(w[1].power.server() > w[0].power.server());
+            assert!(w[1].uips > w[0].uips);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "peak power must be positive")]
+    fn score_rejects_zero_peak() {
+        let _ = proportionality_score(0.0, 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! The frequency-sweep engine.
+//!
+//! For each frequency on the ladder: find the minimum supply voltage,
+//! measure the cluster's throughput and traffic, scale to the full chip,
+//! and assemble the per-component power breakdown. The result feeds the
+//! three-scope efficiency analysis of Figures 3 and 4.
+
+use crate::config::ServerModel;
+use crate::efficiency::SweepResult;
+use crate::measure::{ClusterMeasurement, ClusterMeasurer};
+use ntc_power::{CoreActivity, DramTraffic, PowerBreakdown};
+use ntc_tech::{BodyBias, MegaHertz, OperatingPoint, TechError};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// One evaluated frequency point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Core frequency in MHz.
+    pub mhz: f64,
+    /// The DVFS operating point (voltage, bias).
+    pub op: OperatingPoint,
+    /// Chip-level user instructions per second (cluster UIPS × clusters).
+    pub uips: f64,
+    /// The cluster measurement behind this point.
+    pub cluster: ClusterMeasurement,
+    /// Per-component power at this point.
+    pub power: PowerBreakdown,
+}
+
+/// Errors from a sweep.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// No frequency on the ladder was reachable.
+    NoReachablePoints,
+    /// A technology-model error at a specific frequency.
+    Tech {
+        /// The frequency being evaluated.
+        mhz: f64,
+        /// The underlying error.
+        source: TechError,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::NoReachablePoints => write!(f, "no ladder frequency was reachable"),
+            SweepError::Tech { mhz, source } => {
+                write!(f, "technology model failed at {mhz} MHz: {source}")
+            }
+        }
+    }
+}
+
+impl Error for SweepError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SweepError::Tech { source, .. } => Some(source),
+            SweepError::NoReachablePoints => None,
+        }
+    }
+}
+
+/// The sweep driver: a frequency ladder plus evaluation policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencySweep {
+    frequencies: Vec<f64>,
+    bias: BodyBias,
+    activity: CoreActivity,
+}
+
+impl FrequencySweep {
+    /// The paper's ladder: 100 MHz to 2 GHz in 100 MHz steps, no body
+    /// bias, busy cores.
+    pub fn paper_ladder() -> Self {
+        FrequencySweep {
+            frequencies: (1..=20).map(|i| f64::from(i) * 100.0).collect(),
+            bias: BodyBias::ZERO,
+            activity: CoreActivity::BUSY,
+        }
+    }
+
+    /// A sweep over explicit frequencies (MHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequencies` is empty or contains non-positive values.
+    pub fn over(frequencies: Vec<f64>) -> Self {
+        assert!(!frequencies.is_empty(), "empty frequency ladder");
+        assert!(
+            frequencies.iter().all(|f| f.is_finite() && *f > 0.0),
+            "frequencies must be positive"
+        );
+        FrequencySweep {
+            frequencies,
+            bias: BodyBias::ZERO,
+            activity: CoreActivity::BUSY,
+        }
+    }
+
+    /// Applies a fixed body bias at every point (builder style).
+    pub fn with_bias(mut self, bias: BodyBias) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Overrides the core activity (builder style).
+    pub fn with_activity(mut self, activity: CoreActivity) -> Self {
+        self.activity = activity;
+        self
+    }
+
+    /// The ladder.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Runs the sweep: measure each reachable frequency and assemble its
+    /// power breakdown. Unreachable frequencies (beyond the rated voltage
+    /// or below the SRAM floor) are skipped, mirroring the silicon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::NoReachablePoints`] if nothing on the ladder
+    /// was functional, or a [`SweepError::Tech`] for unexpected model
+    /// failures.
+    pub fn run<M: ClusterMeasurer>(
+        &self,
+        server: &ServerModel,
+        measurer: &mut M,
+    ) -> Result<SweepResult, SweepError> {
+        let mut points = Vec::with_capacity(self.frequencies.len());
+        for &mhz in &self.frequencies {
+            let op = match OperatingPoint::at(
+                server.core_power().timing(),
+                MegaHertz(mhz),
+                self.bias,
+            ) {
+                Ok(op) => op,
+                Err(TechError::FrequencyUnreachable { .. })
+                | Err(TechError::FrequencyTooLow { .. }) => continue,
+                Err(source) => return Err(SweepError::Tech { mhz, source }),
+            };
+            let cluster = measurer.measure(mhz);
+            points.push(self.evaluate(server, op, cluster));
+        }
+        if points.is_empty() {
+            return Err(SweepError::NoReachablePoints);
+        }
+        Ok(SweepResult::new(points))
+    }
+
+    /// Assembles one sweep point from an operating point and a cluster
+    /// measurement (exposed for custom drivers and ablations).
+    pub fn evaluate(
+        &self,
+        server: &ServerModel,
+        op: OperatingPoint,
+        cluster: ClusterMeasurement,
+    ) -> SweepPoint {
+        let n_clusters = f64::from(server.clusters());
+        let n_cores = f64::from(server.cores());
+
+        // Chip-level traffic: every cluster contributes; aggregate DRAM
+        // bandwidth saturates at the channels' peak.
+        let peak = server.dram().config().peak_bandwidth();
+        let total_traffic =
+            (cluster.dram_read_bps + cluster.dram_write_bps) * n_clusters;
+        let scale = if total_traffic > peak {
+            peak / total_traffic
+        } else {
+            1.0
+        };
+        let traffic = DramTraffic::new(
+            cluster.dram_read_bps * n_clusters * scale,
+            cluster.dram_write_bps * n_clusters * scale,
+        );
+        // If DRAM saturates, chip throughput saturates with it.
+        let uips = cluster.uips * n_clusters * scale;
+
+        let power = PowerBreakdown {
+            cores_dynamic: server.core_power().dynamic_power(op, self.activity) * n_cores,
+            cores_static: server.core_power().static_power(op, self.activity) * n_cores,
+            llc: server.llc().static_power() * n_clusters
+                + server.llc().dynamic_power(cluster.llc_accesses_per_sec) * n_clusters * scale,
+            xbar: server.xbar().static_power() * n_clusters
+                + server.xbar().dynamic_power(cluster.xbar_flits_per_sec) * n_clusters * scale,
+            io: server.io().power(),
+            dram_background: server.dram().background_power(),
+            dram_dynamic: server.dram().dynamic_power(traffic),
+        };
+        debug_assert!(power.is_physical(), "unphysical power at {op}");
+        SweepPoint {
+            mhz: op.frequency.0,
+            op,
+            uips,
+            cluster,
+            power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::measure::TableMeasurer;
+    use ntc_power::Scope;
+    use ntc_tech::Volts;
+
+    fn server() -> ServerModel {
+        ServerConfig::paper().build().unwrap()
+    }
+
+    fn run_synthetic() -> SweepResult {
+        let mut m = TableMeasurer::synthetic(3.2, 1.6);
+        FrequencySweep::paper_ladder()
+            .run(&server(), &mut m)
+            .unwrap()
+    }
+
+    #[test]
+    fn full_ladder_is_reachable_in_fdsoi() {
+        let r = run_synthetic();
+        assert_eq!(r.points().len(), 20);
+        assert!((r.points()[0].mhz - 100.0).abs() < 1e-9);
+        assert!((r.points()[19].mhz - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_and_power_are_monotone_in_frequency() {
+        let r = run_synthetic();
+        for w in r.points().windows(2) {
+            assert!(w[0].op.vdd <= w[1].op.vdd);
+            assert!(w[0].power.cores() < w[1].power.cores());
+        }
+    }
+
+    #[test]
+    fn uncore_power_is_frequency_invariant() {
+        let r = run_synthetic();
+        let lo = r.points()[0].power;
+        let hi = r.points()[19].power;
+        assert!((lo.io.0 - hi.io.0).abs() < 1e-12);
+        assert!((lo.dram_background.0 - hi.dram_background.0).abs() < 1e-12);
+        // LLC/xbar change only through (small) dynamic traffic.
+        assert!((lo.llc.0 - hi.llc.0).abs() < lo.llc.0 * 0.2);
+    }
+
+    #[test]
+    fn chip_power_stays_on_the_100w_scale_at_the_top() {
+        let r = run_synthetic();
+        let top = r.points().last().unwrap();
+        assert!(
+            top.power.server().0 > 50.0 && top.power.server().0 < 200.0,
+            "server power at 2 GHz: {}",
+            top.power.server()
+        );
+        // At 100 MHz the floor is the frequency-invariant uncore + DRAM
+        // background (~38 W) — the paper's energy-proportionality problem.
+        let bottom = &r.points()[0];
+        assert!(
+            bottom.power.server().0 < 45.0,
+            "server power at 100 MHz: {}",
+            bottom.power.server()
+        );
+        assert!(
+            bottom.power.uncore().0 + bottom.power.dram_background.0
+                > bottom.power.server().0 * 0.8,
+            "the NT floor must be uncore + memory background"
+        );
+    }
+
+    #[test]
+    fn paper_shape_cores_peak_low_soc_and_server_peak_higher() {
+        let r = run_synthetic();
+        let (core_best, _) = r.optimum(Scope::Cores).unwrap();
+        let (soc_best, _) = r.optimum(Scope::Soc).unwrap();
+        let (server_best, _) = r.optimum(Scope::Server).unwrap();
+        assert!(
+            core_best.mhz <= 300.0,
+            "cores-only optimum at the bottom, got {}",
+            core_best.mhz
+        );
+        assert!(
+            (600.0..=1400.0).contains(&soc_best.mhz),
+            "SoC optimum should be near 1 GHz, got {}",
+            soc_best.mhz
+        );
+        assert!(
+            server_best.mhz >= soc_best.mhz,
+            "server optimum moves right of the SoC optimum: {} vs {}",
+            server_best.mhz,
+            soc_best.mhz
+        );
+        assert!(
+            (800.0..=1600.0).contains(&server_best.mhz),
+            "server optimum should be 1-1.2 GHz class, got {}",
+            server_best.mhz
+        );
+    }
+
+    #[test]
+    fn fixed_fbb_sweep_uses_lower_voltages() {
+        let server = server();
+        let mut m1 = TableMeasurer::synthetic(3.2, 1.6);
+        let mut m2 = TableMeasurer::synthetic(3.2, 1.6);
+        let plain = FrequencySweep::paper_ladder().run(&server, &mut m1).unwrap();
+        let fbb = FrequencySweep::paper_ladder()
+            .with_bias(BodyBias::forward(Volts(1.0)).unwrap())
+            .run(&server, &mut m2)
+            .unwrap();
+        for (a, b) in plain.points().iter().zip(fbb.points()) {
+            assert!(b.op.vdd < a.op.vdd, "fbb lowers vdd at {} MHz", a.mhz);
+        }
+    }
+
+    #[test]
+    fn bulk_ladder_drops_unreachable_points() {
+        let mut cfg = ServerConfig::paper();
+        cfg.technology = ntc_tech::TechnologyKind::Bulk28;
+        let server = cfg.build().unwrap();
+        let mut m = TableMeasurer::synthetic(3.2, 1.6);
+        let r = FrequencySweep::paper_ladder().run(&server, &mut m).unwrap();
+        assert!(r.points().len() < 20, "bulk cannot cover the full ladder");
+        // Bulk's SRAM floor (0.7 V) also prunes the very bottom.
+        assert!(r.points()[0].op.vdd >= Volts(0.69));
+    }
+
+    #[test]
+    fn dram_saturation_caps_uips() {
+        // A measurer with absurd DRAM traffic must saturate at peak BW.
+        let server = server();
+        let mut base = TableMeasurer::synthetic(3.2, 1.6);
+        let mut m = base.measure(2000.0);
+        m.dram_read_bps = 1e12;
+        let sweep = FrequencySweep::paper_ladder();
+        let op = OperatingPoint::at(
+            server.core_power().timing(),
+            MegaHertz(2000.0),
+            BodyBias::ZERO,
+        )
+        .unwrap();
+        let pt = sweep.evaluate(&server, op, m);
+        let peak = server.dram().config().peak_bandwidth();
+        let total = pt.power.dram_dynamic.0 / 0.2566e-9; // approx bytes/s
+        assert!(total <= peak * 1.05, "traffic capped at channel peak");
+        assert!(pt.uips < m.uips * f64::from(server.clusters()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Thermal and power-budget feasibility of sweep points.
+//!
+//! The paper's chip carries a **100 W power budget** (Sec. II-B), and its
+//! discussion contrasts *power/thermal-bound* operation with the *energy
+//! bound* regime near threshold: "maximum energy-efficiency at low power
+//! operating point has the advantage of reducing the overall system TDP —
+//! easing the thermal design and dark-silicon effects". This module closes
+//! that loop:
+//!
+//! * [`budget_feasible`] filters a sweep by the configured power budget —
+//!   the classic TDP constraint that high-frequency points violate;
+//! * [`thermal_solve`] runs each sweep point through the
+//!   [`ntc_tech::ThermalModel`] leakage-temperature fixed point, reporting
+//!   the converged die temperature and the leakage uplift relative to the
+//!   nominal-temperature accounting.
+
+use crate::config::ServerModel;
+use crate::efficiency::SweepResult;
+use crate::sweep::SweepPoint;
+use ntc_power::CoreActivity;
+use ntc_tech::{Kelvin, ThermalModel, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One sweep point's thermal solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPoint {
+    /// Core frequency (MHz).
+    pub mhz: f64,
+    /// Converged die temperature.
+    pub temperature: Kelvin,
+    /// Server power at the converged temperature.
+    pub power: Watts,
+    /// Ratio of converged server power to the nominal-temperature figure
+    /// (the leakage-feedback uplift).
+    pub uplift: f64,
+    /// Whether the junction limit holds.
+    pub within_limits: bool,
+}
+
+/// The sweep points whose *nominal* server power fits a budget, in ladder
+/// order. The paper's 100 W chip budget is `server.config().power_budget`.
+pub fn budget_feasible<'a>(result: &'a SweepResult, budget: Watts) -> Vec<&'a SweepPoint> {
+    result
+        .points()
+        .iter()
+        .filter(|p| p.power.soc() <= budget)
+        .collect()
+}
+
+/// The highest ladder frequency whose SoC power fits the chip budget.
+pub fn max_frequency_within(result: &SweepResult, budget: Watts) -> Option<f64> {
+    budget_feasible(result, budget).last().map(|p| p.mhz)
+}
+
+/// Solves the leakage-temperature fixed point for every sweep point.
+///
+/// Only the cores' leakage responds to temperature (the uncore models are
+/// bottom-line constants and DRAM has its own thermal envelope); dynamic
+/// power and traffic are held at the sweep's measurement.
+pub fn thermal_solve(
+    server: &ServerModel,
+    result: &SweepResult,
+    thermal: &ThermalModel,
+) -> Vec<ThermalPoint> {
+    let n_cores = f64::from(server.cores());
+    result
+        .points()
+        .iter()
+        .map(|p| {
+            let fixed = p.power.server() - p.power.cores_static;
+            let solve = thermal.steady_state(|t| {
+                let leak = server
+                    .core_power()
+                    .leakage_model()
+                    .power_with_exposure(p.op.vdd, p.op.bias, t, 1.0)
+                    * CoreActivity::BUSY.duty
+                    * n_cores;
+                fixed + leak
+            });
+            ThermalPoint {
+                mhz: p.mhz,
+                temperature: solve.temperature,
+                power: solve.power,
+                uplift: solve.power / p.power.server(),
+                within_limits: solve.within_limits,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::measure::TableMeasurer;
+    use crate::sweep::FrequencySweep;
+
+    fn setup() -> (ServerModel, SweepResult) {
+        let server = ServerConfig::paper().build().unwrap();
+        let mut m = TableMeasurer::synthetic(3.2, 1.6);
+        let result = FrequencySweep::paper_ladder().run(&server, &mut m).unwrap();
+        (server, result)
+    }
+
+    #[test]
+    fn the_100w_budget_caps_the_top_of_the_ladder() {
+        let (server, result) = setup();
+        let budget = server.config().power_budget;
+        let top = max_frequency_within(&result, budget).unwrap();
+        assert!(
+            (1400.0..2000.0).contains(&top),
+            "the 100 W chip budget must exclude the very top, got {top}"
+        );
+        // Every near-threshold point fits with room to spare.
+        let feasible = budget_feasible(&result, budget);
+        assert!(feasible.iter().any(|p| p.mhz <= 200.0));
+    }
+
+    #[test]
+    fn near_threshold_barely_warms_the_die() {
+        let (server, result) = setup();
+        let thermal = ThermalModel::server_air_cooled();
+        let pts = thermal_solve(&server, &result, &thermal);
+        let nt = &pts[0];
+        let top = pts.last().unwrap();
+        assert!(
+            nt.temperature.to_celsius().0 < 45.0,
+            "100 MHz die temperature {:.1}",
+            nt.temperature.to_celsius().0
+        );
+        assert!(
+            top.temperature.0 > nt.temperature.0 + 10.0,
+            "full speed runs meaningfully hotter"
+        );
+        assert!(pts.iter().all(|p| p.within_limits));
+    }
+
+    #[test]
+    fn leakage_uplift_grows_with_power() {
+        let (server, result) = setup();
+        let thermal = ThermalModel::server_air_cooled();
+        let pts = thermal_solve(&server, &result, &thermal);
+        let nt = &pts[0];
+        let top = pts.last().unwrap();
+        assert!(top.uplift > nt.uplift, "{} vs {}", top.uplift, nt.uplift);
+        assert!(top.uplift >= 1.0 && top.uplift < 1.5);
+    }
+}

@@ -1,0 +1,210 @@
+//! Power-optimal forward-body-bias selection.
+//!
+//! Paper Sec. II-A, point 1: *"By exploiting FBB, it is possible to reduce
+//! the supply voltage of a device to achieve the best energy point, at the
+//! cost of increased leakage."* For a target frequency, forward bias trades
+//! a quadratic dynamic saving (lower `Vdd_min`) against an exponential
+//! leakage increase; somewhere in between lies the minimum-power bias.
+//!
+//! [`BiasOptimizer`] scans the legal FBB range for that optimum. The
+//! resulting locus over frequency is the "FD-SOI+FBB" series of Figure 1.
+
+use crate::core::{CoreActivity, CorePowerModel};
+use ntc_tech::{BodyBias, MegaHertz, OperatingPoint, TechError, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a bias optimization at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalPoint {
+    /// The chosen operating point (frequency, minimum voltage, bias).
+    pub op: OperatingPoint,
+    /// Total core power at that point.
+    pub power: Watts,
+}
+
+/// Searches the forward-body-bias range for the minimum-power operating
+/// point at a target frequency.
+#[derive(Debug, Clone)]
+pub struct BiasOptimizer<'a> {
+    model: &'a CorePowerModel,
+    activity: CoreActivity,
+    /// Grid resolution of the coarse scan (volts of bias).
+    grid_step: f64,
+}
+
+impl<'a> BiasOptimizer<'a> {
+    /// Creates an optimizer over a core power model.
+    pub fn new(model: &'a CorePowerModel, activity: CoreActivity) -> Self {
+        BiasOptimizer {
+            model,
+            activity,
+            grid_step: 0.125,
+        }
+    }
+
+    /// Overrides the coarse grid step (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive and finite.
+    pub fn with_grid_step(mut self, step: f64) -> Self {
+        assert!(step.is_finite() && step > 0.0, "grid step must be positive");
+        self.grid_step = step;
+        self
+    }
+
+    /// Power at a specific (frequency, bias) pair, taking `Vdd = Vdd_min`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing/range errors.
+    pub fn power_at(&self, f: MegaHertz, bias: BodyBias) -> Result<OptimalPoint, TechError> {
+        let op = OperatingPoint::at(self.model.timing(), f, bias)?;
+        Ok(OptimalPoint {
+            op,
+            power: self.model.power(op, self.activity),
+        })
+    }
+
+    /// Finds the forward bias minimizing total core power at frequency `f`.
+    ///
+    /// Scans `0 ..= max_fbb` on a coarse grid, then refines around the best
+    /// grid point with two rounds of trisection. Frequencies unreachable
+    /// without bias but reachable with it are handled naturally (the
+    /// zero-bias candidate is simply skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::FrequencyUnreachable`] if even maximal FBB
+    /// cannot sustain `f`, and propagates other range errors.
+    pub fn optimal_fbb(&self, f: MegaHertz) -> Result<OptimalPoint, TechError> {
+        let tech = self.model.timing().technology();
+        let max_fbb = tech.max_forward_bias().signed().0;
+
+        let mut best: Option<(f64, OptimalPoint)> = None;
+        let steps = (max_fbb / self.grid_step).round() as usize;
+        for i in 0..=steps {
+            let b = (i as f64 * self.grid_step).min(max_fbb);
+            if let Some(p) = self.try_point(f, b) {
+                if best.as_ref().map_or(true, |(_, bp)| p.power < bp.power) {
+                    best = Some((b, p));
+                }
+            }
+        }
+        let (mut center, mut best_point) = best.ok_or_else(|| {
+            // Not reachable even at max bias: report against max-bias fmax.
+            let fmax = self
+                .model
+                .timing()
+                .fmax_at_vmax(tech.max_forward_bias())
+                .unwrap_or(MegaHertz::ZERO);
+            TechError::FrequencyUnreachable {
+                requested: f,
+                fmax_at_vmax: fmax,
+            }
+        })?;
+
+        // Refine around the best grid point.
+        let mut radius = self.grid_step;
+        for _ in 0..6 {
+            radius /= 3.0;
+            for b in [center - radius, center + radius] {
+                let b = b.clamp(0.0, max_fbb);
+                if let Some(p) = self.try_point(f, b) {
+                    if p.power < best_point.power {
+                        best_point = p;
+                        center = b;
+                    }
+                }
+            }
+        }
+        Ok(best_point)
+    }
+
+    fn try_point(&self, f: MegaHertz, bias_volts: f64) -> Option<OptimalPoint> {
+        let bias = BodyBias::from_signed(Volts(bias_volts)).ok()?;
+        self.model.timing().technology().check_bias(bias).ok()?;
+        self.power_at(f, bias).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_tech::{CoreModel, Technology, TechnologyKind};
+
+    fn model() -> CorePowerModel {
+        CorePowerModel::cortex_a57(CoreModel::cortex_a57(Technology::preset(
+            TechnologyKind::FdSoi28,
+        )))
+        .unwrap()
+    }
+
+    #[test]
+    fn optimal_never_beats_nothing_worse_than_zero_bias() {
+        let m = model();
+        let opt = BiasOptimizer::new(&m, CoreActivity::BUSY);
+        for f in [200.0, 500.0, 1000.0, 2000.0] {
+            let f = MegaHertz(f);
+            let best = opt.optimal_fbb(f).unwrap();
+            let zero = opt.power_at(f, BodyBias::ZERO).unwrap();
+            assert!(
+                best.power.0 <= zero.power.0 + 1e-12,
+                "optimal bias must be at least as good as zero bias at {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn fbb_wins_at_mid_and_high_frequencies() {
+        // Where dynamic power dominates, lowering Vdd via FBB is a net win.
+        let m = model();
+        let opt = BiasOptimizer::new(&m, CoreActivity::BUSY);
+        let best = opt.optimal_fbb(MegaHertz(1000.0)).unwrap();
+        let zero = opt.power_at(MegaHertz(1000.0), BodyBias::ZERO).unwrap();
+        assert!(
+            best.power.0 < zero.power.0 * 0.97,
+            "fbb should save >3% at 1 GHz: {} vs {}",
+            best.power,
+            zero.power
+        );
+        assert!(best.op.bias.signed().0 > 0.0);
+        assert!(best.op.vdd < zero.op.vdd);
+    }
+
+    #[test]
+    fn fbb_extends_reachable_frequencies() {
+        // Beyond the plain-FD-SOI ceiling the optimizer still finds points.
+        let m = model();
+        let opt = BiasOptimizer::new(&m, CoreActivity::BUSY);
+        let plain_max = m.timing().fmax_at_vmax(BodyBias::ZERO).unwrap();
+        let boosted = opt.optimal_fbb(MegaHertz(plain_max.0 * 1.3)).unwrap();
+        assert!(boosted.op.bias.signed().0 > 0.0);
+        // And a truly absurd frequency still errors.
+        assert!(opt.optimal_fbb(MegaHertz(20_000.0)).is_err());
+    }
+
+    #[test]
+    fn optimal_bias_is_moderate_at_the_bottom() {
+        // Near threshold, leakage pushes back: the optimum is not max FBB.
+        let m = model();
+        let opt = BiasOptimizer::new(&m, CoreActivity::BUSY);
+        let best = opt.optimal_fbb(MegaHertz(200.0)).unwrap();
+        assert!(
+            best.op.bias.signed().0 < 2.9,
+            "3 V fbb at 200 MHz would leak too much, got {}",
+            best.op.bias
+        );
+    }
+
+    #[test]
+    fn bulk_technology_respects_its_narrow_bias_range() {
+        let bulk = CorePowerModel::cortex_a57(CoreModel::cortex_a57(Technology::preset(
+            TechnologyKind::Bulk28,
+        )))
+        .unwrap();
+        let opt = BiasOptimizer::new(&bulk, CoreActivity::BUSY);
+        let best = opt.optimal_fbb(MegaHertz(1000.0)).unwrap();
+        assert!(best.op.bias.signed().0 <= 0.3 + 1e-9);
+    }
+}

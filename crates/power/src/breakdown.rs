@@ -1,0 +1,201 @@
+//! Power accounting at the paper's three scopes.
+//!
+//! Figure 3/4 divide the same throughput (UIPS) by three different power
+//! denominators:
+//!
+//! * **Cores** — the A57s alone (Fig. 3a/4a);
+//! * **SoC** — cores + LLC + crossbars + I/O peripherals (Fig. 3b/4b);
+//! * **Server** — SoC + the DRAM subsystem (Fig. 3c/4c).
+//!
+//! [`PowerBreakdown`] holds the per-component wattage of one operating
+//! point; [`Scope`] selects a denominator.
+
+use ntc_tech::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// Power accounting scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// Cores only.
+    Cores,
+    /// Cores + uncore (LLC, crossbars, I/O).
+    Soc,
+    /// SoC + memory subsystem.
+    Server,
+}
+
+impl Scope {
+    /// All scopes in paper order (panel a, b, c).
+    pub const ALL: [Scope; 3] = [Scope::Cores, Scope::Soc, Scope::Server];
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Cores => write!(f, "cores"),
+            Scope::Soc => write!(f, "SoC"),
+            Scope::Server => write!(f, "server"),
+        }
+    }
+}
+
+/// Per-component power of one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Dynamic power of all cores.
+    pub cores_dynamic: Watts,
+    /// Static power of all cores.
+    pub cores_static: Watts,
+    /// LLC power (all clusters).
+    pub llc: Watts,
+    /// Crossbar power (all clusters).
+    pub xbar: Watts,
+    /// I/O peripheral power.
+    pub io: Watts,
+    /// DRAM background power.
+    pub dram_background: Watts,
+    /// DRAM read/write power.
+    pub dram_dynamic: Watts,
+}
+
+impl PowerBreakdown {
+    /// Total core power.
+    pub fn cores(&self) -> Watts {
+        self.cores_dynamic + self.cores_static
+    }
+
+    /// Total uncore power (LLC + crossbar + I/O).
+    pub fn uncore(&self) -> Watts {
+        self.llc + self.xbar + self.io
+    }
+
+    /// Total SoC power.
+    pub fn soc(&self) -> Watts {
+        self.cores() + self.uncore()
+    }
+
+    /// Total DRAM power.
+    pub fn dram(&self) -> Watts {
+        self.dram_background + self.dram_dynamic
+    }
+
+    /// Total server power.
+    pub fn server(&self) -> Watts {
+        self.soc() + self.dram()
+    }
+
+    /// Power within a scope.
+    pub fn at_scope(&self, scope: Scope) -> Watts {
+        match scope {
+            Scope::Cores => self.cores(),
+            Scope::Soc => self.soc(),
+            Scope::Server => self.server(),
+        }
+    }
+
+    /// Whether every component is non-negative and finite.
+    pub fn is_physical(&self) -> bool {
+        [
+            self.cores_dynamic,
+            self.cores_static,
+            self.llc,
+            self.xbar,
+            self.io,
+            self.dram_background,
+            self.dram_dynamic,
+        ]
+        .iter()
+        .all(|w| w.0.is_finite() && w.0 >= 0.0)
+    }
+}
+
+impl Add for PowerBreakdown {
+    type Output = PowerBreakdown;
+    fn add(self, rhs: PowerBreakdown) -> PowerBreakdown {
+        PowerBreakdown {
+            cores_dynamic: self.cores_dynamic + rhs.cores_dynamic,
+            cores_static: self.cores_static + rhs.cores_static,
+            llc: self.llc + rhs.llc,
+            xbar: self.xbar + rhs.xbar,
+            io: self.io + rhs.io,
+            dram_background: self.dram_background + rhs.dram_background,
+            dram_dynamic: self.dram_dynamic + rhs.dram_dynamic,
+        }
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cores {:.2} (dyn {:.2} + leak {:.2}) | uncore {:.2} (llc {:.2}, xbar {:.2}, io {:.2}) | dram {:.2} (bg {:.2} + rw {:.2}) | server {:.2}",
+            self.cores(),
+            self.cores_dynamic,
+            self.cores_static,
+            self.uncore(),
+            self.llc,
+            self.xbar,
+            self.io,
+            self.dram(),
+            self.dram_background,
+            self.dram_dynamic,
+            self.server()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PowerBreakdown {
+        PowerBreakdown {
+            cores_dynamic: Watts(20.0),
+            cores_static: Watts(1.0),
+            llc: Watts(18.0),
+            xbar: Watts(0.25),
+            io: Watts(5.0),
+            dram_background: Watts(14.9),
+            dram_dynamic: Watts(3.0),
+        }
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let b = sample();
+        assert!(b.cores() < b.soc());
+        assert!(b.soc() < b.server());
+        assert_eq!(b.at_scope(Scope::Cores), b.cores());
+        assert_eq!(b.at_scope(Scope::Soc), b.soc());
+        assert_eq!(b.at_scope(Scope::Server), b.server());
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = sample();
+        assert!((b.server().0 - 62.15).abs() < 1e-9);
+        assert!((b.uncore().0 - 23.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let b = sample() + sample();
+        assert!((b.server().0 - 124.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn physicality_check() {
+        assert!(sample().is_physical());
+        let mut bad = sample();
+        bad.llc = Watts(-1.0);
+        assert!(!bad.is_physical());
+    }
+
+    #[test]
+    fn display_contains_all_scopes() {
+        let s = sample().to_string();
+        assert!(s.contains("cores") && s.contains("uncore") && s.contains("server"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Power delivery and cooling overheads.
+//!
+//! The paper's energy-proportionality argument (Sec. V-C, after Barroso &
+//! Hölzle) extends beyond the silicon: voltage regulators, power supplies
+//! and fans all burn a *fixed* overhead that looms large exactly where
+//! near-threshold operation lives — at light load. This module models
+//! both conversion stages and the cooling, so server-level studies can
+//! report wall power rather than DC power.
+//!
+//! Conversion losses follow the standard two-term model: a fixed loss
+//! (control, gate drive, magnetics) plus a resistive `I²R` term, giving
+//! the familiar efficiency curve that peaks at mid-load and collapses at
+//! light load.
+
+use ntc_tech::Watts;
+use serde::{Deserialize, Serialize};
+
+/// One conversion stage (VRM or PSU).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryStage {
+    /// Fixed loss, burned regardless of load.
+    fixed_loss: Watts,
+    /// Resistive coefficient: loss = `k · (P/P_rated)² · P_rated`.
+    resistive_coeff: f64,
+    /// Rated output power.
+    rated: Watts,
+}
+
+impl DeliveryStage {
+    /// An on-board multi-phase VRM rated for the chip domain: ~1 W fixed,
+    /// ~4 % resistive loss at rated load.
+    pub fn vrm(rated: Watts) -> Self {
+        DeliveryStage {
+            fixed_loss: Watts(1.0),
+            resistive_coeff: 0.04,
+            rated,
+        }
+    }
+
+    /// An 80+-Platinum-class server PSU: ~6 W fixed, ~3 % resistive at
+    /// rated load.
+    pub fn psu(rated: Watts) -> Self {
+        DeliveryStage {
+            fixed_loss: Watts(6.0),
+            resistive_coeff: 0.03,
+            rated,
+        }
+    }
+
+    /// Creates a custom stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rating or negative loss terms.
+    pub fn new(fixed_loss: Watts, resistive_coeff: f64, rated: Watts) -> Self {
+        assert!(rated.0 > 0.0, "rated power must be positive");
+        assert!(fixed_loss.0 >= 0.0 && resistive_coeff >= 0.0);
+        DeliveryStage {
+            fixed_loss,
+            resistive_coeff,
+            rated,
+        }
+    }
+
+    /// Loss at a given output power.
+    pub fn loss(&self, output: Watts) -> Watts {
+        let frac = (output.0 / self.rated.0).max(0.0);
+        self.fixed_loss + Watts(self.resistive_coeff * frac * frac * self.rated.0)
+    }
+
+    /// Input power required to deliver `output`.
+    pub fn input(&self, output: Watts) -> Watts {
+        output + self.loss(output)
+    }
+
+    /// Efficiency at a given output power (0 at zero output).
+    pub fn efficiency(&self, output: Watts) -> f64 {
+        if output.0 <= 0.0 {
+            0.0
+        } else {
+            output.0 / self.input(output).0
+        }
+    }
+
+    /// The output power at which efficiency peaks: `P* = P_rated ·
+    /// sqrt(fixed / (k · P_rated))`.
+    pub fn peak_efficiency_load(&self) -> Watts {
+        Watts(
+            self.rated.0
+                * (self.fixed_loss.0 / (self.resistive_coeff * self.rated.0)).sqrt(),
+        )
+    }
+}
+
+/// Fan/cooling power: grows with the cube of required airflow, which
+/// scales with dissipated heat.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingModel {
+    /// Fan power at the thermal design point.
+    max_fan: Watts,
+    /// Heat at the thermal design point.
+    design_heat: Watts,
+    /// Idle (minimum) fan power.
+    idle_fan: Watts,
+}
+
+impl CoolingModel {
+    /// A 1U server: 12 W of fans at a 200 W design point, 1.5 W floor.
+    pub fn one_u_server() -> Self {
+        CoolingModel {
+            max_fan: Watts(12.0),
+            design_heat: Watts(200.0),
+            idle_fan: Watts(1.5),
+        }
+    }
+
+    /// Fan power at a given heat load (cubic fan law, floored).
+    pub fn fan_power(&self, heat: Watts) -> Watts {
+        let frac = (heat.0 / self.design_heat.0).clamp(0.0, 1.5);
+        Watts((self.max_fan.0 * frac.powi(3)).max(self.idle_fan.0))
+    }
+}
+
+/// The full wall-to-chip chain: PSU → VRM → silicon, plus fans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryChain {
+    /// The board VRM.
+    pub vrm: DeliveryStage,
+    /// The chassis PSU.
+    pub psu: DeliveryStage,
+    /// The cooling model.
+    pub cooling: CoolingModel,
+}
+
+impl DeliveryChain {
+    /// A near-threshold-friendly 1U server chain sized for the paper's
+    /// 100 W chip budget plus memory.
+    pub fn paper_server() -> Self {
+        DeliveryChain {
+            vrm: DeliveryStage::vrm(Watts(150.0)),
+            psu: DeliveryStage::psu(Watts(300.0)),
+            cooling: CoolingModel::one_u_server(),
+        }
+    }
+
+    /// Wall power for a given DC (chip + memory) load.
+    pub fn wall_power(&self, dc: Watts) -> Watts {
+        let after_vrm = self.vrm.input(dc);
+        let fans = self.cooling.fan_power(after_vrm);
+        self.psu.input(after_vrm + fans)
+    }
+
+    /// End-to-end efficiency (DC load over wall power).
+    pub fn efficiency(&self, dc: Watts) -> f64 {
+        if dc.0 <= 0.0 {
+            0.0
+        } else {
+            dc.0 / self.wall_power(dc).0
+        }
+    }
+}
+
+impl Default for DeliveryChain {
+    fn default() -> Self {
+        Self::paper_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_peaks_at_mid_load_and_collapses_at_light_load() {
+        let psu = DeliveryStage::psu(Watts(300.0));
+        let peak_load = psu.peak_efficiency_load();
+        assert!(peak_load.0 > 50.0 && peak_load.0 < 250.0);
+        let at_peak = psu.efficiency(peak_load);
+        assert!(at_peak > 0.9, "platinum-class peak: {at_peak:.3}");
+        let light = psu.efficiency(Watts(10.0));
+        assert!(light < at_peak - 0.2, "light-load collapse: {light:.3}");
+        assert_eq!(psu.efficiency(Watts(0.0)), 0.0);
+    }
+
+    #[test]
+    fn losses_are_monotone_in_load() {
+        let vrm = DeliveryStage::vrm(Watts(150.0));
+        let mut prev = Watts::ZERO;
+        for w in (0..=150).step_by(10) {
+            let loss = vrm.loss(Watts(f64::from(w)));
+            assert!(loss >= prev);
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn cubic_fan_law() {
+        let c = CoolingModel::one_u_server();
+        let half = c.fan_power(Watts(100.0));
+        let full = c.fan_power(Watts(200.0));
+        assert!((full.0 / half.0 - 8.0).abs() < 0.1, "fan power is cubic");
+        assert_eq!(c.fan_power(Watts(0.0)), Watts(1.5), "idle floor");
+    }
+
+    #[test]
+    fn wall_power_overhead_is_worst_near_threshold() {
+        // The energy-proportionality tax: the fixed losses dominate at the
+        // near-threshold load, so *relative* overhead is highest there.
+        let chain = DeliveryChain::paper_server();
+        let nt_eff = chain.efficiency(Watts(40.0));
+        let busy_eff = chain.efficiency(Watts(120.0));
+        assert!(busy_eff > nt_eff, "{busy_eff:.3} vs {nt_eff:.3}");
+        assert!(nt_eff > 0.75, "still a sane chain: {nt_eff:.3}");
+        assert!(chain.wall_power(Watts(40.0)).0 > 45.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rated power must be positive")]
+    fn rejects_zero_rating() {
+        let _ = DeliveryStage::new(Watts(1.0), 0.03, Watts(0.0));
+    }
+}

@@ -1,0 +1,322 @@
+//! Micron-style DRAM power model (paper Sec. II-C3, Table I).
+//!
+//! Follows the Micron DDR4 system-power-calculator methodology: a per-chip
+//! **background** power that burns whether or not the memory is used, plus
+//! **read/write energy per byte** that scales with the application's
+//! bandwidth. The DDR4 preset reproduces the paper's Table I exactly:
+//!
+//! | quantity | value |
+//! |---|---|
+//! | `E_IDLE`  | 0.0728 nJ/cycle |
+//! | `E_READ`  | 0.2566 nJ/byte |
+//! | `E_WRITE` | 0.2495 nJ/byte |
+//!
+//! (per 8×4 Gbit DDR4 chip at a 1.6 GHz channel clock; the read/write
+//! figures include I/O and termination).
+//!
+//! Background power scales with the number of DRAM chips in the system —
+//! 4 channels × 4 ranks × 8 chips = 128 chips for the paper's 64 GB server —
+//! and is the component that "dominates the total server power as the power
+//! consumption of the SoC decreases" (Sec. V-C), motivating the LPDDR4
+//! preset ([`DramTechnology::Lpddr4`]) from the discussion section.
+
+use ntc_tech::{MegaHertz, NanoJoules, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// DRAM device technology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramTechnology {
+    /// Standard DDR4 (Micron 4 Gbit x8, paper Table I numbers).
+    Ddr4,
+    /// Mobile LPDDR4: much lower background power (deep power-down states,
+    /// no DLL, lower-power I/O) at slightly higher random-access energy —
+    /// the energy-proportional alternative of Malladi et al. cited in the
+    /// paper's discussion.
+    Lpddr4,
+}
+
+impl fmt::Display for DramTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramTechnology::Ddr4 => write!(f, "DDR4"),
+            DramTechnology::Lpddr4 => write!(f, "LPDDR4"),
+        }
+    }
+}
+
+/// Per-chip energy parameters (one x8 4 Gbit device).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramChipParams {
+    /// Idle/background energy per clock cycle (active standby + refresh).
+    pub idle_energy_per_cycle: NanoJoules,
+    /// Read energy per byte transferred (array + I/O + termination).
+    pub read_energy_per_byte: NanoJoules,
+    /// Write energy per byte transferred.
+    pub write_energy_per_byte: NanoJoules,
+    /// Channel clock the idle energy is quoted at.
+    pub clock: MegaHertz,
+}
+
+impl DramChipParams {
+    /// Micron 4 Gbit x8 DDR4 at a 1.6 GHz channel clock — Table I.
+    pub fn ddr4_micron_4gb() -> Self {
+        DramChipParams {
+            idle_energy_per_cycle: NanoJoules(0.0728),
+            read_energy_per_byte: NanoJoules(0.2566),
+            write_energy_per_byte: NanoJoules(0.2495),
+            clock: MegaHertz(1600.0),
+        }
+    }
+
+    /// LPDDR4 4 Gbit: background cut to ≈20 % of DDR4 (no DLL, aggressive
+    /// self-refresh/power-down), access energy ≈80 % (lower-swing I/O,
+    /// no ODT).
+    pub fn lpddr4_4gb() -> Self {
+        DramChipParams {
+            idle_energy_per_cycle: NanoJoules(0.0728 * 0.20),
+            read_energy_per_byte: NanoJoules(0.2566 * 0.80),
+            write_energy_per_byte: NanoJoules(0.2495 * 0.80),
+            clock: MegaHertz(1600.0),
+        }
+    }
+
+    /// Parameters for a technology generation.
+    pub fn preset(tech: DramTechnology) -> Self {
+        match tech {
+            DramTechnology::Ddr4 => Self::ddr4_micron_4gb(),
+            DramTechnology::Lpddr4 => Self::lpddr4_4gb(),
+        }
+    }
+
+    /// Background power of one chip at its rated clock.
+    pub fn background_power_per_chip(&self) -> Watts {
+        Watts(self.idle_energy_per_cycle.as_joules().0 * self.clock.as_hz())
+    }
+}
+
+/// Memory-system organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of memory channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks_per_channel: u32,
+    /// Chips per rank.
+    pub chips_per_rank: u32,
+    /// Capacity per chip in gigabits.
+    pub gbit_per_chip: u32,
+}
+
+impl DramConfig {
+    /// The paper's server memory: 4 channels × 4 ranks × 8 chips of 4 Gbit
+    /// = 64 GB.
+    pub fn paper_server() -> Self {
+        DramConfig {
+            channels: 4,
+            ranks_per_channel: 4,
+            chips_per_rank: 8,
+            gbit_per_chip: 4,
+        }
+    }
+
+    /// Total number of DRAM chips.
+    pub fn total_chips(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.chips_per_rank
+    }
+
+    /// Total capacity in gigabytes.
+    pub fn capacity_gb(&self) -> f64 {
+        f64::from(self.total_chips() * self.gbit_per_chip) / 8.0
+    }
+
+    /// Peak bandwidth per channel in bytes/second (the paper quotes
+    /// 25.6 GB/s per channel).
+    pub fn peak_bandwidth_per_channel(&self) -> f64 {
+        25.6e9
+    }
+
+    /// Peak aggregate bandwidth in bytes/second.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.peak_bandwidth_per_channel() * f64::from(self.channels)
+    }
+}
+
+/// Application memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DramTraffic {
+    /// Read bandwidth in bytes per second.
+    pub read_bytes_per_sec: f64,
+    /// Write bandwidth in bytes per second.
+    pub write_bytes_per_sec: f64,
+}
+
+impl DramTraffic {
+    /// No traffic.
+    pub const IDLE: DramTraffic = DramTraffic {
+        read_bytes_per_sec: 0.0,
+        write_bytes_per_sec: 0.0,
+    };
+
+    /// Creates a traffic description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bandwidth is negative or non-finite.
+    pub fn new(read_bytes_per_sec: f64, write_bytes_per_sec: f64) -> Self {
+        assert!(
+            read_bytes_per_sec.is_finite() && read_bytes_per_sec >= 0.0,
+            "read bandwidth must be non-negative"
+        );
+        assert!(
+            write_bytes_per_sec.is_finite() && write_bytes_per_sec >= 0.0,
+            "write bandwidth must be non-negative"
+        );
+        DramTraffic {
+            read_bytes_per_sec,
+            write_bytes_per_sec,
+        }
+    }
+
+    /// Total bandwidth.
+    pub fn total(&self) -> f64 {
+        self.read_bytes_per_sec + self.write_bytes_per_sec
+    }
+}
+
+/// Power model of the whole memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramPowerModel {
+    chip: DramChipParams,
+    config: DramConfig,
+    technology: DramTechnology,
+}
+
+impl DramPowerModel {
+    /// The paper's 64 GB DDR4 server memory.
+    pub fn paper_server() -> Self {
+        Self::new(DramTechnology::Ddr4, DramConfig::paper_server())
+    }
+
+    /// A memory system of the given technology and organization.
+    pub fn new(technology: DramTechnology, config: DramConfig) -> Self {
+        DramPowerModel {
+            chip: DramChipParams::preset(technology),
+            config,
+            technology,
+        }
+    }
+
+    /// The per-chip parameters.
+    pub fn chip(&self) -> &DramChipParams {
+        &self.chip
+    }
+
+    /// The organization.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The device technology.
+    pub fn technology(&self) -> DramTechnology {
+        self.technology
+    }
+
+    /// Background power: all chips, always, regardless of core DVFS.
+    pub fn background_power(&self) -> Watts {
+        self.chip.background_power_per_chip() * f64::from(self.config.total_chips())
+    }
+
+    /// Dynamic power at the given traffic.
+    ///
+    /// Energy per byte is independent of striping: a 64-byte line read
+    /// moves 8 bytes through each of 8 chips, so per-(system-)byte and
+    /// per-(chip-)byte accounting coincide.
+    pub fn dynamic_power(&self, traffic: DramTraffic) -> Watts {
+        let read = self.chip.read_energy_per_byte.as_joules().0 * traffic.read_bytes_per_sec;
+        let write = self.chip.write_energy_per_byte.as_joules().0 * traffic.write_bytes_per_sec;
+        Watts(read + write)
+    }
+
+    /// Total memory power at the given traffic.
+    pub fn power(&self, traffic: DramTraffic) -> Watts {
+        self.background_power() + self.dynamic_power(traffic)
+    }
+
+    /// Fraction of peak bandwidth the traffic represents (can exceed 1 if
+    /// the caller requests more than the channels can deliver).
+    pub fn utilization(&self, traffic: DramTraffic) -> f64 {
+        traffic.total() / self.config.peak_bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants_are_exact() {
+        let p = DramChipParams::ddr4_micron_4gb();
+        assert_eq!(p.idle_energy_per_cycle, NanoJoules(0.0728));
+        assert_eq!(p.read_energy_per_byte, NanoJoules(0.2566));
+        assert_eq!(p.write_energy_per_byte, NanoJoules(0.2495));
+        assert_eq!(p.clock, MegaHertz(1600.0));
+    }
+
+    #[test]
+    fn paper_server_is_64_gb() {
+        let c = DramConfig::paper_server();
+        assert_eq!(c.total_chips(), 128);
+        assert!((c.capacity_gb() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_power_is_about_15w_for_the_server() {
+        let m = DramPowerModel::paper_server();
+        let p = m.background_power();
+        // 128 chips * 0.0728 nJ/cycle * 1.6 GHz = 14.9 W
+        assert!(
+            (p.0 - 14.91).abs() < 0.1,
+            "server background should be ~14.9 W, got {p}"
+        );
+    }
+
+    #[test]
+    fn dynamic_power_matches_hand_calculation() {
+        let m = DramPowerModel::paper_server();
+        let t = DramTraffic::new(10.0e9, 5.0e9); // 10 GB/s read, 5 GB/s write
+        let p = m.dynamic_power(t);
+        let expect = 0.2566e-9 * 10.0e9 + 0.2495e-9 * 5.0e9;
+        assert!((p.0 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpddr4_slashes_background_but_not_peak_dynamic() {
+        let ddr4 = DramPowerModel::paper_server();
+        let lp = DramPowerModel::new(DramTechnology::Lpddr4, DramConfig::paper_server());
+        assert!(lp.background_power().0 < ddr4.background_power().0 * 0.25);
+        let t = DramTraffic::new(20e9, 10e9);
+        let ratio = lp.dynamic_power(t) / ddr4.dynamic_power(t);
+        assert!(ratio > 0.7 && ratio < 0.9);
+    }
+
+    #[test]
+    fn utilization_and_peak_bandwidth() {
+        let m = DramPowerModel::paper_server();
+        assert!((m.config().peak_bandwidth() - 102.4e9).abs() < 1.0);
+        let half = DramTraffic::new(51.2e9, 0.0);
+        assert!((m.utilization(half) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_traffic_costs_only_background() {
+        let m = DramPowerModel::paper_server();
+        assert_eq!(m.power(DramTraffic::IDLE), m.background_power());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn rejects_negative_bandwidth() {
+        let _ = DramTraffic::new(-1.0, 0.0);
+    }
+}

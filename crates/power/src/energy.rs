@@ -1,0 +1,197 @@
+//! Energy accounting over time.
+//!
+//! Efficiency (UIPS/W) answers the paper's steady-state question; operators
+//! also need **energy** over real intervals — joules per day, per request,
+//! per VM. [`EnergyAccount`] integrates per-component power over a sequence
+//! of epochs (a governor run, a consolidation shift, a duty cycle) and
+//! exposes the component totals, so "where did the joules go" has a
+//! first-class answer.
+
+use crate::breakdown::{PowerBreakdown, Scope};
+use ntc_tech::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Integrated per-component energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    /// Core dynamic energy.
+    pub cores_dynamic: Joules,
+    /// Core static energy.
+    pub cores_static: Joules,
+    /// LLC energy.
+    pub llc: Joules,
+    /// Crossbar energy.
+    pub xbar: Joules,
+    /// I/O peripheral energy.
+    pub io: Joules,
+    /// DRAM background energy.
+    pub dram_background: Joules,
+    /// DRAM read/write energy.
+    pub dram_dynamic: Joules,
+    /// Wall-clock time integrated.
+    pub elapsed: Seconds,
+    /// Useful work accumulated (user instructions), if tracked.
+    pub user_instructions: f64,
+}
+
+impl EnergyAccount {
+    /// An empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Integrates one epoch: `breakdown` held for `dt`, delivering
+    /// `uips · dt` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative duration.
+    pub fn add_epoch(&mut self, breakdown: &PowerBreakdown, dt: Seconds, uips: f64) {
+        assert!(dt.0 >= 0.0, "durations cannot be negative");
+        let e = |w: Watts| w.over_time(dt);
+        self.cores_dynamic += e(breakdown.cores_dynamic);
+        self.cores_static += e(breakdown.cores_static);
+        self.llc += e(breakdown.llc);
+        self.xbar += e(breakdown.xbar);
+        self.io += e(breakdown.io);
+        self.dram_background += e(breakdown.dram_background);
+        self.dram_dynamic += e(breakdown.dram_dynamic);
+        self.elapsed += dt;
+        self.user_instructions += uips * dt.0;
+    }
+
+    /// Total energy at a scope.
+    pub fn total(&self, scope: Scope) -> Joules {
+        let cores = self.cores_dynamic + self.cores_static;
+        match scope {
+            Scope::Cores => cores,
+            Scope::Soc => cores + self.llc + self.xbar + self.io,
+            Scope::Server => {
+                cores + self.llc + self.xbar + self.io + self.dram_background + self.dram_dynamic
+            }
+        }
+    }
+
+    /// Mean power at a scope over the integrated interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been integrated yet.
+    pub fn mean_power(&self, scope: Scope) -> Watts {
+        self.total(scope).over_time(self.elapsed)
+    }
+
+    /// Energy per user instruction at a scope (joules/instruction), the
+    /// inverse of the paper's efficiency metric — `None` until work has
+    /// been tracked.
+    pub fn energy_per_instruction(&self, scope: Scope) -> Option<f64> {
+        if self.user_instructions <= 0.0 {
+            None
+        } else {
+            Some(self.total(scope).0 / self.user_instructions)
+        }
+    }
+
+    /// The share of server energy attributable to the frequency-invariant
+    /// components (uncore + DRAM background) — the energy-proportionality
+    /// overhead the paper's discussion targets.
+    pub fn fixed_share(&self) -> f64 {
+        let fixed = self.llc + self.xbar + self.io + self.dram_background;
+        let total = self.total(Scope::Server);
+        if total.0 <= 0.0 {
+            0.0
+        } else {
+            fixed / total
+        }
+    }
+}
+
+impl fmt::Display for EnergyAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} J over {:.1} s (cores {:.1} J, uncore {:.1} J, dram {:.1} J, fixed share {:.0}%)",
+            self.total(Scope::Server).0,
+            self.elapsed.0,
+            self.total(Scope::Cores).0,
+            (self.llc + self.xbar + self.io).0,
+            (self.dram_background + self.dram_dynamic).0,
+            self.fixed_share() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(core_dyn: f64) -> PowerBreakdown {
+        PowerBreakdown {
+            cores_dynamic: Watts(core_dyn),
+            cores_static: Watts(1.0),
+            llc: Watts(18.0),
+            xbar: Watts(0.2),
+            io: Watts(5.0),
+            dram_background: Watts(14.9),
+            dram_dynamic: Watts(2.0),
+        }
+    }
+
+    #[test]
+    fn integration_is_power_times_time() {
+        let mut acc = EnergyAccount::new();
+        acc.add_epoch(&breakdown(20.0), Seconds(10.0), 1.0e9);
+        assert!((acc.total(Scope::Server).0 - 611.0).abs() < 1e-9);
+        assert!((acc.mean_power(Scope::Server).0 - 61.1).abs() < 1e-9);
+        assert!((acc.user_instructions - 1.0e10).abs() < 1.0);
+    }
+
+    #[test]
+    fn epochs_accumulate() {
+        let mut acc = EnergyAccount::new();
+        acc.add_epoch(&breakdown(20.0), Seconds(5.0), 1.0e9);
+        acc.add_epoch(&breakdown(5.0), Seconds(5.0), 0.4e9);
+        assert!((acc.elapsed.0 - 10.0).abs() < 1e-12);
+        // Mean power between the two epochs' levels.
+        let mean = acc.mean_power(Scope::Server).0;
+        assert!(mean > 46.0 && mean < 62.0, "got {mean}");
+    }
+
+    #[test]
+    fn energy_per_instruction_tracks_the_efficiency_inverse() {
+        let mut acc = EnergyAccount::new();
+        acc.add_epoch(&breakdown(20.0), Seconds(1.0), 2.0e9);
+        let epi = acc.energy_per_instruction(Scope::Server).unwrap();
+        let eff = 2.0e9 / acc.mean_power(Scope::Server).0;
+        assert!((epi - 1.0 / eff).abs() < 1e-15);
+        assert!(EnergyAccount::new()
+            .energy_per_instruction(Scope::Server)
+            .is_none());
+    }
+
+    #[test]
+    fn fixed_share_rises_as_cores_quiet_down() {
+        let mut busy = EnergyAccount::new();
+        busy.add_epoch(&breakdown(60.0), Seconds(1.0), 3e9);
+        let mut quiet = EnergyAccount::new();
+        quiet.add_epoch(&breakdown(2.0), Seconds(1.0), 0.5e9);
+        assert!(quiet.fixed_share() > busy.fixed_share());
+        assert!(quiet.fixed_share() > 0.8, "{:.2}", quiet.fixed_share());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut acc = EnergyAccount::new();
+        acc.add_epoch(&breakdown(20.0), Seconds(2.0), 1e9);
+        let s = acc.to_string();
+        assert!(s.contains("fixed share"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_duration_rejected() {
+        let mut acc = EnergyAccount::new();
+        acc.add_epoch(&breakdown(1.0), Seconds(-1.0), 0.0);
+    }
+}

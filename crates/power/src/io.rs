@@ -1,0 +1,116 @@
+//! McPAT-lite I/O peripheral power.
+//!
+//! The paper models the I/O peripherals along the chip's edge with McPAT,
+//! following a Sun UltraSPARC T2 configuration, and reports a bottom line of
+//! **5 W** for the whole set. The peripherals are always-on regardless of
+//! the cores' state — the second fixed term (with the LLC) that moves the
+//! SoC efficiency optimum away from the lowest frequency.
+
+use ntc_tech::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One I/O peripheral block and its power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoPeripheral {
+    /// Block name.
+    pub name: String,
+    /// Always-on power of the block.
+    pub power: Watts,
+}
+
+impl fmt::Display for IoPeripheral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:.2}", self.name, self.power)
+    }
+}
+
+/// Power model of the chip's I/O peripheral set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoPowerModel {
+    peripherals: Vec<IoPeripheral>,
+}
+
+impl IoPowerModel {
+    /// The UltraSPARC-T2-style peripheral set used by the paper, totalling
+    /// 5 W: dual 10 GbE network interface units, a PCIe complex, the four
+    /// DDR4 memory-controller PHYs and miscellaneous system glue.
+    pub fn ultrasparc_t2() -> Self {
+        IoPowerModel {
+            peripherals: vec![
+                IoPeripheral {
+                    name: "2x 10GbE NIU".to_owned(),
+                    power: Watts(1.2),
+                },
+                IoPeripheral {
+                    name: "PCIe complex".to_owned(),
+                    power: Watts(1.0),
+                },
+                IoPeripheral {
+                    name: "4x DDR4 MC + PHY".to_owned(),
+                    power: Watts(1.6),
+                },
+                IoPeripheral {
+                    name: "system glue (SPI/I2C/JTAG/clocks)".to_owned(),
+                    power: Watts(1.2),
+                },
+            ],
+        }
+    }
+
+    /// Builds a model from an explicit peripheral list.
+    pub fn from_peripherals<I>(peripherals: I) -> Self
+    where
+        I: IntoIterator<Item = IoPeripheral>,
+    {
+        IoPowerModel {
+            peripherals: peripherals.into_iter().collect(),
+        }
+    }
+
+    /// The peripheral blocks.
+    pub fn peripherals(&self) -> &[IoPeripheral] {
+        &self.peripherals
+    }
+
+    /// Total always-on I/O power.
+    pub fn power(&self) -> Watts {
+        self.peripherals.iter().map(|p| p.power).sum()
+    }
+}
+
+impl Default for IoPowerModel {
+    fn default() -> Self {
+        Self::ultrasparc_t2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_io_totals_5w() {
+        let io = IoPowerModel::ultrasparc_t2();
+        assert!((io.power().0 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_peripheral_sets() {
+        let io = IoPowerModel::from_peripherals([IoPeripheral {
+            name: "NIC".to_owned(),
+            power: Watts(0.7),
+        }]);
+        assert!((io.power().0 - 0.7).abs() < 1e-12);
+        assert_eq!(io.peripherals().len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let p = IoPeripheral {
+            name: "PCIe".to_owned(),
+            power: Watts(1.0),
+        };
+        assert_eq!(p.to_string(), "PCIe: 1.00 W");
+    }
+}

@@ -1,0 +1,103 @@
+//! Cluster crossbar interconnect power.
+//!
+//! Each 4-core cluster connects its cores to the LLC banks through a
+//! cache-coherent crossbar. The paper estimates on-chip network energy
+//! following Volos et al. (BuMP) and lands on **25 mW per crossbar**; like
+//! the LLC it lives on the fixed uncore voltage/clock domain.
+
+use ntc_tech::{NanoJoules, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static power of one cluster crossbar (paper constant).
+pub const XBAR_STATIC_POWER: Watts = Watts(0.025);
+
+/// Energy to move one 64-byte flit across the crossbar (switch + links).
+pub const FLIT_ENERGY: NanoJoules = NanoJoules(0.12);
+
+/// Power model of one cluster's crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XbarPowerModel {
+    static_power: Watts,
+    flit_energy: NanoJoules,
+    ports: u32,
+}
+
+impl XbarPowerModel {
+    /// The paper's cluster crossbar: 4 cores + 4 LLC banks = 8 ports.
+    pub fn paper_cluster() -> Self {
+        XbarPowerModel {
+            static_power: XBAR_STATIC_POWER,
+            flit_energy: FLIT_ENERGY,
+            ports: 8,
+        }
+    }
+
+    /// A crossbar with the given port count; static power scales with the
+    /// port-count squared relative to the 8-port reference (a crossbar's
+    /// area/wiring grows quadratically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn with_ports(ports: u32) -> Self {
+        assert!(ports > 0, "a crossbar needs at least one port");
+        let scale = (ports as f64 / 8.0).powi(2);
+        XbarPowerModel {
+            static_power: XBAR_STATIC_POWER * scale,
+            flit_energy: FLIT_ENERGY,
+            ports,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> u32 {
+        self.ports
+    }
+
+    /// Static power of the switch fabric and links.
+    pub fn static_power(&self) -> Watts {
+        self.static_power
+    }
+
+    /// Dynamic power at a given traffic level (64-byte flits per second).
+    pub fn dynamic_power(&self, flits_per_sec: f64) -> Watts {
+        Watts(self.flit_energy.as_joules().0 * flits_per_sec.max(0.0))
+    }
+
+    /// Total crossbar power.
+    pub fn power(&self, flits_per_sec: f64) -> Watts {
+        self.static_power() + self.dynamic_power(flits_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_25mw_crossbar() {
+        let x = XbarPowerModel::paper_cluster();
+        assert!((x.static_power().0 - 0.025).abs() < 1e-12);
+        assert_eq!(x.ports(), 8);
+    }
+
+    #[test]
+    fn port_scaling_is_quadratic() {
+        let x16 = XbarPowerModel::with_ports(16);
+        assert!((x16.static_power().0 - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_adds_dynamic_power() {
+        let x = XbarPowerModel::paper_cluster();
+        // 100M flits/s * 0.12 nJ = 12 mW
+        let p = x.power(1.0e8);
+        assert!((p.0 - 0.037).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn rejects_zero_ports() {
+        let _ = XbarPowerModel::with_ports(0);
+    }
+}

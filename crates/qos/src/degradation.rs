@@ -1,0 +1,128 @@
+//! Execution-time degradation for virtualized batch workloads.
+//!
+//! The paper's VMs run batch tasks with no interactive users, so their QoS
+//! is "the maximum degradation in the execution time of a batch task"
+//! versus the 2 GHz baseline; industrial practice tolerates 2× at minimum
+//! and up to 4× (Sec. III-B2). Since a batch task is a fixed number of
+//! user instructions, degradation is just the inverse UIPS ratio.
+
+use ntc_workloads::{QosTarget, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Degradation of a batch workload relative to its 2 GHz baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationModel {
+    baseline_uips: f64,
+}
+
+impl DegradationModel {
+    /// Creates the model from the throughput at the 2 GHz baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline_uips` is not positive and finite.
+    pub fn new(baseline_uips: f64) -> Self {
+        assert!(
+            baseline_uips.is_finite() && baseline_uips > 0.0,
+            "baseline throughput must be positive"
+        );
+        DegradationModel { baseline_uips }
+    }
+
+    /// Execution-time degradation at an operating point delivering `uips`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uips` is not positive.
+    pub fn degradation(&self, uips: f64) -> f64 {
+        assert!(uips > 0.0, "throughput must be positive, got {uips}");
+        self.baseline_uips / uips
+    }
+
+    /// Whether the point satisfies a profile's degradation bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile carries a tail-latency QoS instead.
+    pub fn meets(&self, profile: &WorkloadProfile, uips: f64) -> bool {
+        match profile.qos {
+            QosTarget::BatchDegradation { max_slowdown } => {
+                self.degradation(uips) <= max_slowdown
+            }
+            QosTarget::TailLatency { .. } => {
+                panic!("degradation bounds apply to virtualized workloads only")
+            }
+        }
+    }
+
+    /// The lowest frequency among `(mhz, uips)` samples that satisfies the
+    /// slowdown bound — the paper's "4× → 500 MHz, 2× → 1 GHz" result.
+    pub fn min_frequency(&self, samples: &[(f64, f64)], max_slowdown: f64) -> Option<f64> {
+        samples
+            .iter()
+            .filter(|&&(_, uips)| self.degradation(uips) <= max_slowdown)
+            .map(|&(mhz, _)| mhz)
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.min(m))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CPU-bound VM: UIPS nearly proportional to frequency.
+    fn vm_samples() -> Vec<(f64, f64)> {
+        vec![
+            (100.0, 1.05e9),
+            (200.0, 2.1e9),
+            (500.0, 5.2e9),
+            (1000.0, 10.2e9),
+            (2000.0, 20.0e9),
+        ]
+    }
+
+    #[test]
+    fn paper_anchor_4x_allows_500mhz() {
+        let m = DegradationModel::new(20.0e9);
+        let f = m.min_frequency(&vm_samples(), 4.0).unwrap();
+        assert_eq!(f, 500.0, "4x degradation admits 500 MHz");
+    }
+
+    #[test]
+    fn paper_anchor_2x_allows_1ghz() {
+        let m = DegradationModel::new(20.0e9);
+        let f = m.min_frequency(&vm_samples(), 2.0).unwrap();
+        assert_eq!(f, 1000.0, "2x degradation admits 1 GHz");
+    }
+
+    #[test]
+    fn degradation_is_inverse_throughput() {
+        let m = DegradationModel::new(20.0e9);
+        assert!((m.degradation(10.0e9) - 2.0).abs() < 1e-12);
+        assert!((m.degradation(20.0e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meets_respects_profile_bound() {
+        let m = DegradationModel::new(20.0e9);
+        let p4 = WorkloadProfile::banking_low_mem(4.0);
+        let p2 = WorkloadProfile::banking_low_mem(2.0);
+        assert!(m.meets(&p4, 5.2e9));
+        assert!(!m.meets(&p2, 5.2e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtualized workloads only")]
+    fn scale_out_profiles_rejected() {
+        use ntc_workloads::CloudSuiteApp;
+        let m = DegradationModel::new(20.0e9);
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let _ = m.meets(&p, 1.0e9);
+    }
+
+    #[test]
+    fn impossible_bound_yields_none() {
+        let m = DegradationModel::new(20.0e9);
+        assert_eq!(m.min_frequency(&vm_samples(), 0.5), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! Discrete-event queueing simulation for empirical tail latencies.
+//!
+//! The analytic M/M/1 model ([`crate::tail`]) and the UIPS-ratio scaling
+//! ([`crate::scaling`]) are the paper's methodology; this module provides
+//! the independent check: an event-driven G/G/k simulation of a server's
+//! request queue (Poisson arrivals, pluggable service distribution, `k`
+//! cores) from which the 95th/99th percentiles are *measured* rather than
+//! derived. Integration tests verify the two paths agree.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Service-time distribution of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServiceDistribution {
+    /// Deterministic: every request takes exactly the mean.
+    Deterministic,
+    /// Exponential with the given mean (the M/M/k case).
+    Exponential,
+    /// Log-normal with the given mean and squared coefficient of
+    /// variation — the heavy-ish tail real request mixes show.
+    LogNormal {
+        /// Squared coefficient of variation (variance / mean²).
+        cv2: f64,
+    },
+}
+
+impl ServiceDistribution {
+    fn sample(self, mean: f64, rng: &mut SmallRng) -> f64 {
+        match self {
+            ServiceDistribution::Deterministic => mean,
+            ServiceDistribution::Exponential => {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                -mean * u.ln()
+            }
+            ServiceDistribution::LogNormal { cv2 } => {
+                let sigma2 = (1.0 + cv2).ln();
+                let mu = mean.ln() - sigma2 / 2.0;
+                // Box-Muller normal.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma2.sqrt() * z).exp()
+            }
+        }
+    }
+}
+
+/// Configuration of a queueing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueSimConfig {
+    /// Parallel servers (cores handling requests).
+    pub servers: u32,
+    /// Mean service time per request, milliseconds.
+    pub mean_service_ms: f64,
+    /// Offered per-system utilization ρ in `[0, 1)`.
+    pub utilization: f64,
+    /// Service-time distribution.
+    pub distribution: ServiceDistribution,
+    /// Requests to simulate (after warm-up).
+    pub requests: u32,
+    /// Warm-up requests discarded from statistics.
+    pub warmup: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QueueSimConfig {
+    /// A near-zero-contention baseline on one core — the paper's latency
+    /// measurement setup.
+    pub fn near_zero_contention(mean_service_ms: f64) -> Self {
+        QueueSimConfig {
+            servers: 1,
+            mean_service_ms,
+            utilization: 0.05,
+            distribution: ServiceDistribution::Exponential,
+            requests: 40_000,
+            warmup: 2_000,
+            seed: 7,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate settings.
+    pub fn validate(&self) {
+        assert!(self.servers > 0, "need at least one server");
+        assert!(self.mean_service_ms > 0.0, "service time must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.utilization),
+            "utilization must be in [0,1)"
+        );
+        assert!(self.requests > 100, "too few requests for percentiles");
+    }
+}
+
+/// Measured latency distribution of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueSimResult {
+    /// Mean sojourn time, milliseconds.
+    pub mean_ms: f64,
+    /// 50th percentile.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile — the paper's QoS metric.
+    pub p99_ms: f64,
+    /// Requests measured.
+    pub requests: u32,
+}
+
+/// Runs the event-driven G/G/k simulation.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration (see [`QueueSimConfig::validate`]).
+pub fn simulate(config: QueueSimConfig) -> QueueSimResult {
+    config.validate();
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x51E_E5E);
+    let arrival_rate =
+        config.utilization * f64::from(config.servers) / config.mean_service_ms;
+
+    // Server free times (min-heap over f64 bits; times are non-negative).
+    let mut free: BinaryHeap<Reverse<u64>> = (0..config.servers)
+        .map(|_| Reverse(0u64))
+        .collect();
+    let to_bits = |t: f64| (t * 1e6) as u64; // ns resolution on a ms scale
+    let from_bits = |b: u64| b as f64 / 1e6;
+
+    let total = config.warmup + config.requests;
+    let mut sojourns = Vec::with_capacity(config.requests as usize);
+    let mut now = 0.0f64;
+    for i in 0..total {
+        // Poisson arrivals.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        now += -u.ln() / arrival_rate;
+        let service = config.distribution.sample(config.mean_service_ms, &mut rng);
+        let Reverse(free_at) = free.pop().expect("at least one server");
+        let start = now.max(from_bits(free_at));
+        let finish = start + service;
+        free.push(Reverse(to_bits(finish)));
+        if i >= config.warmup {
+            sojourns.push(finish - now);
+        }
+    }
+    sojourns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let pick = |p: f64| sojourns[((sojourns.len() - 1) as f64 * p) as usize];
+    QueueSimResult {
+        mean_ms: sojourns.iter().sum::<f64>() / sojourns.len() as f64,
+        p50_ms: pick(0.50),
+        p95_ms: pick(0.95),
+        p99_ms: pick(0.99),
+        requests: config.requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tail::Mm1TailModel;
+
+    #[test]
+    fn mm1_simulation_matches_the_analytic_model() {
+        let cfg = QueueSimConfig {
+            servers: 1,
+            mean_service_ms: 2.0,
+            utilization: 0.3,
+            distribution: ServiceDistribution::Exponential,
+            requests: 120_000,
+            warmup: 5_000,
+            seed: 1,
+        };
+        let sim = simulate(cfg);
+        let analytic = Mm1TailModel::new(2.0, 0.3);
+        let rel = (sim.p99_ms - analytic.p99_ms()).abs() / analytic.p99_ms();
+        assert!(
+            rel < 0.08,
+            "simulated p99 {:.3} vs analytic {:.3} (rel {rel:.3})",
+            sim.p99_ms,
+            analytic.p99_ms()
+        );
+        let rel_mean = (sim.mean_ms - analytic.mean_ms()).abs() / analytic.mean_ms();
+        assert!(rel_mean < 0.05, "mean deviation {rel_mean:.3}");
+    }
+
+    #[test]
+    fn near_zero_contention_p99_is_4_6_services() {
+        let sim = simulate(QueueSimConfig::near_zero_contention(1.0));
+        assert!(
+            (sim.p99_ms / 100.0f64.ln() - 1.0).abs() < 0.15,
+            "p99 {:.3} should approximate 4.6 service times",
+            sim.p99_ms
+        );
+    }
+
+    #[test]
+    fn deterministic_service_has_a_short_tail() {
+        let base = QueueSimConfig {
+            distribution: ServiceDistribution::Deterministic,
+            utilization: 0.3,
+            ..QueueSimConfig::near_zero_contention(1.0)
+        };
+        let det = simulate(base);
+        let exp = simulate(QueueSimConfig {
+            distribution: ServiceDistribution::Exponential,
+            ..base
+        });
+        assert!(det.p99_ms < exp.p99_ms, "{} vs {}", det.p99_ms, exp.p99_ms);
+    }
+
+    #[test]
+    fn heavy_tails_inflate_p99() {
+        let base = QueueSimConfig {
+            utilization: 0.4,
+            ..QueueSimConfig::near_zero_contention(1.0)
+        };
+        let exp = simulate(QueueSimConfig {
+            distribution: ServiceDistribution::Exponential,
+            ..base
+        });
+        let heavy = simulate(QueueSimConfig {
+            distribution: ServiceDistribution::LogNormal { cv2: 6.0 },
+            ..base
+        });
+        assert!(
+            heavy.p99_ms > exp.p99_ms,
+            "heavy tail {:.2} should exceed exponential {:.2}",
+            heavy.p99_ms,
+            exp.p99_ms
+        );
+    }
+
+    #[test]
+    fn more_servers_absorb_the_same_utilization_with_less_queueing() {
+        let one = simulate(QueueSimConfig {
+            servers: 1,
+            utilization: 0.8,
+            ..QueueSimConfig::near_zero_contention(1.0)
+        });
+        let four = simulate(QueueSimConfig {
+            servers: 4,
+            utilization: 0.8,
+            ..QueueSimConfig::near_zero_contention(1.0)
+        });
+        assert!(
+            four.p99_ms < one.p99_ms,
+            "pooling shrinks the tail: {} vs {}",
+            four.p99_ms,
+            one.p99_ms
+        );
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let r = simulate(QueueSimConfig::near_zero_contention(1.0));
+        assert!(r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms);
+        assert!(r.mean_ms > 0.0);
+        assert_eq!(r.requests, 40_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rejects_saturation() {
+        let cfg = QueueSimConfig {
+            utilization: 1.0,
+            ..QueueSimConfig::near_zero_contention(1.0)
+        };
+        let _ = simulate(cfg);
+    }
+}

@@ -1,0 +1,137 @@
+//! Request-level latency composition.
+//!
+//! The paper's measured 99th-percentile baselines are *end-to-end*: CPU
+//! service plus everything else (network stack, storage, queueing at other
+//! tiers). [`RequestModel`] decomposes a workload's baseline into a CPU
+//! service demand — derived from the profile's user-instructions-per-
+//! request and the simulated per-core UIPS — and a residual overhead, then
+//! re-composes the tail at any (frequency, utilization) point:
+//!
+//! ```text
+//! L99(f, ρ) = scale(f) · [ overhead + sojourn_p99(cpu_service, ρ) ]
+//! ```
+//!
+//! where `scale(f)` is the paper's UIPS ratio. At near-zero contention this
+//! collapses to exactly the paper's Figure 2 scaling; under load it adds
+//! the queueing inflation the governor plans around.
+
+use crate::tail::Mm1TailModel;
+use ntc_workloads::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// P99-to-mean ratio of an M/M/1 sojourn at the near-zero-contention
+/// baseline utilization (ρ = 0.05): `ln(100)/(1-0.05)`.
+const BASELINE_P99_FACTOR: f64 = 4.846_964_570_351_146;
+
+/// Near-zero-contention utilization of the baseline measurement.
+pub const BASELINE_RHO: f64 = 0.05;
+
+/// A workload's request-latency decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestModel {
+    /// Mean CPU service per request at the 2 GHz baseline, milliseconds.
+    pub cpu_service_ms: f64,
+    /// Non-CPU overhead folded into the measured baseline, milliseconds.
+    pub overhead_ms: f64,
+}
+
+impl RequestModel {
+    /// Decomposes a scale-out profile's baseline given the simulated
+    /// per-core UIPS at the 2 GHz reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no tail-latency baseline or
+    /// `uips_per_core` is not positive.
+    pub fn from_profile(profile: &WorkloadProfile, uips_per_core: f64) -> Self {
+        assert!(uips_per_core > 0.0, "throughput must be positive");
+        let baseline = profile
+            .baseline_l99_ms()
+            .expect("request models apply to scale-out workloads");
+        let cpu_service_ms = profile.kuinstr_per_request * 1.0e3 / uips_per_core * 1.0e3;
+        // The measured p99 is overhead + 4.85x the CPU service; anything
+        // left is the non-CPU path. If the CPU demand alone explains the
+        // baseline, clamp the overhead at zero and accept the mismatch.
+        let overhead_ms = (baseline - BASELINE_P99_FACTOR * cpu_service_ms).max(0.0);
+        RequestModel {
+            cpu_service_ms,
+            overhead_ms,
+        }
+    }
+
+    /// The 99th percentile at a frequency scale and utilization.
+    ///
+    /// `uips_ratio` is `UIPS(2 GHz)/UIPS(f)` (≥ 1 below the reference);
+    /// `utilization` is the offered ρ at the operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `utilization` outside `[0, 1)` or a non-positive ratio.
+    pub fn l99_ms(&self, uips_ratio: f64, utilization: f64) -> f64 {
+        assert!(uips_ratio > 0.0, "ratio must be positive");
+        let sojourn = Mm1TailModel::new(self.cpu_service_ms.max(1e-9), utilization).p99_ms();
+        uips_ratio * (self.overhead_ms + sojourn)
+    }
+
+    /// The baseline p99 this model reproduces at the reference point.
+    pub fn baseline_l99_ms(&self) -> f64 {
+        self.l99_ms(1.0, BASELINE_RHO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_workloads::CloudSuiteApp;
+
+    fn model(app: CloudSuiteApp) -> (WorkloadProfile, RequestModel) {
+        let p = WorkloadProfile::cloudsuite(app);
+        // A representative simulated per-core UIPS at 2 GHz.
+        let m = RequestModel::from_profile(&p, 1.8e9);
+        (p, m)
+    }
+
+    #[test]
+    fn decomposition_reproduces_the_baseline() {
+        for app in CloudSuiteApp::ALL {
+            let (p, m) = model(app);
+            let reproduced = m.baseline_l99_ms();
+            let target = p.baseline_l99_ms().unwrap();
+            assert!(
+                (reproduced - target).abs() / target < 0.05
+                    || m.overhead_ms == 0.0,
+                "{app}: {reproduced:.2} vs {target:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_scaling_matches_the_paper_methodology() {
+        let (_, m) = model(CloudSuiteApp::WebSearch);
+        let base = m.l99_ms(1.0, BASELINE_RHO);
+        let slow = m.l99_ms(4.0, BASELINE_RHO);
+        assert!((slow / base - 4.0).abs() < 1e-9, "pure UIPS-ratio scaling");
+    }
+
+    #[test]
+    fn utilization_inflates_the_tail_beyond_the_scaling() {
+        let (_, m) = model(CloudSuiteApp::DataServing);
+        let quiet = m.l99_ms(1.0, 0.05);
+        let busy = m.l99_ms(1.0, 0.7);
+        assert!(busy > quiet, "{busy:.3} vs {quiet:.3}");
+    }
+
+    #[test]
+    fn cpu_service_follows_instruction_count() {
+        let (p, m) = model(CloudSuiteApp::WebSearch);
+        let expect = p.kuinstr_per_request * 1e3 / 1.8e9 * 1e3;
+        assert!((m.cpu_service_ms - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale-out")]
+    fn vm_profiles_rejected() {
+        let p = WorkloadProfile::banking_low_mem(4.0);
+        let _ = RequestModel::from_profile(&p, 1.8e9);
+    }
+}

@@ -1,0 +1,215 @@
+//! The paper's latency-scaling methodology (Sec. V-A).
+//!
+//! "We simulate the CloudSuite applications in Flexus for different
+//! frequency points [...] and observe the effect of the frequency on the
+//! application's throughput, dictated by the UIPS of the simulation. Last,
+//! we scale the calculated latencies accordingly. This methodology is
+//! correct because the number of user instructions executed per request
+//! remains constant."
+//!
+//! [`LatencyScaler`] implements that scaling; [`QosCurve`] assembles the
+//! normalized-latency-vs-frequency series of Figure 2 and answers the
+//! headline question: *how low can the clock go before QoS breaks?*
+
+use ntc_workloads::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// Scales a measured baseline tail latency by the simulated UIPS ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyScaler {
+    baseline_l99_ms: f64,
+    baseline_uips: f64,
+}
+
+impl LatencyScaler {
+    /// Creates a scaler from the baseline measurement: the minimum L99 at
+    /// the 2 GHz reference and the UIPS simulated at that reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either baseline is not positive and finite.
+    pub fn new(baseline_l99_ms: f64, baseline_uips: f64) -> Self {
+        assert!(
+            baseline_l99_ms.is_finite() && baseline_l99_ms > 0.0,
+            "baseline latency must be positive"
+        );
+        assert!(
+            baseline_uips.is_finite() && baseline_uips > 0.0,
+            "baseline throughput must be positive"
+        );
+        LatencyScaler {
+            baseline_l99_ms,
+            baseline_uips,
+        }
+    }
+
+    /// Builds the scaler for a scale-out profile (uses its calibrated
+    /// baseline L99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no tail-latency QoS (virtualized VMs).
+    pub fn for_profile(profile: &WorkloadProfile, baseline_uips: f64) -> Self {
+        let l99 = profile
+            .baseline_l99_ms()
+            .expect("latency scaling applies to scale-out workloads only");
+        Self::new(l99, baseline_uips)
+    }
+
+    /// The 99th-percentile latency at an operating point delivering `uips`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uips` is not positive.
+    pub fn l99_ms(&self, uips: f64) -> f64 {
+        assert!(uips > 0.0, "throughput must be positive, got {uips}");
+        self.baseline_l99_ms * self.baseline_uips / uips
+    }
+
+    /// Latency normalized to a QoS budget (Figure 2's y-axis): values ≤ 1
+    /// meet QoS.
+    pub fn normalized(&self, uips: f64, qos_budget_ms: f64) -> f64 {
+        self.l99_ms(uips) / qos_budget_ms
+    }
+}
+
+/// One frequency point on a QoS curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosPoint {
+    /// Core frequency in MHz.
+    pub mhz: f64,
+    /// Simulated UIPS at that frequency.
+    pub uips: f64,
+    /// 99th-percentile latency normalized to the QoS budget.
+    pub normalized_l99: f64,
+}
+
+impl QosPoint {
+    /// Whether this point meets QoS.
+    pub fn meets_qos(&self) -> bool {
+        self.normalized_l99 <= 1.0
+    }
+}
+
+/// A normalized-latency-vs-frequency series (one Figure 2 line).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QosCurve {
+    points: Vec<QosPoint>,
+}
+
+impl QosCurve {
+    /// Builds the curve from `(mhz, uips)` samples for a scale-out
+    /// profile. The highest-frequency sample is the 2 GHz-class baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two samples are given, any UIPS is
+    /// non-positive, or the profile carries no tail-latency QoS.
+    pub fn build(profile: &WorkloadProfile, samples: &[(f64, f64)]) -> Self {
+        assert!(samples.len() >= 2, "a curve needs at least two points");
+        let budget = profile
+            .qos_budget_ms()
+            .expect("QoS curves apply to scale-out workloads");
+        let &(_, base_uips) = samples
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite frequencies"))
+            .expect("non-empty samples");
+        let scaler = LatencyScaler::for_profile(profile, base_uips);
+        let mut points: Vec<QosPoint> = samples
+            .iter()
+            .map(|&(mhz, uips)| QosPoint {
+                mhz,
+                uips,
+                normalized_l99: scaler.normalized(uips, budget),
+            })
+            .collect();
+        points.sort_by(|a, b| a.mhz.partial_cmp(&b.mhz).expect("finite frequencies"));
+        QosCurve { points }
+    }
+
+    /// The points, ascending in frequency.
+    pub fn points(&self) -> &[QosPoint] {
+        &self.points
+    }
+
+    /// The lowest frequency whose point still meets QoS — the paper's
+    /// headline per-application result (200–500 MHz).
+    pub fn min_qos_frequency(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.meets_qos())
+            .map(|p| p.mhz)
+            .fold(None, |acc, m| {
+                Some(acc.map_or(m, |a: f64| a.min(m)))
+            })
+    }
+
+    /// Whether every point at or above `mhz` meets QoS.
+    pub fn qos_safe_at_or_above(&self, mhz: f64) -> bool {
+        self.points
+            .iter()
+            .filter(|p| p.mhz >= mhz)
+            .all(QosPoint::meets_qos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_workloads::{CloudSuiteApp, WorkloadProfile};
+
+    fn web_search_samples() -> Vec<(f64, f64)> {
+        // Synthetic but realistic: UIPS sub-linear in frequency.
+        vec![
+            (100.0, 1.6e9),
+            (200.0, 3.0e9),
+            (500.0, 6.3e9),
+            (1000.0, 10.0e9),
+            (2000.0, 14.0e9),
+        ]
+    }
+
+    #[test]
+    fn scaling_is_exact_at_the_baseline() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let curve = QosCurve::build(&p, &web_search_samples());
+        let top = curve.points().last().unwrap();
+        assert!((top.normalized_l99 - 0.15).abs() < 1e-9, "baseline = 15% of budget");
+    }
+
+    #[test]
+    fn latency_grows_monotonically_as_frequency_falls() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let curve = QosCurve::build(&p, &web_search_samples());
+        for w in curve.points().windows(2) {
+            assert!(w[0].normalized_l99 > w[1].normalized_l99);
+        }
+    }
+
+    #[test]
+    fn min_qos_frequency_lands_in_the_paper_window() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let curve = QosCurve::build(&p, &web_search_samples());
+        let f = curve.min_qos_frequency().unwrap();
+        assert!(
+            (200.0..=500.0).contains(&f),
+            "min QoS frequency should be 200-500 MHz, got {f}"
+        );
+        assert!(curve.qos_safe_at_or_above(f));
+    }
+
+    #[test]
+    fn scaler_math() {
+        let s = LatencyScaler::new(30.0, 10.0e9);
+        assert!((s.l99_ms(10.0e9) - 30.0).abs() < 1e-9);
+        assert!((s.l99_ms(5.0e9) - 60.0).abs() < 1e-9);
+        assert!((s.normalized(5.0e9, 200.0) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale-out")]
+    fn vm_profiles_have_no_latency_curve() {
+        let p = WorkloadProfile::banking_low_mem(4.0);
+        let _ = QosCurve::build(&p, &web_search_samples());
+    }
+}

@@ -1,0 +1,122 @@
+//! M/M/1 tail-latency model for the measurement baseline.
+//!
+//! The paper measures each application's *minimum* 99th-percentile latency
+//! on an unloaded machine. An M/M/1 queue reproduces that setup: with
+//! Poisson arrivals at utilization ρ and exponential service with mean `s`,
+//! the sojourn time is exponential with rate `(1-ρ)/s`, so the p-th
+//! percentile is
+//!
+//! ```text
+//! T_p = s · ln(1/(1-p)) / (1-ρ)
+//! ```
+//!
+//! At near-zero contention (ρ → 0) the 99th percentile approaches
+//! `s · ln(100) ≈ 4.6 s` — latency is dominated by the service demand
+//! itself, which is exactly why scaling by the UIPS ratio (which scales
+//! service demand) is sound.
+
+use serde::{Deserialize, Serialize};
+
+/// M/M/1 queue with explicit service time and utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1TailModel {
+    /// Mean service time in milliseconds.
+    pub service_ms: f64,
+    /// Offered utilization ρ in `[0, 1)`.
+    pub utilization: f64,
+}
+
+impl Mm1TailModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_ms <= 0` or `utilization` is outside `[0, 1)`.
+    pub fn new(service_ms: f64, utilization: f64) -> Self {
+        assert!(
+            service_ms.is_finite() && service_ms > 0.0,
+            "service time must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&utilization),
+            "utilization must be in [0,1), got {utilization}"
+        );
+        Mm1TailModel {
+            service_ms,
+            utilization,
+        }
+    }
+
+    /// The paper's near-zero-contention baseline configuration.
+    pub fn near_zero_contention(service_ms: f64) -> Self {
+        Self::new(service_ms, 0.05)
+    }
+
+    /// Mean sojourn (response) time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.service_ms / (1.0 - self.utilization)
+    }
+
+    /// The p-th percentile sojourn time in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "percentile must be in (0,1), got {p}");
+        self.mean_ms() * (1.0 / (1.0 - p)).ln()
+    }
+
+    /// The 99th percentile — the paper's QoS metric.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_ms(0.99)
+    }
+
+    /// The 95th percentile (the other tail metric the paper cites).
+    pub fn p95_ms(&self) -> f64 {
+        self.percentile_ms(0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p99_at_zero_contention_is_4_6_service_times() {
+        let m = Mm1TailModel::new(1.0, 0.0);
+        assert!((m.p99_ms() - 100.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_inflates_the_tail() {
+        let lo = Mm1TailModel::new(1.0, 0.05);
+        let hi = Mm1TailModel::new(1.0, 0.8);
+        assert!(hi.p99_ms() > 4.0 * lo.p99_ms());
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let m = Mm1TailModel::near_zero_contention(2.0);
+        assert!(m.p95_ms() < m.p99_ms());
+        assert!(m.mean_ms() < m.p95_ms());
+    }
+
+    #[test]
+    fn near_zero_preset() {
+        let m = Mm1TailModel::near_zero_contention(1.0);
+        assert!((m.utilization - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rejects_saturated_queue() {
+        let _ = Mm1TailModel::new(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn rejects_percentile_one() {
+        let _ = Mm1TailModel::new(1.0, 0.0).percentile_ms(1.0);
+    }
+}

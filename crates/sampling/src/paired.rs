@@ -1,0 +1,152 @@
+//! Matched-pair comparison under common random numbers.
+//!
+//! Comparing two configurations (say, 1 GHz vs 500 MHz) with independent
+//! samples wastes precision on workload noise both share. Running both
+//! configurations on the *same* sample positions/seeds and analyzing the
+//! per-pair differences (or log-ratios) cancels the common variation — the
+//! standard variance-reduction companion to SMARTS-style sampling.
+
+use crate::stats::{ConfidenceInterval, SampleStats, CONFIDENCE_95};
+use serde::{Deserialize, Serialize};
+
+/// Result of a matched-pair comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairedEstimate {
+    /// Mean of `a` across pairs.
+    pub mean_a: f64,
+    /// Mean of `b` across pairs.
+    pub mean_b: f64,
+    /// Mean per-pair difference `a - b`.
+    pub mean_diff: f64,
+    /// Confidence interval on the mean difference.
+    pub diff_interval: ConfidenceInterval,
+    /// Geometric-mean ratio `a / b` (from log-ratios).
+    pub ratio: f64,
+    /// Number of pairs.
+    pub pairs: u64,
+}
+
+impl PairedEstimate {
+    /// Whether the difference is significant (the interval excludes zero).
+    pub fn significant(&self) -> bool {
+        !self.diff_interval.contains(0.0)
+    }
+}
+
+/// Accumulates matched observations of two configurations.
+#[derive(Debug, Clone, Default)]
+pub struct MatchedPair {
+    a: SampleStats,
+    b: SampleStats,
+    diff: SampleStats,
+    log_ratio: SampleStats,
+}
+
+impl MatchedPair {
+    /// An empty comparison.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one matched pair (same seed/sample position in both
+    /// configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either observation is non-finite, or non-positive when the
+    /// other is (ratios require positive metrics).
+    pub fn push(&mut self, a: f64, b: f64) {
+        assert!(a.is_finite() && b.is_finite(), "observations must be finite");
+        assert!(a > 0.0 && b > 0.0, "paired metrics must be positive");
+        self.a.push(a);
+        self.b.push(b);
+        self.diff.push(a - b);
+        self.log_ratio.push((a / b).ln());
+    }
+
+    /// Number of pairs recorded.
+    pub fn pairs(&self) -> u64 {
+        self.diff.n()
+    }
+
+    /// Builds the estimate at the given confidence level.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two pairs.
+    pub fn estimate(&self, confidence: f64) -> PairedEstimate {
+        PairedEstimate {
+            mean_a: self.a.mean(),
+            mean_b: self.b.mean(),
+            mean_diff: self.diff.mean(),
+            diff_interval: self.diff.confidence_interval(confidence),
+            ratio: self.log_ratio.mean().exp(),
+            pairs: self.pairs(),
+        }
+    }
+
+    /// The estimate at 95 % confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two pairs.
+    pub fn estimate_95(&self) -> PairedEstimate {
+        self.estimate(CONFIDENCE_95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn detects_a_consistent_small_advantage() {
+        // a is 3% better than b with large shared noise: unpaired analysis
+        // would need many more samples.
+        let mut mp = MatchedPair::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..12 {
+            let shared = rng.gen_range(1.0..5.0);
+            mp.push(shared * 1.03, shared);
+        }
+        let est = mp.estimate_95();
+        assert!(est.significant(), "3% shift should be detected");
+        assert!((est.ratio - 1.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_difference_is_not_significant() {
+        let mut mp = MatchedPair::new();
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..12 {
+            let shared: f64 = rng.gen_range(1.0..5.0);
+            let noise_a = rng.gen_range(-0.01..0.01);
+            let noise_b = rng.gen_range(-0.01..0.01);
+            mp.push(shared + noise_a, shared + noise_b);
+        }
+        let est = mp.estimate_95();
+        assert!(!est.significant());
+        assert!((est.ratio - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn means_track_inputs() {
+        let mut mp = MatchedPair::new();
+        mp.push(2.0, 1.0);
+        mp.push(4.0, 2.0);
+        let est = mp.estimate_95();
+        assert!((est.mean_a - 3.0).abs() < 1e-12);
+        assert!((est.mean_b - 1.5).abs() < 1e-12);
+        assert!((est.ratio - 2.0).abs() < 1e-12);
+        assert_eq!(est.pairs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_non_positive_metrics() {
+        let mut mp = MatchedPair::new();
+        mp.push(1.0, 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The SMARTS sampling driver.
+//!
+//! SMARTS simulates a long execution as `n` systematic samples: functional
+//! fast-forward → detailed warm-up (caches/predictors under the detailed
+//! model, not measured) → a short measured window. The estimator is the
+//! sample mean with a Student-t confidence interval; sampling continues
+//! until the target relative error is met or the sample budget runs out.
+
+use crate::stats::{ConfidenceInterval, SampleStats, CONFIDENCE_95};
+use serde::{Deserialize, Serialize};
+
+/// One sample's window schedule (in core cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleWindow {
+    /// Detailed warm-up cycles before measurement.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+}
+
+impl SampleWindow {
+    /// The paper's default window: 100 K warm-up, 50 K measured.
+    pub fn paper_default() -> Self {
+        SampleWindow {
+            warmup_cycles: 100_000,
+            measure_cycles: 50_000,
+        }
+    }
+
+    /// The paper's Data Serving window: 2 M warm-up, 400 K measured.
+    pub fn paper_data_serving() -> Self {
+        SampleWindow {
+            warmup_cycles: 2_000_000,
+            measure_cycles: 400_000,
+        }
+    }
+}
+
+/// Sampling-run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartsConfig {
+    /// Per-sample window schedule.
+    pub window: SampleWindow,
+    /// Minimum number of samples before the stopping rule applies.
+    pub min_samples: u64,
+    /// Hard cap on samples.
+    pub max_samples: u64,
+    /// Target relative confidence-interval half-width (the paper: 2 %).
+    pub target_rel_error: f64,
+    /// Confidence level (the paper: 95 %).
+    pub confidence: f64,
+}
+
+impl SmartsConfig {
+    /// The paper's measurement discipline: 95 % confidence, < 2 % error.
+    pub fn paper_default() -> Self {
+        SmartsConfig {
+            window: SampleWindow::paper_default(),
+            min_samples: 8,
+            max_samples: 200,
+            target_rel_error: 0.02,
+            confidence: CONFIDENCE_95,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate settings (zero windows, inverted bounds, a
+    /// non-positive error target).
+    pub fn validate(&self) {
+        assert!(self.window.measure_cycles > 0, "empty measurement window");
+        assert!(self.min_samples >= 2, "need at least two samples");
+        assert!(self.max_samples >= self.min_samples, "inverted sample bounds");
+        assert!(self.target_rel_error > 0.0, "target error must be positive");
+    }
+}
+
+impl Default for SmartsConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of a sampling run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartsEstimate {
+    /// Estimated mean of the measured metric.
+    pub mean: f64,
+    /// Confidence interval on the mean.
+    pub interval: ConfidenceInterval,
+    /// Samples actually drawn.
+    pub samples: u64,
+    /// Whether the target error was met before the sample cap.
+    pub converged: bool,
+}
+
+impl SmartsEstimate {
+    /// Relative half-width of the interval around the mean.
+    pub fn relative_error(&self) -> f64 {
+        self.interval.relative_half_width(self.mean)
+    }
+}
+
+/// Drives a measurement function through the SMARTS schedule.
+#[derive(Debug, Clone)]
+pub struct SmartsSampler {
+    config: SmartsConfig,
+}
+
+impl SmartsSampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see
+    /// [`SmartsConfig::validate`]).
+    pub fn new(config: SmartsConfig) -> Self {
+        config.validate();
+        SmartsSampler { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SmartsConfig {
+        &self.config
+    }
+
+    /// Runs `measure(sample_index)` per sample until the stopping rule is
+    /// satisfied; `measure` should fast-forward to the sample's position,
+    /// warm up for [`SampleWindow::warmup_cycles`], measure for
+    /// [`SampleWindow::measure_cycles`] and return the metric (e.g. UIPC).
+    pub fn run<F: FnMut(u64) -> f64>(&self, mut measure: F) -> SmartsEstimate {
+        let mut stats = SampleStats::new();
+        let mut k = 0;
+        let mut converged = false;
+        while k < self.config.max_samples {
+            stats.push(measure(k));
+            k += 1;
+            if k >= self.config.min_samples {
+                let ci = stats.confidence_interval(self.config.confidence);
+                if ci.relative_half_width(stats.mean()) <= self.config.target_rel_error {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+        SmartsEstimate {
+            mean: stats.mean(),
+            interval: stats.confidence_interval(self.config.confidence),
+            samples: stats.n(),
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn converges_on_low_noise_metric() {
+        let sampler = SmartsSampler::new(SmartsConfig::paper_default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let est = sampler.run(|_| 2.0 + rng.gen_range(-0.02..0.02));
+        assert!(est.converged);
+        assert!(est.samples <= 20, "low noise needs few samples");
+        assert!((est.mean - 2.0).abs() < 0.02);
+        assert!(est.relative_error() <= 0.02);
+    }
+
+    #[test]
+    fn noisy_metric_takes_more_samples() {
+        let cfg = SmartsConfig::paper_default();
+        let sampler = SmartsSampler::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let est = sampler.run(|_| 2.0 + rng.gen_range(-0.5..0.5));
+        assert!(est.samples > 20);
+        // Even if the cap was hit, the interval must cover the truth.
+        assert!(est.interval.contains(2.0));
+    }
+
+    #[test]
+    fn respects_sample_cap() {
+        let cfg = SmartsConfig {
+            max_samples: 10,
+            ..SmartsConfig::paper_default()
+        };
+        let sampler = SmartsSampler::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let est = sampler.run(|_| rng.gen_range(0.0..100.0));
+        assert_eq!(est.samples, 10);
+        assert!(!est.converged);
+    }
+
+    #[test]
+    fn paper_windows() {
+        let w = SampleWindow::paper_default();
+        assert_eq!((w.warmup_cycles, w.measure_cycles), (100_000, 50_000));
+        let d = SampleWindow::paper_data_serving();
+        assert_eq!((d.warmup_cycles, d.measure_cycles), (2_000_000, 400_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted sample bounds")]
+    fn degenerate_config_rejected() {
+        let cfg = SmartsConfig {
+            min_samples: 50,
+            max_samples: 10,
+            ..SmartsConfig::paper_default()
+        };
+        let _ = SmartsSampler::new(cfg);
+    }
+}

@@ -1,0 +1,258 @@
+//! Sample statistics and Student-t confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// 95 % two-sided confidence level.
+pub const CONFIDENCE_95: f64 = 0.95;
+
+/// 99 % two-sided confidence level.
+pub const CONFIDENCE_99: f64 = 0.99;
+
+/// Two-sided Student-t critical values at 95 % for small degrees of
+/// freedom (index = df, starting at df = 1).
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Two-sided Student-t critical values at 99 %.
+const T_99: [f64; 30] = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+    2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+    2.771, 2.763, 2.756, 2.750,
+];
+
+/// Two-sided Student-t critical value for the given confidence level and
+/// degrees of freedom.
+///
+/// Exact table values for df ≤ 30, the asymptotic normal quantile beyond.
+///
+/// # Panics
+///
+/// Panics if `confidence` is not one of the supported levels (0.95, 0.99)
+/// or `df` is zero.
+pub fn t_critical(confidence: f64, df: usize) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    let table: &[f64; 30] = if (confidence - CONFIDENCE_95).abs() < 1e-9 {
+        &T_95
+    } else if (confidence - CONFIDENCE_99).abs() < 1e-9 {
+        &T_99
+    } else {
+        panic!("unsupported confidence level {confidence}; use 0.95 or 0.99");
+    };
+    if df <= 30 {
+        table[df - 1]
+    } else if (confidence - CONFIDENCE_95).abs() < 1e-9 {
+        1.960
+    } else {
+        2.576
+    }
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// The confidence level the interval was built at.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Half-width relative to a center value (the paper's "error below
+    /// 2 %" criterion).
+    pub fn relative_half_width(&self, center: f64) -> f64 {
+        if center == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width() / center.abs()
+        }
+    }
+
+    /// Whether the interval contains a value.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+}
+
+/// Accumulating sample statistics (Welford's algorithm: numerically stable
+/// single-pass mean/variance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl SampleStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds statistics from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (σ/μ).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+
+    /// Confidence interval on the mean at the given level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two observations were recorded.
+    pub fn confidence_interval(&self, confidence: f64) -> ConfidenceInterval {
+        assert!(self.n >= 2, "need at least two samples for an interval");
+        let t = t_critical(confidence, (self.n - 1) as usize);
+        let hw = t * self.std_error();
+        ConfidenceInterval {
+            lo: self.mean - hw,
+            hi: self.mean + hw,
+            confidence,
+        }
+    }
+}
+
+impl Extend<f64> for SampleStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Number of samples needed so the relative confidence-interval half-width
+/// drops below `target_rel_error`, given an observed coefficient of
+/// variation (the SMARTS sample-size formula `n = (z·CV/ε)²`).
+///
+/// # Panics
+///
+/// Panics if `target_rel_error` is not positive.
+pub fn required_samples(cv: f64, target_rel_error: f64, confidence: f64) -> u64 {
+    assert!(target_rel_error > 0.0, "target error must be positive");
+    let z = t_critical(confidence, 1_000_000);
+    ((z * cv / target_rel_error).powi(2)).ceil().max(2.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = SampleStats::from_slice(&xs);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_table_extremes() {
+        assert!((t_critical(0.95, 1) - 12.706).abs() < 1e-9);
+        assert!((t_critical(0.95, 30) - 2.042).abs() < 1e-9);
+        assert!((t_critical(0.95, 10_000) - 1.960).abs() < 1e-9);
+        assert!((t_critical(0.99, 5) - 4.032).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported confidence")]
+    fn odd_confidence_rejected() {
+        let _ = t_critical(0.9, 10);
+    }
+
+    #[test]
+    fn interval_properties() {
+        let s = SampleStats::from_slice(&[10.0, 10.2, 9.8, 10.1, 9.9, 10.0]);
+        let ci = s.confidence_interval(CONFIDENCE_95);
+        assert!(ci.contains(10.0));
+        assert!(ci.relative_half_width(s.mean()) < 0.02);
+        let wider = s.confidence_interval(CONFIDENCE_99);
+        assert!(wider.half_width() > ci.half_width());
+    }
+
+    #[test]
+    fn sample_size_formula() {
+        // CV of 10%, 2% target error at 95%: (1.96*0.1/0.02)^2 = 96.04 -> 97.
+        assert_eq!(required_samples(0.10, 0.02, CONFIDENCE_95), 97);
+        // Tighter target needs more samples.
+        assert!(
+            required_samples(0.10, 0.01, CONFIDENCE_95)
+                > required_samples(0.10, 0.02, CONFIDENCE_95)
+        );
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = SampleStats::new();
+        s.extend([1.0, 2.0, 3.0]);
+        assert_eq!(s.n(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_of_constant_data_is_zero() {
+        let s = SampleStats::from_slice(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.cv(), 0.0);
+    }
+}

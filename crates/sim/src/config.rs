@@ -1,0 +1,344 @@
+//! Simulator configuration, with presets matching the paper's Section IV.
+
+use crate::bpred::PredictorKind;
+use serde::{Deserialize, Serialize};
+
+/// Core microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Fetch/dispatch/issue/commit width.
+    pub width: u32,
+    /// Reorder-buffer (instruction window) entries.
+    pub rob_entries: u32,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// L1 load-to-use latency in core cycles.
+    pub l1_latency: u32,
+    /// Maximum outstanding L1-D misses (MSHRs).
+    pub mshrs: u32,
+    /// Branch redirect penalty in core cycles (front-end refill after a
+    /// mispredicted branch resolves).
+    pub branch_penalty: u32,
+    /// Integer multiply / FP operation latency in cycles.
+    pub long_op_latency: u32,
+    /// Store-buffer entries (stores retire without blocking commit until
+    /// the buffer fills).
+    pub store_buffer: u32,
+    /// Next-line prefetch degree on an L1-D miss (0 disables — the
+    /// baseline; scale-out workloads' scattered accesses barely benefit,
+    /// streaming ones do: see the prefetch ablation).
+    pub prefetch_degree: u32,
+    /// Learning branch predictor. `None` (the default) uses the workload
+    /// profile's calibrated misprediction flags; `Some(kind)` replaces
+    /// them with a real predictor over synthetic per-PC behaviour.
+    pub branch_predictor: Option<PredictorKind>,
+}
+
+impl CoreConfig {
+    /// The paper's Cortex-A57-class core: 3-way OoO, 128-entry window,
+    /// 32 KB 2-way L1-I and L1-D.
+    pub fn cortex_a57() -> Self {
+        CoreConfig {
+            width: 3,
+            rob_entries: 128,
+            l1i: CacheConfig::new(32 * 1024, 2),
+            l1d: CacheConfig::new(32 * 1024, 2),
+            l1_latency: 3,
+            mshrs: 10,
+            branch_penalty: 14,
+            long_op_latency: 5,
+            store_buffer: 16,
+            prefetch_degree: 0,
+            branch_predictor: None,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::cortex_a57()
+    }
+}
+
+/// A set-associative cache's geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not a positive multiple of
+    /// `ways * `[`crate::LINE_BYTES`] or the set count is not a power of two.
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        assert!(ways > 0 && size_bytes > 0, "degenerate cache geometry");
+        let sets = size_bytes / (u64::from(ways) * crate::LINE_BYTES);
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "cache must have a power-of-two number of sets, got {sets}"
+        );
+        CacheConfig { size_bytes, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.ways) * crate::LINE_BYTES)
+    }
+}
+
+/// Shared LLC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LlcConfig {
+    /// Geometry of the whole LLC.
+    pub cache: CacheConfig,
+    /// Number of independent banks (address-interleaved).
+    pub banks: u32,
+    /// Bank access (service) time in picoseconds.
+    pub bank_service_ps: u64,
+    /// Invalidation round-trip latency in picoseconds (coherence).
+    pub invalidate_ps: u64,
+}
+
+impl LlcConfig {
+    /// The paper's per-cluster LLC: 4 MB, 16-way, 4 banks; ≈2 ns bank
+    /// access on the fixed uncore clock.
+    pub fn paper_cluster() -> Self {
+        LlcConfig {
+            cache: CacheConfig::new(4 * 1024 * 1024, 16),
+            banks: 4,
+            bank_service_ps: 2_000,
+            invalidate_ps: 4_000,
+        }
+    }
+}
+
+impl Default for LlcConfig {
+    fn default() -> Self {
+        Self::paper_cluster()
+    }
+}
+
+/// Crossbar parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XbarConfig {
+    /// One-way traversal latency in picoseconds.
+    pub traversal_ps: u64,
+    /// Port occupancy per 64-byte transfer in picoseconds (serialization).
+    pub port_occupancy_ps: u64,
+}
+
+impl XbarConfig {
+    /// The paper's cluster crossbar on the fixed uncore clock: ≈1 ns
+    /// traversal, ≈0.5 ns port occupancy per line.
+    pub fn paper_cluster() -> Self {
+        XbarConfig {
+            traversal_ps: 1_000,
+            port_occupancy_ps: 500,
+        }
+    }
+}
+
+impl Default for XbarConfig {
+    fn default() -> Self {
+        Self::paper_cluster()
+    }
+}
+
+/// DDR4 timing parameters, in DRAM clock cycles (tCK).
+///
+/// Names follow the JEDEC spec; values default to a DDR4-1600 grade as
+/// configured in the paper's DRAMSim2 setup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramTimingConfig {
+    /// DRAM clock period in picoseconds (DDR4-1600: 1250 ps, 800 MHz clock,
+    /// 1600 MT/s).
+    pub tck_ps: u64,
+    /// CAS latency (READ to data).
+    pub cl: u32,
+    /// RAS-to-CAS delay (ACT to READ/WRITE).
+    pub trcd: u32,
+    /// Row precharge time.
+    pub trp: u32,
+    /// Minimum row-active time (ACT to PRE).
+    pub tras: u32,
+    /// Write recovery time (end of write data to PRE).
+    pub twr: u32,
+    /// CAS-to-CAS delay, same bank group.
+    pub tccd: u32,
+    /// ACT-to-ACT delay, different banks.
+    pub trrd: u32,
+    /// Four-activate window.
+    pub tfaw: u32,
+    /// Write latency (WRITE to data).
+    pub cwl: u32,
+    /// Burst length in beats (BL8 for DDR4).
+    pub burst_beats: u32,
+    /// Channels in the memory system.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Bank groups per rank.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Row-buffer (page) size in bytes per rank.
+    pub row_bytes: u64,
+}
+
+impl DramTimingConfig {
+    /// The paper's memory: 4 channels of DDR4-1600, 4 ranks per channel,
+    /// Micron 4 Gbit parts (4 bank groups × 4 banks, 8 KB page per rank).
+    pub fn ddr4_1600_paper() -> Self {
+        DramTimingConfig {
+            tck_ps: 1_250,
+            cl: 11,
+            trcd: 11,
+            trp: 11,
+            tras: 28,
+            twr: 12,
+            tccd: 5,
+            trrd: 5,
+            tfaw: 24,
+            cwl: 9,
+            burst_beats: 8,
+            channels: 4,
+            ranks: 4,
+            bank_groups: 4,
+            banks_per_group: 4,
+            row_bytes: 8 * 1024,
+        }
+    }
+
+    /// Burst transfer time on the data bus in picoseconds: BL8 moves in
+    /// `burst_beats / 2` clocks (double data rate).
+    pub fn burst_ps(&self) -> u64 {
+        u64::from(self.burst_beats / 2) * self.tck_ps
+    }
+
+    /// Total banks per channel.
+    pub fn banks_per_channel(&self) -> u32 {
+        self.ranks * self.bank_groups * self.banks_per_group
+    }
+
+    /// Idle (open-row hit) read latency in picoseconds: CL + burst.
+    pub fn row_hit_read_ps(&self) -> u64 {
+        u64::from(self.cl) * self.tck_ps + self.burst_ps()
+    }
+}
+
+impl Default for DramTimingConfig {
+    fn default() -> Self {
+        Self::ddr4_1600_paper()
+    }
+}
+
+/// Top-level simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of cores in the cluster.
+    pub cores: u32,
+    /// Core clock frequency in MHz (the swept knob).
+    pub core_mhz: f64,
+    /// Core microarchitecture.
+    pub core: CoreConfig,
+    /// Shared LLC.
+    pub llc: LlcConfig,
+    /// Crossbar.
+    pub xbar: XbarConfig,
+    /// DRAM timing.
+    pub dram: DramTimingConfig,
+    /// RNG seed for any stochastic stream driving the simulation.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's simulated unit: a 4-core Cortex-A57 cluster with a 4 MB
+    /// LLC over a crossbar and 4 channels of DDR4-1600, at the given core
+    /// frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_mhz` is not positive and finite.
+    pub fn paper_cluster(core_mhz: f64) -> Self {
+        assert!(
+            core_mhz.is_finite() && core_mhz > 0.0,
+            "core frequency must be positive, got {core_mhz}"
+        );
+        SimConfig {
+            cores: 4,
+            core_mhz,
+            core: CoreConfig::cortex_a57(),
+            llc: LlcConfig::paper_cluster(),
+            xbar: XbarConfig::paper_cluster(),
+            dram: DramTimingConfig::ddr4_1600_paper(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Overrides the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Core clock period in picoseconds.
+    pub fn core_period_ps(&self) -> u64 {
+        crate::period_ps(self.core_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_section_iv() {
+        let c = SimConfig::paper_cluster(2000.0);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.core.width, 3);
+        assert_eq!(c.core.rob_entries, 128);
+        assert_eq!(c.core.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.core.l1d.ways, 2);
+        assert_eq!(c.llc.cache.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.llc.cache.ways, 16);
+        assert_eq!(c.llc.banks, 4);
+        assert_eq!(c.dram.channels, 4);
+        assert_eq!(c.dram.ranks, 4);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CacheConfig::new(32 * 1024, 2);
+        assert_eq!(c.sets(), 256);
+        let llc = CacheConfig::new(4 * 1024 * 1024, 16);
+        assert_eq!(llc.sets(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheConfig::new(48 * 1024, 2);
+    }
+
+    #[test]
+    fn ddr4_1600_derived_times() {
+        let d = DramTimingConfig::ddr4_1600_paper();
+        assert_eq!(d.burst_ps(), 5_000); // 4 clocks at 1.25 ns
+        assert_eq!(d.row_hit_read_ps(), 11 * 1250 + 5000);
+        assert_eq!(d.banks_per_channel(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_bad_frequency() {
+        let _ = SimConfig::paper_cluster(-1.0);
+    }
+}

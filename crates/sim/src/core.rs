@@ -1,0 +1,609 @@
+//! Out-of-order core timing model.
+//!
+//! A 3-way, 128-entry-window core in the style of the Cortex-A57 (paper
+//! Sec. IV). The model captures the mechanisms that shape UIPC versus
+//! frequency:
+//!
+//! * **window-limited memory-level parallelism** — independent loads issue
+//!   while an older miss is outstanding, until the ROB or the MSHRs fill;
+//! * **dependency-limited ILP** — instructions wait for producers named by
+//!   the stream's dependency distances;
+//! * **front-end stalls** — L1-I misses and branch-mispredict redirects
+//!   starve dispatch;
+//! * **clock-domain scaling** — memory completion times arrive in
+//!   picoseconds and are converted to core cycles at the current period, so
+//!   a slower core sees fewer stall cycles per miss.
+//!
+//! The core is execution-driven by an [`InstructionStream`]; it does not
+//! interpret values, only timing.
+
+use crate::bpred::{BranchPredictor, SyntheticBranchBehaviour};
+use crate::cache::{AccessOutcome, SetAssocArray};
+use crate::config::CoreConfig;
+use crate::instr::{InstructionStream, OpClass};
+use crate::memsys::{MemRequestKind, MemTicket, MemorySystem};
+use crate::stats::CoreStats;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Stage {
+    /// Waiting for operands (producer sequence number, if any).
+    Waiting,
+    /// Executing; completes at the given core cycle.
+    Executing { done_cycle: u64 },
+    /// Waiting for a memory fill.
+    Memory { ticket: MemTicket },
+    /// Result available at the given cycle; commit when it reaches the head.
+    Done { done_cycle: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    op: OpClass,
+    addr: u64,
+    dep_seq: Option<u64>,
+    is_user: bool,
+    stage: Stage,
+}
+
+/// One out-of-order core.
+#[derive(Debug)]
+pub struct Core {
+    id: u32,
+    cfg: CoreConfig,
+    l1i: SetAssocArray<()>,
+    l1d: SetAssocArray<()>,
+    rob: std::collections::VecDeque<RobEntry>,
+    /// Sequence number of the next fetched instruction.
+    next_seq: u64,
+    /// Completion cycles of recently committed producers (seq -> cycle).
+    committed_ready: std::collections::HashMap<u64, u64>,
+    /// Fetch is stalled until this cycle (branch redirect).
+    fetch_stall_until: u64,
+    /// Fetch is blocked on this instruction-fetch miss.
+    ifetch_miss: Option<MemTicket>,
+    /// Branch whose resolution will restart fetch.
+    redirect_on: Option<u64>,
+    /// Outstanding data misses (MSHR occupancy).
+    outstanding_data: u32,
+    /// Background store (read-for-ownership) fills in flight.
+    pending_stores: Vec<MemTicket>,
+    /// Optional learning branch predictor (with its synthetic ground
+    /// truth); `None` uses the stream's calibrated flags.
+    bpred: Option<(BranchPredictor, SyntheticBranchBehaviour)>,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Builds an idle core.
+    pub fn new(id: u32, cfg: CoreConfig) -> Self {
+        Core {
+            id,
+            cfg,
+            l1i: SetAssocArray::new(cfg.l1i),
+            l1d: SetAssocArray::new(cfg.l1d),
+            rob: std::collections::VecDeque::with_capacity(cfg.rob_entries as usize),
+            next_seq: 0,
+            committed_ready: std::collections::HashMap::new(),
+            fetch_stall_until: 0,
+            ifetch_miss: None,
+            redirect_on: None,
+            outstanding_data: 0,
+            pending_stores: Vec::new(),
+            bpred: cfg
+                .branch_predictor
+                .map(|k| (BranchPredictor::new(k), SyntheticBranchBehaviour::new())),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The learning predictor's misprediction rate, if one is configured.
+    pub fn predictor_rate(&self) -> Option<f64> {
+        self.bpred.as_ref().map(|(p, _)| p.misprediction_rate())
+    }
+
+    /// The core's id within the cluster.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Installs a line in the L1-D without timing or statistics
+    /// (checkpoint-style warming).
+    pub fn install_l1d(&mut self, line_addr: u64) {
+        let _ = self.l1d.access(line_addr, false);
+    }
+
+    /// Installs a line in the L1-I without timing or statistics
+    /// (checkpoint-style warming).
+    pub fn install_l1i(&mut self, line_addr: u64) {
+        let _ = self.l1i.access(line_addr, false);
+    }
+
+    /// Applies a coherence invalidation to the L1-D; returns the dirty flag
+    /// if the line was present and modified (the cluster posts the
+    /// write-back).
+    pub fn invalidate_l1d(&mut self, line_addr: u64) -> bool {
+        self.l1d.invalidate(line_addr).unwrap_or(false)
+    }
+
+    /// Runs one core cycle: commit → complete → issue → fetch/dispatch.
+    ///
+    /// `cycle` is the core-clock cycle index; `now_ps` its absolute time;
+    /// `period_ps` the current clock period.
+    pub fn tick<S: InstructionStream>(
+        &mut self,
+        stream: &mut S,
+        mem: &mut MemorySystem,
+        cycle: u64,
+        now_ps: u64,
+        period_ps: u64,
+    ) {
+        self.commit(cycle);
+        self.complete_memory(mem, cycle, now_ps, period_ps);
+        self.issue(mem, cycle, now_ps);
+        self.fetch(stream, mem, cycle, now_ps);
+        self.stats.cycles = cycle + 1;
+    }
+
+    fn commit(&mut self, cycle: u64) {
+        for _ in 0..self.cfg.width {
+            match self.rob.front() {
+                Some(e) => match e.stage {
+                    Stage::Done { done_cycle } if done_cycle <= cycle => {
+                        let e = self.rob.pop_front().expect("front exists");
+                        if e.is_user {
+                            self.stats.user_instrs += 1;
+                        } else {
+                            self.stats.os_instrs += 1;
+                        }
+                        // Keep the completion time visible for dependents
+                        // still in the window.
+                        self.committed_ready.insert(e.seq, done_cycle);
+                        // Bound the map: entries older than the window depth
+                        // can no longer be referenced.
+                        if self.committed_ready.len() > 4 * self.cfg.rob_entries as usize {
+                            let horizon = e.seq.saturating_sub(u64::from(self.cfg.rob_entries));
+                            self.committed_ready.retain(|&s, _| s >= horizon);
+                        }
+                    }
+                    _ => break,
+                },
+                None => break,
+            }
+        }
+    }
+
+    fn complete_memory(
+        &mut self,
+        mem: &mut MemorySystem,
+        cycle: u64,
+        now_ps: u64,
+        period_ps: u64,
+    ) {
+        for e in self.rob.iter_mut() {
+            if let Stage::Memory { ticket } = e.stage {
+                if let Some(done_ps) = mem.poll(ticket, now_ps) {
+                    // Convert to core cycles (round up to the next edge).
+                    let extra = done_ps.saturating_sub(now_ps);
+                    let done_cycle = cycle + extra.div_ceil(period_ps).max(0) + 1;
+                    e.stage = Stage::Done {
+                        done_cycle: done_cycle.max(cycle),
+                    };
+                    self.outstanding_data = self.outstanding_data.saturating_sub(1);
+                }
+            } else if let Stage::Executing { done_cycle } = e.stage {
+                if done_cycle <= cycle {
+                    e.stage = Stage::Done { done_cycle };
+                }
+            }
+        }
+        // Restart fetch after an I-miss fill.
+        if let Some(t) = self.ifetch_miss {
+            if let Some(done_ps) = mem.poll(t, now_ps) {
+                let extra = done_ps.saturating_sub(now_ps);
+                self.fetch_stall_until = cycle + extra.div_ceil(period_ps) + 1;
+                self.ifetch_miss = None;
+            }
+        }
+    }
+
+    fn producer_ready(&self, dep_seq: u64, cycle: u64) -> Option<u64> {
+        // Committed producers are ready at their recorded completion.
+        if let Some(&c) = self.committed_ready.get(&dep_seq) {
+            return Some(c.min(cycle));
+        }
+        // Otherwise the producer must be in the window.
+        for e in &self.rob {
+            if e.seq == dep_seq {
+                return match e.stage {
+                    Stage::Done { done_cycle } if done_cycle <= cycle => Some(done_cycle),
+                    _ => None,
+                };
+            }
+        }
+        // Not found at all: older than tracking horizon — long retired.
+        Some(0)
+    }
+
+    fn issue(&mut self, mem: &mut MemorySystem, cycle: u64, now_ps: u64) {
+        let mut issued = 0;
+        let width = self.cfg.width;
+        let l1_latency = u64::from(self.cfg.l1_latency);
+        let long_lat = u64::from(self.cfg.long_op_latency);
+        let mshrs = self.cfg.mshrs;
+        let core_id = self.id;
+
+        let mut resolved_redirect: Option<u64> = None;
+        for idx in 0..self.rob.len() {
+            if issued >= width {
+                break;
+            }
+            let (seq, op, addr, dep_seq, stage) = {
+                let e = &self.rob[idx];
+                (e.seq, e.op, e.addr, e.dep_seq, e.stage)
+            };
+            if stage != Stage::Waiting {
+                continue;
+            }
+            // Operand check.
+            if let Some(d) = dep_seq {
+                if self.producer_ready(d, cycle).is_none() {
+                    continue;
+                }
+            }
+            let new_stage = match op {
+                OpClass::IntAlu => Stage::Executing {
+                    done_cycle: cycle + 1,
+                },
+                OpClass::IntLong | OpClass::Fp => Stage::Executing {
+                    done_cycle: cycle + long_lat,
+                },
+                OpClass::Branch { mispredicted } => {
+                    if mispredicted && self.redirect_on == Some(seq) {
+                        resolved_redirect = Some(cycle + 1);
+                    }
+                    Stage::Executing {
+                        done_cycle: cycle + 1,
+                    }
+                }
+                OpClass::Load => {
+                    let line = SetAssocArray::<()>::align(addr);
+                    match self.l1d.access(line, false) {
+                        AccessOutcome::Hit => Stage::Executing {
+                            done_cycle: cycle + l1_latency,
+                        },
+                        AccessOutcome::Miss { victim } => {
+                            if self.outstanding_data >= mshrs {
+                                // No MSHR: un-allocate pressure by retrying.
+                                // (The line was allocated; treat as a hit
+                                // next time — minor inaccuracy, bounded by
+                                // MSHR stalls being rare.)
+                                continue;
+                            }
+                            if let Some(v) = victim {
+                                if v.dirty {
+                                    mem.writeback(core_id, v.line_addr, now_ps);
+                                    self.stats.l1d_writebacks += 1;
+                                }
+                            }
+                            self.stats.l1d_misses += 1;
+                            self.outstanding_data += 1;
+                            let t = mem.submit(core_id, line, MemRequestKind::Load, now_ps);
+                            for d in 1..=self.cfg.prefetch_degree {
+                                mem.submit_prefetch(
+                                    core_id,
+                                    line + u64::from(d) * crate::LINE_BYTES,
+                                    now_ps,
+                                );
+                            }
+                            Stage::Memory { ticket: t }
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    let line = SetAssocArray::<()>::align(addr);
+                    match self.l1d.access(line, true) {
+                        AccessOutcome::Hit => Stage::Executing {
+                            done_cycle: cycle + 1,
+                        },
+                        AccessOutcome::Miss { victim } => {
+                            if let Some(v) = victim {
+                                if v.dirty {
+                                    mem.writeback(core_id, v.line_addr, now_ps);
+                                    self.stats.l1d_writebacks += 1;
+                                }
+                            }
+                            self.stats.l1d_misses += 1;
+                            // Read-for-ownership in the background; the
+                            // store retires into the store buffer without
+                            // blocking commit, but it does consume memory
+                            // bandwidth and an MSHR if available.
+                            if self.outstanding_data < mshrs {
+                                self.outstanding_data += 1;
+                                let t =
+                                    mem.submit(core_id, line, MemRequestKind::Store, now_ps);
+                                self.pending_stores.push(t);
+                            }
+                            Stage::Executing {
+                                done_cycle: cycle + 1,
+                            }
+                        }
+                    }
+                }
+            };
+            self.rob[idx].stage = new_stage;
+            if op.is_memory() {
+                self.stats.l1d_accesses += 1;
+            }
+            issued += 1;
+        }
+        // Retire background store fills.
+        let mut freed = 0u32;
+        self.pending_stores.retain(|&t| {
+            if mem.poll(t, now_ps).is_some() {
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.outstanding_data = self.outstanding_data.saturating_sub(freed);
+        if let Some(resolve_cycle) = resolved_redirect {
+            self.fetch_stall_until = resolve_cycle + u64::from(self.cfg.branch_penalty);
+            self.redirect_on = None;
+            self.stats.branch_redirects += 1;
+        }
+    }
+
+    fn fetch<S: InstructionStream>(
+        &mut self,
+        stream: &mut S,
+        mem: &mut MemorySystem,
+        cycle: u64,
+        now_ps: u64,
+    ) {
+        if self.ifetch_miss.is_some()
+            || self.redirect_on.is_some()
+            || cycle < self.fetch_stall_until
+        {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.rob.len() >= self.cfg.rob_entries as usize {
+                self.stats.rob_full_cycles += 1;
+                break;
+            }
+            let instr = stream.next_instr();
+            // Instruction fetch: touch the L1-I at line granularity.
+            let iline = SetAssocArray::<()>::align(instr.pc);
+            if let AccessOutcome::Miss { .. } = self.l1i.access(iline, false) {
+                self.stats.l1i_misses += 1;
+                let t = mem.submit(self.id, iline, MemRequestKind::IFetch, now_ps);
+                self.ifetch_miss = Some(t);
+                // The missing instruction still dispatches (it is in the
+                // fetch group that triggered the fill).
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let dep_seq = if instr.dep_dist > 0 {
+                seq.checked_sub(u64::from(instr.dep_dist))
+            } else {
+                None
+            };
+            // With a learning predictor configured, the redirect decision
+            // comes from predicting the synthetic ground truth instead of
+            // the stream's calibrated flag.
+            let op = if let (OpClass::Branch { .. }, Some((pred, truth))) =
+                (instr.op, self.bpred.as_mut())
+            {
+                let taken = truth.outcome(instr.pc);
+                let wrong = pred.update(instr.pc, taken);
+                OpClass::Branch {
+                    mispredicted: wrong,
+                }
+            } else {
+                instr.op
+            };
+            let mispredicted = matches!(op, OpClass::Branch { mispredicted: true });
+            self.rob.push_back(RobEntry {
+                seq,
+                op,
+                addr: instr.addr,
+                dep_seq,
+                is_user: instr.is_user,
+                stage: Stage::Waiting,
+            });
+            self.stats.dispatched += 1;
+            if mispredicted {
+                // Fetch goes down the wrong path: stall until this branch
+                // resolves, then pay the redirect penalty.
+                self.redirect_on = Some(seq);
+                break;
+            }
+            if self.ifetch_miss.is_some() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::instr::Instr;
+
+    struct AluStream;
+    impl InstructionStream for AluStream {
+        fn next_instr(&mut self) -> Instr {
+            Instr::alu(0x1000)
+        }
+    }
+
+    struct DepChainStream;
+    impl InstructionStream for DepChainStream {
+        fn next_instr(&mut self) -> Instr {
+            Instr::alu(0x1000).with_dep(1)
+        }
+    }
+
+    fn run<S: InstructionStream>(stream: &mut S, cycles: u64) -> CoreStats {
+        let cfg = SimConfig::paper_cluster(1000.0);
+        let mut mem = MemorySystem::new(&cfg);
+        let mut core = Core::new(0, cfg.core);
+        let period = cfg.core_period_ps();
+        for c in 0..cycles {
+            let now = c * period;
+            core.tick(stream, &mut mem, c, now, period);
+            mem.tick(now + period);
+        }
+        core.stats().clone()
+    }
+
+    #[test]
+    fn independent_alu_stream_approaches_full_width() {
+        let s = run(&mut AluStream, 3000);
+        let ipc = s.ipc();
+        assert!(
+            ipc > 2.5,
+            "independent ALU ops should sustain near 3-wide, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn serial_dependency_chain_limits_ipc_to_one() {
+        let s = run(&mut DepChainStream, 3000);
+        let ipc = s.ipc();
+        assert!(
+            ipc < 1.2 && ipc > 0.5,
+            "a serial chain must bound IPC near 1, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_redirects() {
+        struct Branchy(u32);
+        impl InstructionStream for Branchy {
+            fn next_instr(&mut self) -> Instr {
+                self.0 = self.0.wrapping_add(1);
+                if self.0 % 20 == 0 {
+                    Instr {
+                        op: OpClass::Branch { mispredicted: true },
+                        pc: 0x1000,
+                        addr: 0,
+                        dep_dist: 0,
+                        is_user: true,
+                    }
+                } else {
+                    Instr::alu(0x1000)
+                }
+            }
+        }
+        let s = run(&mut Branchy(0), 3000);
+        assert!(s.branch_redirects > 10);
+        assert!(
+            s.ipc() < 2.0,
+            "redirect stalls must depress IPC, got {}",
+            s.ipc()
+        );
+    }
+
+    #[test]
+    fn loads_hitting_l1_barely_slow_the_core() {
+        struct HotLoads(u64);
+        impl InstructionStream for HotLoads {
+            fn next_instr(&mut self) -> Instr {
+                self.0 += 1;
+                if self.0 % 4 == 0 {
+                    // 16 hot lines, always hitting after warm-up.
+                    Instr::load(0x1000, (self.0 % 16) * 64)
+                } else {
+                    Instr::alu(0x1000)
+                }
+            }
+        }
+        let s = run(&mut HotLoads(0), 3000);
+        assert!(s.ipc() > 2.0, "L1-resident loads are cheap, got {}", s.ipc());
+        assert!(s.l1d_misses <= 16);
+    }
+
+    #[test]
+    fn cache_missing_loads_crush_ipc_at_high_frequency() {
+        struct ColdLoads(u64);
+        impl InstructionStream for ColdLoads {
+            fn next_instr(&mut self) -> Instr {
+                self.0 += 1;
+                if self.0 % 4 == 0 {
+                    // Every load a fresh line, serially dependent so MLP=1.
+                    Instr::load(0x1000, self.0 * 64 * 4096).with_dep(4)
+                } else {
+                    Instr::alu(0x1000)
+                }
+            }
+        }
+        let s = run(&mut ColdLoads(0), 5000);
+        assert!(
+            s.ipc() < 0.6,
+            "serial DRAM misses must crush IPC, got {}",
+            s.ipc()
+        );
+    }
+
+    #[test]
+    fn slow_clock_hides_memory_latency() {
+        struct ColdLoads(u64);
+        impl InstructionStream for ColdLoads {
+            fn next_instr(&mut self) -> Instr {
+                self.0 += 1;
+                if self.0 % 4 == 0 {
+                    Instr::load(0x1000, self.0 * 64 * 4096).with_dep(4)
+                } else {
+                    Instr::alu(0x1000)
+                }
+            }
+        }
+        let run_at = |mhz: f64| {
+            let cfg = SimConfig::paper_cluster(mhz);
+            let mut mem = MemorySystem::new(&cfg);
+            let mut core = Core::new(0, cfg.core);
+            let mut s = ColdLoads(0);
+            let period = cfg.core_period_ps();
+            for c in 0..5000u64 {
+                let now = c * period;
+                core.tick(&mut s, &mut mem, c, now, period);
+                mem.tick(now + period);
+            }
+            core.stats().ipc()
+        };
+        let ipc_fast = run_at(2000.0);
+        let ipc_slow = run_at(200.0);
+        assert!(
+            ipc_slow > ipc_fast * 1.5,
+            "at 200 MHz DRAM latency shrinks in cycles: {ipc_slow} vs {ipc_fast}"
+        );
+    }
+
+    #[test]
+    fn os_instructions_count_separately() {
+        struct Mixed(u64);
+        impl InstructionStream for Mixed {
+            fn next_instr(&mut self) -> Instr {
+                self.0 += 1;
+                if self.0 % 5 == 0 {
+                    Instr::alu(0x9000).as_os()
+                } else {
+                    Instr::alu(0x1000)
+                }
+            }
+        }
+        let s = run(&mut Mixed(0), 2000);
+        assert!(s.os_instrs > 0);
+        let frac = s.os_instrs as f64 / (s.user_instrs + s.os_instrs) as f64;
+        assert!((frac - 0.2).abs() < 0.02, "OS fraction should be ~20%, got {frac}");
+    }
+}

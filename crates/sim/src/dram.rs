@@ -1,0 +1,548 @@
+//! DDR4 timing model in the spirit of DRAMSim2.
+//!
+//! Models what dominates DRAM latency and bandwidth under load:
+//!
+//! * per-bank row-buffer state — row hits pay only CAS latency, conflicts
+//!   pay precharge + activate + CAS;
+//! * JEDEC timing windows: `tRCD`, `tRP`, `tRAS`, `tWR`, `tCCD`, `tRRD` and
+//!   the four-activate window `tFAW`;
+//! * data-bus serialization per channel (BL8 bursts);
+//! * **FR-FCFS scheduling**: among queued requests, row hits go first,
+//!   then the oldest request — the policy the paper configures in DRAMSim2.
+//!
+//! Time is continuous picoseconds; the cluster calls
+//! [`DramSystem::tick`] every core cycle and the scheduler catches up to the
+//! current time, issuing as many commands as the windows allow. Refresh is
+//! not modelled in timing (its ~2-3 % bandwidth tax is folded into the power
+//! model's background term); this is the one deliberate simplification
+//! relative to DRAMSim2, noted in DESIGN.md.
+
+use crate::config::DramTimingConfig;
+use crate::LINE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Ticket identifying an outstanding read.
+pub type DramTicket = u64;
+
+/// Physical location of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAddress {
+    /// Channel index.
+    pub channel: u32,
+    /// Flat bank index within the channel (rank-major).
+    pub bank: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Completed read bursts.
+    pub reads: u64,
+    /// Completed write bursts.
+    pub writes: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Accesses that required activate (closed or conflicting row).
+    pub row_misses: u64,
+}
+
+impl DramStats {
+    /// Bytes read from DRAM.
+    pub fn bytes_read(&self) -> u64 {
+        self.reads * LINE_BYTES
+    }
+
+    /// Bytes written to DRAM.
+    pub fn bytes_written(&self) -> u64 {
+        self.writes * LINE_BYTES
+    }
+
+    /// Row-buffer hit rate over all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest time the next column command (RD/WR) may issue.
+    cas_ready: u64,
+    /// Earliest time a precharge may issue (tRAS from last ACT, tWR after
+    /// writes).
+    pre_ready: u64,
+    /// Earliest time an activate may issue (tRP after precharge).
+    act_ready: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank {
+            open_row: None,
+            cas_ready: 0,
+            pre_ready: 0,
+            act_ready: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    ticket: Option<DramTicket>,
+    owner: u32,
+    line_addr: u64,
+    write: bool,
+    arrive_ps: u64,
+    seq: u64,
+}
+
+/// "Long ago" sentinel for activate history: far enough in the past that no
+/// timing window constrains the first commands, without risking overflow.
+const NEVER: i64 = i64::MIN / 4;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Rank {
+    /// Times of the last four activates (for tFAW), oldest first.
+    act_history: [i64; 4],
+    /// Time of the most recent activate (for tRRD).
+    last_act: i64,
+}
+
+impl Default for Rank {
+    fn default() -> Self {
+        Rank {
+            act_history: [NEVER; 4],
+            last_act: NEVER,
+        }
+    }
+}
+
+/// Clamps an i64 timing bound to the u64 time line.
+fn bound(t: i64) -> u64 {
+    t.max(0) as u64
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    banks: Vec<Bank>,
+    ranks: Vec<Rank>,
+    /// Data-bus free time.
+    bus_free: u64,
+    queue: Vec<Pending>,
+}
+
+impl Channel {
+    fn new(cfg: &DramTimingConfig) -> Self {
+        Channel {
+            banks: vec![Bank::default(); cfg.banks_per_channel() as usize],
+            ranks: vec![Rank::default(); cfg.ranks as usize],
+            bus_free: 0,
+            queue: Vec::new(),
+        }
+    }
+}
+
+/// The memory system: channels, ranks, banks and their schedulers.
+#[derive(Debug)]
+pub struct DramSystem {
+    cfg: DramTimingConfig,
+    channels: Vec<Channel>,
+    next_ticket: DramTicket,
+    next_seq: u64,
+    completed: std::collections::HashMap<u32, Vec<(DramTicket, u64)>>,
+    stats: DramStats,
+}
+
+impl DramSystem {
+    /// Builds an idle memory system.
+    pub fn new(cfg: DramTimingConfig) -> Self {
+        let channels = (0..cfg.channels).map(|_| Channel::new(&cfg)).collect();
+        DramSystem {
+            cfg,
+            channels,
+            next_ticket: 1,
+            next_seq: 0,
+            completed: std::collections::HashMap::new(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &DramTimingConfig {
+        &self.cfg
+    }
+
+    /// Maps a line address to its channel/rank/bank/row.
+    ///
+    /// Channel-interleaved at line granularity with 128 consecutive
+    /// per-channel lines per row, so streaming access patterns enjoy row
+    /// hits while spreading across channels.
+    pub fn map(&self, line_addr: u64) -> DramAddress {
+        let block = line_addr / LINE_BYTES;
+        let channel = (block % u64::from(self.cfg.channels)) as u32;
+        let x = block / u64::from(self.cfg.channels);
+        let lines_per_row = self.cfg.row_bytes / LINE_BYTES;
+        let y = x / lines_per_row;
+        let banks = u64::from(self.cfg.banks_per_channel());
+        let bank = (y % banks) as u32;
+        let row = y / banks;
+        let banks_per_rank = u64::from(self.cfg.bank_groups * self.cfg.banks_per_group);
+        let rank = (u64::from(bank) / banks_per_rank) as u32;
+        DramAddress {
+            channel,
+            bank,
+            rank,
+            row,
+        }
+    }
+
+    /// Enqueues a read; returns a ticket to poll for completion.
+    pub fn read(&mut self, line_addr: u64, arrive_ps: u64) -> DramTicket {
+        self.read_for(0, line_addr, arrive_ps)
+    }
+
+    /// Enqueues a read on behalf of `owner` (one memory controller client,
+    /// e.g. a cluster); its completion is delivered through
+    /// [`DramSystem::drain_completed_for`] with the same owner.
+    pub fn read_for(&mut self, owner: u32, line_addr: u64, arrive_ps: u64) -> DramTicket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.enqueue(Some(ticket), owner, line_addr, false, arrive_ps);
+        ticket
+    }
+
+    /// Enqueues a write (fire-and-forget: LLC write-backs do not block
+    /// anyone).
+    pub fn write(&mut self, line_addr: u64, arrive_ps: u64) {
+        self.enqueue(None, 0, line_addr, true, arrive_ps);
+    }
+
+    fn enqueue(
+        &mut self,
+        ticket: Option<DramTicket>,
+        owner: u32,
+        line_addr: u64,
+        write: bool,
+        arrive: u64,
+    ) {
+        let ch = self.map(line_addr).channel as usize;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.channels[ch].queue.push(Pending {
+            ticket,
+            owner,
+            line_addr,
+            write,
+            arrive_ps: arrive,
+            seq,
+        });
+    }
+
+    /// Number of requests still queued across all channels.
+    pub fn pending(&self) -> usize {
+        self.channels.iter().map(|c| c.queue.len()).sum()
+    }
+
+    /// Drains completions for the default owner: `(ticket, done_ps)` pairs.
+    pub fn drain_completed(&mut self) -> Vec<(DramTicket, u64)> {
+        self.drain_completed_for(0)
+    }
+
+    /// Drains completions recorded for a specific owner.
+    pub fn drain_completed_for(&mut self, owner: u32) -> Vec<(DramTicket, u64)> {
+        self.completed.remove(&owner).unwrap_or_default()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Advances every channel's scheduler up to `until_ps`, issuing all
+    /// commands whose timing windows open before then.
+    pub fn tick(&mut self, until_ps: u64) {
+        for ch in 0..self.channels.len() {
+            self.tick_channel(ch, until_ps);
+        }
+    }
+
+    fn tick_channel(&mut self, ch: usize, until_ps: u64) {
+        loop {
+            // FR-FCFS: choose among arrived requests — row hits first
+            // (oldest row hit), then the oldest request overall.
+            let (best_idx, start) = {
+                let chan = &self.channels[ch];
+                let mut best: Option<(usize, u64, bool, u64)> = None; // idx, start, hit, seq
+                for (i, p) in chan.queue.iter().enumerate() {
+                    if p.arrive_ps > until_ps {
+                        continue;
+                    }
+                    let addr = self.map(p.line_addr);
+                    let bank = &chan.banks[addr.bank as usize];
+                    let hit = bank.open_row == Some(addr.row);
+                    let start = self.earliest_start(chan, addr, p);
+                    let cand = (i, start, hit, p.seq);
+                    best = Some(match best {
+                        None => cand,
+                        Some(b) => {
+                            // Prefer row hits; among equals prefer age.
+                            let better = match (hit, b.2) {
+                                (true, false) => true,
+                                (false, true) => false,
+                                _ => p.seq < b.3,
+                            };
+                            if better {
+                                cand
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                match best {
+                    Some((i, s, _, _)) if s < until_ps => (i, s),
+                    _ => break,
+                }
+            };
+            let p = self.channels[ch].queue.swap_remove(best_idx);
+            self.issue(ch, p, start);
+        }
+    }
+
+    /// Earliest time the *first command* of this request can issue.
+    fn earliest_start(&self, chan: &Channel, addr: DramAddress, p: &Pending) -> u64 {
+        let bank = &chan.banks[addr.bank as usize];
+        let t = p.arrive_ps;
+        match bank.open_row {
+            Some(row) if row == addr.row => t.max(bank.cas_ready),
+            Some(_) => t.max(bank.pre_ready),
+            None => t.max(bank.act_ready).max(self.act_window_ready(chan, addr)),
+        }
+    }
+
+    fn act_window_ready(&self, chan: &Channel, addr: DramAddress) -> u64 {
+        let rank = &chan.ranks[addr.rank as usize];
+        let faw = rank.act_history[0] + (u64::from(self.cfg.tfaw) * self.cfg.tck_ps) as i64;
+        let rrd = rank.last_act + (u64::from(self.cfg.trrd) * self.cfg.tck_ps) as i64;
+        bound(faw.max(rrd))
+    }
+
+    fn issue(&mut self, ch: usize, p: Pending, start: u64) {
+        let cfg = self.cfg;
+        let tck = cfg.tck_ps;
+        let addr = self.map(p.line_addr);
+        let chan = &mut self.channels[ch];
+
+        // Resolve the row: possibly PRE + ACT before the column command.
+        let bank = &mut chan.banks[addr.bank as usize];
+        let mut t = start;
+        let hit = bank.open_row == Some(addr.row);
+        if !hit {
+            if bank.open_row.is_some() {
+                // Precharge the conflicting row.
+                let pre = t.max(bank.pre_ready);
+                bank.act_ready = pre + u64::from(cfg.trp) * tck;
+                t = bank.act_ready;
+            }
+            // Activate (respect tRRD/tFAW through the rank history).
+            let rank = &mut chan.ranks[addr.rank as usize];
+            let act = t
+                .max(bank.act_ready)
+                .max(bound(
+                    rank.act_history[0] + (u64::from(cfg.tfaw) * tck) as i64,
+                ))
+                .max(bound(rank.last_act + (u64::from(cfg.trrd) * tck) as i64));
+            rank.act_history.rotate_left(1);
+            rank.act_history[3] = act as i64;
+            rank.last_act = act as i64;
+            bank.open_row = Some(addr.row);
+            bank.cas_ready = act + u64::from(cfg.trcd) * tck;
+            bank.pre_ready = act + u64::from(cfg.tras) * tck;
+            t = bank.cas_ready;
+            self.stats.row_misses += 1;
+        } else {
+            t = t.max(bank.cas_ready);
+            self.stats.row_hits += 1;
+        }
+
+        // Column command: wait for the data bus slot.
+        let (lat_clocks, recovery) = if p.write {
+            (u64::from(cfg.cwl), u64::from(cfg.twr) * tck)
+        } else {
+            (u64::from(cfg.cl), 0)
+        };
+        let data_start_min = chan.bus_free.max(t + lat_clocks * tck);
+        let cas_at = data_start_min - lat_clocks * tck;
+        let data_start = cas_at + lat_clocks * tck;
+        let data_end = data_start + cfg.burst_ps();
+        chan.bus_free = data_end;
+        bank.cas_ready = cas_at + u64::from(cfg.tccd) * tck;
+        if p.write {
+            bank.pre_ready = bank.pre_ready.max(data_end + recovery);
+            self.stats.writes += 1;
+        } else {
+            bank.pre_ready = bank.pre_ready.max(cas_at + u64::from(cfg.tras / 2) * tck);
+            self.stats.reads += 1;
+        }
+
+        if let Some(ticket) = p.ticket {
+            self.completed
+                .entry(p.owner)
+                .or_default()
+                .push((ticket, data_end));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> DramSystem {
+        DramSystem::new(DramTimingConfig::ddr4_1600_paper())
+    }
+
+    fn complete_one(sys: &mut DramSystem, ticket: DramTicket) -> u64 {
+        sys.tick(u64::MAX / 2);
+        let done = sys.drain_completed();
+        done.into_iter()
+            .find(|(t, _)| *t == ticket)
+            .map(|(_, d)| d)
+            .expect("request should complete")
+    }
+
+    #[test]
+    fn cold_read_pays_act_plus_cas() {
+        let mut sys = system();
+        let t = sys.read(0, 0);
+        let done = complete_one(&mut sys, t);
+        let cfg = DramTimingConfig::ddr4_1600_paper();
+        let expect =
+            (u64::from(cfg.trcd) + u64::from(cfg.cl)) * cfg.tck_ps + cfg.burst_ps();
+        assert_eq!(done, expect, "ACT+RCD+CL+burst");
+    }
+
+    #[test]
+    fn row_hit_is_much_faster_than_conflict() {
+        let mut sys = system();
+        // Same row, consecutive per-channel lines: addr and addr + 64*channels.
+        let a = sys.read(0, 0);
+        let done_a = complete_one(&mut sys, a);
+        let b = sys.read(64 * 4, done_a);
+        let done_b = complete_one(&mut sys, b) - done_a;
+        // Conflict: same bank, different row.
+        let cfg = DramTimingConfig::ddr4_1600_paper();
+        let lines_per_row = cfg.row_bytes / 64;
+        let banks = u64::from(cfg.banks_per_channel());
+        let conflict_addr = 64 * 4 * lines_per_row * banks; // same bank, next row
+        assert_eq!(sys.map(conflict_addr).bank, sys.map(0).bank);
+        assert_ne!(sys.map(conflict_addr).row, sys.map(0).row);
+        let c = sys.read(conflict_addr, done_a);
+        let done_c = complete_one(&mut sys, c) - done_a;
+        assert!(
+            done_b < done_c,
+            "row hit ({done_b} ps) must beat row conflict ({done_c} ps)"
+        );
+        assert!(sys.stats().row_hits >= 1);
+        assert!(sys.stats().row_misses >= 2);
+    }
+
+    #[test]
+    fn channel_interleaving_spreads_lines() {
+        let sys = system();
+        let chans: Vec<u32> = (0..4).map(|i| sys.map(i * 64).channel).collect();
+        assert_eq!(chans, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bus_serializes_bursts_on_one_channel() {
+        let mut sys = system();
+        // Two reads to different banks, same channel: second data burst may
+        // not overlap the first.
+        let cfg = *sys.config();
+        let lines_per_row = cfg.row_bytes / 64;
+        let a = sys.read(0, 0);
+        let b = sys.read(64 * 4 * lines_per_row, 0); // next bank, same channel
+        assert_eq!(sys.map(64 * 4 * lines_per_row).channel, 0);
+        assert_ne!(sys.map(64 * 4 * lines_per_row).bank, sys.map(0).bank);
+        sys.tick(u64::MAX / 2);
+        let mut done: Vec<u64> = sys.drain_completed().into_iter().map(|(_, d)| d).collect();
+        done.sort_unstable();
+        assert!(done[1] >= done[0] + cfg.burst_ps());
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn different_channels_are_independent() {
+        let mut sys = system();
+        let a = sys.read(0, 0);
+        let b = sys.read(64, 0); // channel 1
+        sys.tick(u64::MAX / 2);
+        let done = sys.drain_completed();
+        let da = done.iter().find(|(t, _)| *t == a).unwrap().1;
+        let db = done.iter().find(|(t, _)| *t == b).unwrap().1;
+        assert_eq!(da, db, "parallel channels complete simultaneously");
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hits() {
+        let mut sys = system();
+        let cfg = *sys.config();
+        let lines_per_row = cfg.row_bytes / 64;
+        let banks = u64::from(cfg.banks_per_channel());
+        // Open row 0 of bank 0.
+        let warm = sys.read(0, 0);
+        let t0 = complete_one(&mut sys, warm);
+        // Queue a conflict (older) and a row hit (younger) together.
+        let conflict = sys.read(64 * 4 * lines_per_row * banks, t0);
+        let hit = sys.read(64 * 4, t0 + 1);
+        sys.tick(u64::MAX / 2);
+        let done = sys.drain_completed();
+        let d_conf = done.iter().find(|(t, _)| *t == conflict).unwrap().1;
+        let d_hit = done.iter().find(|(t, _)| *t == hit).unwrap().1;
+        assert!(
+            d_hit < d_conf,
+            "younger row hit ({d_hit}) should be served before older conflict ({d_conf})"
+        );
+    }
+
+    #[test]
+    fn writes_are_fire_and_forget_but_counted() {
+        let mut sys = system();
+        sys.write(0, 0);
+        sys.write(4096, 0);
+        sys.tick(u64::MAX / 2);
+        assert_eq!(sys.stats().writes, 2);
+        assert_eq!(sys.stats().bytes_written(), 128);
+        assert!(sys.drain_completed().is_empty());
+    }
+
+    #[test]
+    fn pending_drains_to_zero() {
+        let mut sys = system();
+        for i in 0..32 {
+            sys.read(i * 64, 0);
+        }
+        assert_eq!(sys.pending(), 32);
+        sys.tick(u64::MAX / 2);
+        assert_eq!(sys.pending(), 0);
+        assert_eq!(sys.stats().reads, 32);
+    }
+
+    #[test]
+    fn requests_do_not_start_before_arrival() {
+        let mut sys = system();
+        let t = sys.read(0, 1_000_000);
+        let done = complete_one(&mut sys, t);
+        assert!(done > 1_000_000);
+    }
+}

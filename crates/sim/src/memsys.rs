@@ -1,0 +1,336 @@
+//! The uncore: request lifecycle from L1 miss to data return.
+//!
+//! A core's L1 miss traverses the crossbar, queues at an LLC bank, and on an
+//! LLC miss descends into the DDR4 system; the fill returns over the
+//! crossbar. [`MemorySystem`] owns the crossbar, LLC and DRAM models, tracks
+//! outstanding requests by ticket, merges requests to the same line
+//! (MSHR-style), and surfaces the coherence invalidations the cluster must
+//! apply to L1s.
+
+use crate::cache::SetAssocArray;
+use crate::config::SimConfig;
+use crate::dram::{DramStats, DramSystem, DramTicket};
+use crate::llc::{Invalidation, LlcStats, SharedLlc};
+use crate::xbar::Crossbar;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A DRAM system shared by several memory controllers (clusters on one
+/// chip). Single-threaded interior mutability: the simulator advances one
+/// cluster at a time.
+pub type SharedDram = Rc<RefCell<DramSystem>>;
+
+/// Ticket identifying an outstanding memory request.
+pub type MemTicket = u64;
+
+/// Why a request entered the memory system (for statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemRequestKind {
+    /// L1-D load miss.
+    Load,
+    /// L1-D store miss (read-for-ownership).
+    Store,
+    /// L1-I fetch miss.
+    IFetch,
+    /// Hardware prefetch (fire-and-forget LLC fill).
+    Prefetch,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ReqState {
+    /// Waiting on a DRAM fill (resolved through the by-line index).
+    InDram,
+    /// Done at the given picosecond.
+    Done(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    state: ReqState,
+}
+
+/// The cluster's uncore.
+#[derive(Debug)]
+pub struct MemorySystem {
+    xbar: Crossbar,
+    llc: SharedLlc,
+    dram: SharedDram,
+    /// This cluster's owner id on the shared DRAM.
+    dram_owner: u32,
+    xbar_return_ps: u64,
+    requests: HashMap<MemTicket, Request>,
+    /// Outstanding line fills: later requests to the same line merge.
+    by_line: HashMap<u64, Vec<MemTicket>>,
+    dram_to_line: HashMap<DramTicket, u64>,
+    next_ticket: MemTicket,
+    prefetches: u64,
+}
+
+impl MemorySystem {
+    /// Builds the uncore from the simulator configuration, with its own
+    /// private DRAM system.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self::with_shared_dram(cfg, Rc::new(RefCell::new(DramSystem::new(cfg.dram))), 0)
+    }
+
+    /// Builds the uncore as client `dram_owner` of a DRAM system shared
+    /// with other clusters (the multi-cluster chip configuration).
+    pub fn with_shared_dram(cfg: &SimConfig, dram: SharedDram, dram_owner: u32) -> Self {
+        MemorySystem {
+            xbar: Crossbar::new(cfg.xbar, cfg.cores),
+            llc: SharedLlc::new(cfg.llc),
+            dram,
+            dram_owner,
+            xbar_return_ps: cfg.xbar.traversal_ps,
+            requests: HashMap::new(),
+            by_line: HashMap::new(),
+            dram_to_line: HashMap::new(),
+            next_ticket: 1,
+            prefetches: 0,
+        }
+    }
+
+    /// Submits an L1 miss for `core` at absolute time `now_ps`.
+    ///
+    /// Returns a ticket to poll with [`MemorySystem::poll`]. Requests to a
+    /// line already being filled merge onto the outstanding fill.
+    pub fn submit(
+        &mut self,
+        core: u32,
+        line_addr: u64,
+        kind: MemRequestKind,
+        now_ps: u64,
+    ) -> MemTicket {
+        let line_addr = SetAssocArray::<()>::align(line_addr);
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+
+        // MSHR merge: the line is already on its way.
+        if let Some(waiters) = self.by_line.get_mut(&line_addr) {
+            waiters.push(ticket);
+            self.requests.insert(
+                ticket,
+                Request {
+                    state: ReqState::InDram,
+                },
+            );
+            return ticket;
+        }
+
+        let write = matches!(kind, MemRequestKind::Store);
+        let at_llc = self.xbar.traverse(core as usize, now_ps);
+        let access = self.llc.access(line_addr, write, core, at_llc);
+        if let Some(victim) = access.writeback {
+            self.dram.borrow_mut().write(victim, access.ready_ps);
+        }
+        let state = if access.hit {
+            ReqState::Done(access.ready_ps + self.xbar_return_ps)
+        } else {
+            let dram_ticket =
+                self.dram
+                    .borrow_mut()
+                    .read_for(self.dram_owner, line_addr, access.ready_ps);
+            self.dram_to_line.insert(dram_ticket, line_addr);
+            self.by_line.insert(line_addr, vec![ticket]);
+            ReqState::InDram
+        };
+        self.requests.insert(ticket, Request { state });
+        ticket
+    }
+
+    /// Posts a fire-and-forget prefetch: the line is brought into the LLC
+    /// (consuming crossbar, bank and DRAM bandwidth like any fill) but no
+    /// one waits on it. A later demand miss to the same line merges onto
+    /// the in-flight fill.
+    pub fn submit_prefetch(&mut self, core: u32, line_addr: u64, now_ps: u64) {
+        let line_addr = SetAssocArray::<()>::align(line_addr);
+        if self.by_line.contains_key(&line_addr) {
+            return; // already in flight
+        }
+        let at_llc = self.xbar.traverse(core as usize, now_ps);
+        let access = self.llc.access(line_addr, false, core, at_llc);
+        if access.hit {
+            return; // already resident
+        }
+        if let Some(victim) = access.writeback {
+            self.dram.borrow_mut().write(victim, access.ready_ps);
+        }
+        let dram_ticket =
+            self.dram
+                .borrow_mut()
+                .read_for(self.dram_owner, line_addr, access.ready_ps);
+        self.dram_to_line.insert(dram_ticket, line_addr);
+        // Open a merge point with no waiters of its own.
+        self.by_line.insert(line_addr, Vec::new());
+        self.prefetches += 1;
+    }
+
+    /// Posts a dirty-line write-back from an L1 (non-blocking).
+    pub fn writeback(&mut self, core: u32, line_addr: u64, now_ps: u64) {
+        let line_addr = SetAssocArray::<()>::align(line_addr);
+        let at_llc = self.xbar.traverse(core as usize, now_ps);
+        if let Some(victim) = self.llc.writeback_from_l1(line_addr, at_llc) {
+            self.dram.borrow_mut().write(victim, at_llc);
+        }
+    }
+
+    /// Installs a line in the LLC without timing (checkpoint warming).
+    pub fn install_llc(&mut self, line_addr: u64, sharers: u8) {
+        self.llc
+            .install(SetAssocArray::<()>::align(line_addr), sharers);
+    }
+
+    /// Advances DRAM scheduling up to `until_ps` and resolves completed
+    /// fills.
+    pub fn tick(&mut self, until_ps: u64) {
+        let completed = {
+            let mut dram = self.dram.borrow_mut();
+            dram.tick(until_ps);
+            dram.drain_completed_for(self.dram_owner)
+        };
+        for (dram_ticket, done_ps) in completed {
+            let line = match self.dram_to_line.remove(&dram_ticket) {
+                Some(l) => l,
+                None => continue,
+            };
+            let done = done_ps + self.xbar_return_ps;
+            if let Some(waiters) = self.by_line.remove(&line) {
+                for t in waiters {
+                    if let Some(r) = self.requests.get_mut(&t) {
+                        r.state = ReqState::Done(done);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Polls a ticket: `Some(done_ps)` once the data is back at the core
+    /// and `now_ps >= done_ps`. Completed tickets are retired on return.
+    pub fn poll(&mut self, ticket: MemTicket, now_ps: u64) -> Option<u64> {
+        match self.requests.get(&ticket) {
+            Some(Request {
+                state: ReqState::Done(d),
+            }) if *d <= now_ps => {
+                let d = *d;
+                self.requests.remove(&ticket);
+                Some(d)
+            }
+            _ => None,
+        }
+    }
+
+    /// Invalidations the cluster must apply to core L1s.
+    pub fn drain_invalidations(&mut self) -> Vec<Invalidation> {
+        self.llc.drain_invalidations()
+    }
+
+    /// LLC statistics.
+    pub fn llc_stats(&self) -> LlcStats {
+        self.llc.stats()
+    }
+
+    /// DRAM statistics (chip-wide when the DRAM is shared).
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.borrow().stats()
+    }
+
+    /// Crossbar transfers so far.
+    pub fn xbar_transfers(&self) -> u64 {
+        self.xbar.transfers()
+    }
+
+    /// Outstanding request count (diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Prefetches issued so far.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memsys() -> MemorySystem {
+        MemorySystem::new(&SimConfig::paper_cluster(1000.0))
+    }
+
+    fn wait_done(m: &mut MemorySystem, t: MemTicket) -> u64 {
+        for step in 1..10_000u64 {
+            let now = step * 1_000;
+            m.tick(now);
+            if let Some(d) = m.poll(t, now) {
+                return d;
+            }
+        }
+        panic!("request never completed");
+    }
+
+    #[test]
+    fn llc_hit_is_fast_llc_miss_is_slow() {
+        let mut m = memsys();
+        let t1 = wait_done_submit(&mut m, 0, 0x1000, 0);
+        // Second access to the same line: LLC hit.
+        let start = 1_000_000;
+        let t2 = m.submit(0, 0x1000, MemRequestKind::Load, start);
+        let d2 = wait_done(&mut m, t2) - start;
+        assert!(
+            d2 < 10_000,
+            "llc hit should be a handful of ns, got {d2} ps"
+        );
+        assert!(t1 > 25_000, "cold miss goes to DRAM, got {t1} ps");
+    }
+
+    fn wait_done_submit(m: &mut MemorySystem, core: u32, addr: u64, now: u64) -> u64 {
+        let t = m.submit(core, addr, MemRequestKind::Load, now);
+        wait_done(m, t) - now
+    }
+
+    #[test]
+    fn same_line_requests_merge() {
+        let mut m = memsys();
+        let a = m.submit(0, 0x2000, MemRequestKind::Load, 0);
+        let b = m.submit(1, 0x2010, MemRequestKind::Load, 0);
+        let da = wait_done(&mut m, a);
+        let db = wait_done(&mut m, b);
+        assert_eq!(da, db, "merged requests complete together");
+        assert_eq!(m.dram_stats().reads, 1, "only one DRAM read issued");
+    }
+
+    #[test]
+    fn store_miss_takes_ownership() {
+        let mut m = memsys();
+        let a = m.submit(0, 0x3000, MemRequestKind::Load, 0);
+        wait_done(&mut m, a);
+        let b = m.submit(1, 0x3000, MemRequestKind::Store, 2_000_000);
+        wait_done(&mut m, b);
+        let inv = m.drain_invalidations();
+        assert!(
+            inv.iter().any(|i| i.cores & 1 != 0),
+            "core 0 must be invalidated by core 1's store"
+        );
+    }
+
+    #[test]
+    fn poll_before_completion_returns_none() {
+        let mut m = memsys();
+        let t = m.submit(0, 0x4000, MemRequestKind::Load, 0);
+        assert!(m.poll(t, 1).is_none());
+        wait_done(&mut m, t);
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn writebacks_flow_to_dram_only_on_llc_eviction() {
+        let mut m = memsys();
+        m.writeback(0, 0x5000, 0);
+        m.tick(1_000_000);
+        // The dirty line sits in the LLC; no DRAM write yet.
+        assert_eq!(m.dram_stats().writes, 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Simulation statistics.
+//!
+//! The headline metric is the paper's **UIPC/UIPS**: the ratio of *user*
+//! instructions committed (across all cores) to total cycles, which has
+//! been shown to track system throughput for server workloads (Wenisch et
+//! al., SimFlex). Supporting counters feed the power models (LLC accesses,
+//! DRAM bytes, crossbar transfers) and diagnostics (MPKI, row-hit rates).
+
+use crate::dram::DramStats;
+use crate::llc::LlcStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-core counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Committed user instructions.
+    pub user_instrs: u64,
+    /// Committed operating-system instructions.
+    pub os_instrs: u64,
+    /// Core cycles elapsed.
+    pub cycles: u64,
+    /// Instructions dispatched into the window.
+    pub dispatched: u64,
+    /// L1-D lookups (loads + stores issued).
+    pub l1d_accesses: u64,
+    /// L1-D misses.
+    pub l1d_misses: u64,
+    /// Dirty L1-D lines written back.
+    pub l1d_writebacks: u64,
+    /// L1-I misses.
+    pub l1i_misses: u64,
+    /// Mispredicted-branch redirects taken.
+    pub branch_redirects: u64,
+    /// Cycles dispatch was blocked on a full window.
+    pub rob_full_cycles: u64,
+}
+
+impl CoreStats {
+    /// Committed instructions (user + OS).
+    pub fn instrs(&self) -> u64 {
+        self.user_instrs + self.os_instrs
+    }
+
+    /// Instructions per cycle (all instructions).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs() as f64 / self.cycles as f64
+        }
+    }
+
+    /// User instructions per cycle.
+    pub fn uipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.user_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1-D misses per kilo-instruction.
+    pub fn l1d_mpki(&self) -> f64 {
+        if self.instrs() == 0 {
+            0.0
+        } else {
+            1000.0 * self.l1d_misses as f64 / self.instrs() as f64
+        }
+    }
+
+    /// L1-I misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        if self.instrs() == 0 {
+            0.0
+        } else {
+            1000.0 * self.l1i_misses as f64 / self.instrs() as f64
+        }
+    }
+}
+
+/// Cluster-level results of one simulation window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Per-core counters.
+    pub cores: Vec<CoreStats>,
+    /// Shared-LLC counters.
+    pub llc: LlcStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Crossbar transfers.
+    pub xbar_transfers: u64,
+    /// Core frequency the window ran at (MHz).
+    pub core_mhz: f64,
+    /// Cycles simulated (same for every core).
+    pub cycles: u64,
+    /// Wall-clock time simulated, picoseconds.
+    pub wall_ps: u64,
+}
+
+impl SimStats {
+    /// Total committed user instructions.
+    pub fn user_instrs(&self) -> u64 {
+        self.cores.iter().map(|c| c.user_instrs).sum()
+    }
+
+    /// Total committed instructions.
+    pub fn instrs(&self) -> u64 {
+        self.cores.iter().map(|c| c.instrs()).sum()
+    }
+
+    /// Aggregate UIPC: user instructions across all cores over cycles —
+    /// the paper's throughput metric (can exceed 1 per multi-core cluster).
+    pub fn uipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.user_instrs() as f64 / self.cycles as f64
+        }
+    }
+
+    /// User instructions per second at the window's core frequency.
+    pub fn uips(&self) -> f64 {
+        self.uipc() * self.core_mhz * 1e6
+    }
+
+    /// Simulated seconds.
+    pub fn seconds(&self) -> f64 {
+        self.wall_ps as f64 * 1e-12
+    }
+
+    /// DRAM read bandwidth over the window, bytes/second.
+    pub fn dram_read_bw(&self) -> f64 {
+        if self.wall_ps == 0 {
+            0.0
+        } else {
+            self.dram.bytes_read() as f64 / self.seconds()
+        }
+    }
+
+    /// DRAM write bandwidth over the window, bytes/second.
+    pub fn dram_write_bw(&self) -> f64 {
+        if self.wall_ps == 0 {
+            0.0
+        } else {
+            self.dram.bytes_written() as f64 / self.seconds()
+        }
+    }
+
+    /// LLC accesses per second over the window.
+    pub fn llc_access_rate(&self) -> f64 {
+        if self.wall_ps == 0 {
+            0.0
+        } else {
+            self.llc.accesses() as f64 / self.seconds()
+        }
+    }
+
+    /// Crossbar transfers per second over the window.
+    pub fn xbar_rate(&self) -> f64 {
+        if self.wall_ps == 0 {
+            0.0
+        } else {
+            self.xbar_transfers as f64 / self.seconds()
+        }
+    }
+
+    /// LLC misses per kilo-instruction (committed).
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instrs() == 0 {
+            0.0
+        } else {
+            1000.0 * self.llc.misses as f64 / self.instrs() as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cores @ {:.0} MHz: UIPC {:.3} ({} user instrs / {} cycles), \
+             L1D MPKI {:.1}, LLC MPKI {:.1}, DRAM {:.2}/{:.2} GB/s r/w, row-hit {:.0}%",
+            self.cores.len(),
+            self.core_mhz,
+            self.uipc(),
+            self.user_instrs(),
+            self.cycles,
+            self.cores.first().map_or(0.0, |c| c.l1d_mpki()),
+            self.llc_mpki(),
+            self.dram_read_bw() / 1e9,
+            self.dram_write_bw() / 1e9,
+            100.0 * self.dram.row_hit_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_derived_metrics() {
+        let c = CoreStats {
+            user_instrs: 900,
+            os_instrs: 100,
+            cycles: 2000,
+            l1d_misses: 30,
+            l1i_misses: 10,
+            ..Default::default()
+        };
+        assert!((c.ipc() - 0.5).abs() < 1e-12);
+        assert!((c.uipc() - 0.45).abs() < 1e-12);
+        assert!((c.l1d_mpki() - 30.0).abs() < 1e-12);
+        assert!((c.l1i_mpki() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_uipc_sums_cores() {
+        let core = CoreStats {
+            user_instrs: 500,
+            cycles: 1000,
+            ..Default::default()
+        };
+        let s = SimStats {
+            cores: vec![core.clone(), core.clone(), core.clone(), core],
+            cycles: 1000,
+            core_mhz: 1000.0,
+            wall_ps: 1000 * 1000,
+            ..Default::default()
+        };
+        assert!((s.uipc() - 2.0).abs() < 1e-12, "4 cores x 0.5 UIPC each");
+        assert!((s.uips() - 2.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_cycles_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.uipc(), 0.0);
+        assert_eq!(s.dram_read_bw(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_uipc() {
+        let s = SimStats {
+            core_mhz: 500.0,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("UIPC"));
+    }
+}

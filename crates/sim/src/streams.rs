@@ -1,0 +1,290 @@
+//! Built-in synthetic instruction streams.
+//!
+//! These simple generators exercise the simulator in tests, examples and
+//! micro-calibration; the CloudSuite-calibrated workload models live in the
+//! `ntc-workloads` crate and implement the same [`InstructionStream`] trait.
+
+use crate::instr::{Instr, InstructionStream, OpClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Compute-bound stream: independent ALU work with occasional mispredicted
+/// branches and no memory traffic beyond the instruction fetch.
+#[derive(Debug)]
+pub struct ComputeStream {
+    rng: SmallRng,
+    mispredict_rate: f64,
+    pc: u64,
+    count: u64,
+}
+
+impl ComputeStream {
+    /// Creates the stream with the given branch-mispredict probability per
+    /// instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mispredict_rate` is outside `[0, 1]`.
+    pub fn new(mispredict_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mispredict_rate));
+        ComputeStream {
+            rng: SmallRng::seed_from_u64(7),
+            mispredict_rate,
+            pc: 0x10_000,
+            count: 0,
+        }
+    }
+}
+
+impl InstructionStream for ComputeStream {
+    fn next_instr(&mut self) -> Instr {
+        self.count += 1;
+        // Tight loop: PCs cycle over a small, L1-I-resident footprint.
+        self.pc = 0x10_000 + (self.count % 256) * 4;
+        if self.rng.gen_bool(self.mispredict_rate) {
+            Instr {
+                op: OpClass::Branch { mispredicted: true },
+                pc: self.pc,
+                addr: 0,
+                dep_dist: 0,
+                is_user: true,
+            }
+        } else {
+            let dep = if self.count % 3 == 0 { 2 } else { 0 };
+            Instr::alu(self.pc).with_dep(dep)
+        }
+    }
+}
+
+/// Streaming stride access over a large array: row-buffer-friendly DRAM
+/// traffic (the Media-Streaming-like pattern).
+#[derive(Debug)]
+pub struct StrideStream {
+    next_addr: u64,
+    stride: u64,
+    footprint: u64,
+    loads_per_instr: f64,
+    acc: f64,
+    pc: u64,
+    count: u64,
+}
+
+impl StrideStream {
+    /// Creates a stream striding by `stride` bytes over `footprint` bytes,
+    /// with `loads_per_instr` of the instruction mix being loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` or `footprint` is zero, or the load fraction is
+    /// outside `[0, 1]`.
+    pub fn new(stride: u64, footprint: u64, loads_per_instr: f64) -> Self {
+        assert!(stride > 0 && footprint > 0, "degenerate stride stream");
+        assert!((0.0..=1.0).contains(&loads_per_instr));
+        StrideStream {
+            next_addr: 0,
+            stride,
+            footprint,
+            loads_per_instr,
+            acc: 0.0,
+            pc: 0x20_000,
+            count: 0,
+        }
+    }
+}
+
+impl InstructionStream for StrideStream {
+    fn next_instr(&mut self) -> Instr {
+        self.count += 1;
+        self.pc = 0x20_000 + (self.count % 128) * 4;
+        self.acc += self.loads_per_instr;
+        if self.acc >= 1.0 {
+            self.acc -= 1.0;
+            let addr = self.next_addr;
+            self.next_addr = (self.next_addr + self.stride) % self.footprint;
+            Instr::load(self.pc, 0x1000_0000 + addr)
+        } else {
+            Instr::alu(self.pc)
+        }
+    }
+}
+
+/// Uniform random loads over a working set — the cache-hostile pattern that
+/// produces row conflicts and high MPKI.
+#[derive(Debug)]
+pub struct RandomAccessStream {
+    rng: SmallRng,
+    working_set: u64,
+    loads_per_instr: f64,
+    acc: f64,
+    dep_dist: u16,
+    pc: u64,
+    count: u64,
+}
+
+impl RandomAccessStream {
+    /// Creates the stream over a `working_set`-byte region.
+    ///
+    /// `dep_dist` > 0 makes each load depend on an earlier instruction,
+    /// throttling memory-level parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set` is zero or the load fraction is outside
+    /// `[0, 1]`.
+    pub fn new(working_set: u64, loads_per_instr: f64, dep_dist: u16, seed: u64) -> Self {
+        assert!(working_set > 0);
+        assert!((0.0..=1.0).contains(&loads_per_instr));
+        RandomAccessStream {
+            rng: SmallRng::seed_from_u64(seed),
+            working_set,
+            loads_per_instr,
+            acc: 0.0,
+            dep_dist,
+            pc: 0x30_000,
+            count: 0,
+        }
+    }
+}
+
+impl InstructionStream for RandomAccessStream {
+    fn next_instr(&mut self) -> Instr {
+        self.count += 1;
+        self.pc = 0x30_000 + (self.count % 128) * 4;
+        self.acc += self.loads_per_instr;
+        if self.acc >= 1.0 {
+            self.acc -= 1.0;
+            let addr = 0x2000_0000 + self.rng.gen_range(0..self.working_set / 64) * 64;
+            Instr::load(self.pc, addr).with_dep(self.dep_dist)
+        } else {
+            Instr::alu(self.pc)
+        }
+    }
+}
+
+/// Pointer-chase: every load depends on the previous load — MLP of one, the
+/// worst case for memory latency tolerance.
+#[derive(Debug)]
+pub struct PointerChaseStream {
+    rng: SmallRng,
+    working_set: u64,
+    gap_ops: u32,
+    since_load: u32,
+    last_load_dist: u16,
+    pc: u64,
+}
+
+impl PointerChaseStream {
+    /// Creates a chase over `working_set` bytes with `gap_ops` ALU ops
+    /// between dependent loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set` is zero.
+    pub fn new(working_set: u64, gap_ops: u32, seed: u64) -> Self {
+        assert!(working_set > 0);
+        PointerChaseStream {
+            rng: SmallRng::seed_from_u64(seed),
+            working_set,
+            gap_ops,
+            since_load: 0,
+            last_load_dist: 0,
+            pc: 0x40_000,
+        }
+    }
+}
+
+impl InstructionStream for PointerChaseStream {
+    fn next_instr(&mut self) -> Instr {
+        self.pc += 4;
+        if self.pc >= 0x40_000 + 512 {
+            self.pc = 0x40_000;
+        }
+        if self.since_load >= self.gap_ops {
+            self.since_load = 0;
+            let addr = 0x3000_0000 + self.rng.gen_range(0..self.working_set / 64) * 64;
+            // Depend on the previous load (gap_ops + 1 instructions back),
+            // capped to the encodable distance.
+            let dist = self.last_load_dist;
+            self.last_load_dist = (self.gap_ops + 1).min(u32::from(u16::MAX)) as u16;
+            Instr::load(self.pc, addr).with_dep(dist)
+        } else {
+            self.since_load += 1;
+            Instr::alu(self.pc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pull(s: &mut impl InstructionStream, n: usize) -> Vec<Instr> {
+        (0..n).map(|_| s.next_instr()).collect()
+    }
+
+    #[test]
+    fn compute_stream_is_mostly_alu() {
+        let mut s = ComputeStream::new(0.01);
+        let v = pull(&mut s, 1000);
+        let loads = v.iter().filter(|i| i.op.is_memory()).count();
+        assert_eq!(loads, 0);
+        let branches = v
+            .iter()
+            .filter(|i| matches!(i.op, OpClass::Branch { .. }))
+            .count();
+        assert!(branches < 50);
+    }
+
+    #[test]
+    fn stride_stream_emits_configured_load_fraction() {
+        let mut s = StrideStream::new(64, 1 << 20, 0.25);
+        let v = pull(&mut s, 4000);
+        let loads = v.iter().filter(|i| i.op == OpClass::Load).count();
+        assert!((loads as f64 / 4000.0 - 0.25).abs() < 0.01);
+        // Addresses advance by the stride.
+        let addrs: Vec<u64> = v
+            .iter()
+            .filter(|i| i.op == OpClass::Load)
+            .map(|i| i.addr)
+            .take(3)
+            .collect();
+        assert_eq!(addrs[1] - addrs[0], 64);
+        assert_eq!(addrs[2] - addrs[1], 64);
+    }
+
+    #[test]
+    fn random_stream_stays_in_working_set() {
+        let ws = 1 << 16;
+        let mut s = RandomAccessStream::new(ws, 0.3, 4, 1);
+        for i in pull(&mut s, 2000) {
+            if i.op == OpClass::Load {
+                assert!(i.addr >= 0x2000_0000 && i.addr < 0x2000_0000 + ws);
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_chase_loads_depend_on_previous_load() {
+        let mut s = PointerChaseStream::new(1 << 20, 3, 2);
+        let v = pull(&mut s, 100);
+        let load_positions: Vec<usize> = v
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.op == OpClass::Load)
+            .map(|(p, _)| p)
+            .collect();
+        assert!(load_positions.len() >= 2);
+        // Every load after the first carries a dependency spanning the gap.
+        for w in load_positions.windows(2) {
+            let i = &v[w[1]];
+            assert_eq!(usize::from(i.dep_dist), w[1] - w[0]);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a = pull(&mut RandomAccessStream::new(1 << 20, 0.3, 0, 9), 100);
+        let b = pull(&mut RandomAccessStream::new(1 << 20, 0.3, 0, 9), 100);
+        assert_eq!(a, b);
+    }
+}

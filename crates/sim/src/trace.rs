@@ -1,0 +1,262 @@
+//! Instruction-trace capture and replay.
+//!
+//! Full-system methodologies (the paper's Flexus) separate *functional*
+//! trace generation from *timing* simulation so the same execution can be
+//! replayed against many configurations. This module provides that
+//! separation for synthetic streams: [`TraceRecorder`] captures any
+//! [`InstructionStream`] into a compact binary buffer, [`TraceStream`]
+//! replays it (looping), and the encoding round-trips through plain
+//! `Vec<u8>` for on-disk storage.
+//!
+//! One dynamic instruction encodes in 20 bytes: opcode byte, 2-byte
+//! dependency distance, flags byte, and two packed little-endian `u64`s
+//! (pc, addr).
+
+use crate::instr::{Instr, InstructionStream, OpClass};
+
+/// Bytes per encoded instruction.
+pub const RECORD_BYTES: usize = 20;
+
+fn encode_op(op: OpClass) -> u8 {
+    match op {
+        OpClass::IntAlu => 0,
+        OpClass::IntLong => 1,
+        OpClass::Fp => 2,
+        OpClass::Branch { mispredicted: false } => 3,
+        OpClass::Branch { mispredicted: true } => 4,
+        OpClass::Load => 5,
+        OpClass::Store => 6,
+    }
+}
+
+fn decode_op(byte: u8) -> Option<OpClass> {
+    Some(match byte {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntLong,
+        2 => OpClass::Fp,
+        3 => OpClass::Branch { mispredicted: false },
+        4 => OpClass::Branch { mispredicted: true },
+        5 => OpClass::Load,
+        6 => OpClass::Store,
+        _ => return None,
+    })
+}
+
+/// A captured instruction trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    bytes: Vec<u8>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps raw bytes previously produced by [`Trace::as_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending byte offset if the buffer length is not a
+    /// multiple of [`RECORD_BYTES`] or an opcode byte is invalid.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, usize> {
+        if bytes.len() % RECORD_BYTES != 0 {
+            return Err(bytes.len() - bytes.len() % RECORD_BYTES);
+        }
+        for (i, chunk) in bytes.chunks_exact(RECORD_BYTES).enumerate() {
+            if decode_op(chunk[0]).is_none() {
+                return Err(i * RECORD_BYTES);
+            }
+        }
+        Ok(Trace { bytes })
+    }
+
+    /// The raw encoding (suitable for writing to disk).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / RECORD_BYTES
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, instr: Instr) {
+        self.bytes.push(encode_op(instr.op));
+        self.bytes.extend_from_slice(&instr.dep_dist.to_le_bytes());
+        self.bytes.push(u8::from(instr.is_user));
+        self.bytes.extend_from_slice(&instr.pc.to_le_bytes());
+        self.bytes.extend_from_slice(&instr.addr.to_le_bytes());
+    }
+
+    /// Decodes the `i`-th instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> Instr {
+        let c = &self.bytes[i * RECORD_BYTES..(i + 1) * RECORD_BYTES];
+        Instr {
+            op: decode_op(c[0]).expect("validated on construction"),
+            dep_dist: u16::from_le_bytes([c[1], c[2]]),
+            is_user: c[3] != 0,
+            pc: u64::from_le_bytes(c[4..12].try_into().expect("8 bytes")),
+            addr: u64::from_le_bytes(c[12..20].try_into().expect("8 bytes")),
+        }
+    }
+
+    /// Captures `n` instructions from a stream.
+    pub fn capture<S: InstructionStream>(stream: &mut S, n: usize) -> Self {
+        let mut t = Trace {
+            bytes: Vec::with_capacity(n * RECORD_BYTES),
+        };
+        for _ in 0..n {
+            t.push(stream.next_instr());
+        }
+        t
+    }
+}
+
+/// Records a stream while passing it through unchanged.
+#[derive(Debug)]
+pub struct TraceRecorder<S> {
+    inner: S,
+    trace: Trace,
+}
+
+impl<S: InstructionStream> TraceRecorder<S> {
+    /// Wraps a stream.
+    pub fn new(inner: S) -> Self {
+        TraceRecorder {
+            inner,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Consumes the recorder, returning the captured trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// The trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl<S: InstructionStream> InstructionStream for TraceRecorder<S> {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.inner.next_instr();
+        self.trace.push(i);
+        i
+    }
+}
+
+/// Replays a trace as an infinite stream (wrapping at the end).
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    trace: Trace,
+    pos: usize,
+}
+
+impl TraceStream {
+    /// Builds a replayer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace (nothing to replay).
+    pub fn new(trace: Trace) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        TraceStream { trace, pos: 0 }
+    }
+}
+
+impl InstructionStream for TraceStream {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.trace.get(self.pos);
+        self.pos = (self.pos + 1) % self.trace.len();
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streams::RandomAccessStream;
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let mut src = RandomAccessStream::new(1 << 24, 0.4, 5, 3);
+        let trace = Trace::capture(&mut src, 500);
+        assert_eq!(trace.len(), 500);
+        let bytes = trace.as_bytes().to_vec();
+        let back = Trace::from_bytes(bytes).expect("valid encoding");
+        let mut src2 = RandomAccessStream::new(1 << 24, 0.4, 5, 3);
+        for i in 0..500 {
+            assert_eq!(back.get(i), src2.next_instr());
+        }
+    }
+
+    #[test]
+    fn recorder_is_transparent() {
+        let mut rec = TraceRecorder::new(RandomAccessStream::new(1 << 20, 0.3, 2, 9));
+        let seen: Vec<Instr> = (0..100).map(|_| rec.next_instr()).collect();
+        let trace = rec.into_trace();
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(trace.get(i), *s);
+        }
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let mut src = RandomAccessStream::new(1 << 20, 0.3, 2, 4);
+        let trace = Trace::capture(&mut src, 10);
+        let first = trace.get(0);
+        let mut replay = TraceStream::new(trace);
+        for _ in 0..10 {
+            replay.next_instr();
+        }
+        assert_eq!(replay.next_instr(), first, "wrapped to the start");
+    }
+
+    #[test]
+    fn replay_drives_the_simulator_identically() {
+        use crate::cluster::ClusterSim;
+        use crate::config::SimConfig;
+
+        let capture = |seed: u64| {
+            let mut s = RandomAccessStream::new(64 << 20, 0.3, 4, seed);
+            Trace::capture(&mut s, 60_000)
+        };
+        let run = |make: &dyn Fn(u32) -> TraceStream| {
+            let mut sim = ClusterSim::new(SimConfig::paper_cluster(1000.0), make);
+            sim.run(5_000).user_instrs()
+        };
+        let traces: Vec<Trace> = (0..4).map(capture).collect();
+        let a = run(&|c| TraceStream::new(traces[c as usize].clone()));
+        let b = run(&|c| TraceStream::new(traces[c as usize].clone()));
+        assert_eq!(a, b, "trace replay is bit-identical");
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn invalid_encodings_are_rejected() {
+        assert!(Trace::from_bytes(vec![0u8; 7]).is_err(), "ragged length");
+        let mut bad = vec![0u8; RECORD_BYTES];
+        bad[0] = 99;
+        assert_eq!(Trace::from_bytes(bad), Err(0), "bad opcode at offset 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_replay_rejected() {
+        let _ = TraceStream::new(Trace::new());
+    }
+}

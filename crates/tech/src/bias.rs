@@ -1,0 +1,281 @@
+//! Body-biasing model for UTBB FD-SOI (and, in a narrow range, bulk).
+//!
+//! UTBB FD-SOI's thin buried oxide turns the substrate under each well into
+//! an efficient back gate. The paper (Sec. II-A) quotes the key numbers this
+//! module encodes:
+//!
+//! * threshold voltage moves by **85 mV per volt** of back-bias;
+//! * flip-well (LVT) devices accept **0 .. +3 V forward body bias** (FBB);
+//! * conventional-well (RVT) devices accept **−3 .. 0 V reverse body bias**
+//!   (RBB);
+//! * bias transitions are fast — a 5 mm² Cortex-A9 switches its back-bias
+//!   between 0 V and 1.3 V in **< 1 µs** — and intrinsically state-retentive,
+//!   unlike power gating;
+//! * RBB sleep reduces leakage by up to an order of magnitude.
+
+use crate::units::{Picoseconds, Volts};
+use crate::TechError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Threshold-voltage sensitivity to back-bias in UTBB FD-SOI: 85 mV per volt.
+pub const VTH_SHIFT_PER_VOLT: f64 = 0.085;
+
+/// Measured back-bias slew time per volt of bias swing, derived from the
+/// "0 V → 1.3 V in < 1 µs" figure of Jacquet et al. (≈ 0.77 µs/V).
+pub const BIAS_SLEW_PS_PER_VOLT: f64 = 0.77e6;
+
+/// Direction of an applied body bias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BiasDirection {
+    /// No bias applied.
+    Zero,
+    /// Forward body bias: lowers `Vth`, speeds the device up, raises leakage.
+    Forward,
+    /// Reverse body bias: raises `Vth`, slows the device down, cuts leakage.
+    Reverse,
+}
+
+/// A body-bias voltage, signed: positive values are forward bias.
+///
+/// Construct with [`BodyBias::forward`], [`BodyBias::reverse`] or
+/// [`BodyBias::ZERO`]; the constructors validate against the ±3 V envelope
+/// of the technology family. Whether a *particular* technology flavour
+/// accepts the bias is checked by
+/// [`Technology::check_bias`](crate::Technology::check_bias).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct BodyBias(Volts);
+
+impl BodyBias {
+    /// No body bias.
+    pub const ZERO: BodyBias = BodyBias(Volts(0.0));
+
+    /// Widest bias magnitude supported by the UTBB FD-SOI family.
+    pub const MAX_MAGNITUDE: Volts = Volts(3.0);
+
+    /// Creates a forward body bias of the given (non-negative) magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::BiasOutOfRange`] if `magnitude` is negative or
+    /// exceeds [`BodyBias::MAX_MAGNITUDE`].
+    pub fn forward(magnitude: Volts) -> Result<Self, TechError> {
+        Self::new(magnitude)
+    }
+
+    /// Creates a reverse body bias of the given (non-negative) magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::BiasOutOfRange`] if `magnitude` is negative or
+    /// exceeds [`BodyBias::MAX_MAGNITUDE`].
+    pub fn reverse(magnitude: Volts) -> Result<Self, TechError> {
+        Self::new(magnitude).map(|b| BodyBias(-b.0))
+    }
+
+    /// Creates a bias from a signed voltage (positive = forward).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::BiasOutOfRange`] if `|signed|` exceeds
+    /// [`BodyBias::MAX_MAGNITUDE`] or is not finite.
+    pub fn from_signed(signed: Volts) -> Result<Self, TechError> {
+        if !signed.0.is_finite() || signed.abs() > Self::MAX_MAGNITUDE {
+            return Err(TechError::BiasOutOfRange {
+                requested: signed,
+                min: -Self::MAX_MAGNITUDE,
+                max: Self::MAX_MAGNITUDE,
+            });
+        }
+        Ok(BodyBias(signed))
+    }
+
+    fn new(magnitude: Volts) -> Result<Self, TechError> {
+        if !magnitude.0.is_finite() || magnitude.0 < 0.0 || magnitude > Self::MAX_MAGNITUDE {
+            return Err(TechError::BiasOutOfRange {
+                requested: magnitude,
+                min: Volts(0.0),
+                max: Self::MAX_MAGNITUDE,
+            });
+        }
+        Ok(BodyBias(magnitude))
+    }
+
+    /// The signed bias voltage (positive = forward).
+    pub fn signed(self) -> Volts {
+        self.0
+    }
+
+    /// The bias magnitude.
+    pub fn magnitude(self) -> Volts {
+        self.0.abs()
+    }
+
+    /// The bias direction.
+    pub fn direction(self) -> BiasDirection {
+        if self.0 .0 > 0.0 {
+            BiasDirection::Forward
+        } else if self.0 .0 < 0.0 {
+            BiasDirection::Reverse
+        } else {
+            BiasDirection::Zero
+        }
+    }
+
+    /// Threshold-voltage shift produced by this bias.
+    ///
+    /// Forward bias *lowers* `Vth` (negative shift) at 85 mV/V; reverse bias
+    /// raises it.
+    ///
+    /// ```
+    /// # use ntc_tech::{BodyBias, Volts};
+    /// let fbb = BodyBias::forward(Volts(2.0)).unwrap();
+    /// assert!((fbb.vth_shift().0 - (-0.17)).abs() < 1e-12);
+    /// ```
+    pub fn vth_shift(self) -> Volts {
+        Volts(-VTH_SHIFT_PER_VOLT * self.0 .0)
+    }
+
+    /// Time to slew the back-bias network from `self` to `target`.
+    ///
+    /// Linear in the voltage swing at [`BIAS_SLEW_PS_PER_VOLT`]; switching
+    /// 0 V → 1.3 V takes just under 1 µs, matching the measured figure.
+    pub fn transition_time(self, target: BodyBias) -> Picoseconds {
+        let swing = (target.0 .0 - self.0 .0).abs();
+        Picoseconds(BIAS_SLEW_PS_PER_VOLT * swing)
+    }
+}
+
+impl fmt::Display for BodyBias {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.direction() {
+            BiasDirection::Zero => write!(f, "no bias"),
+            BiasDirection::Forward => write!(f, "FBB {:.2}", self.magnitude()),
+            BiasDirection::Reverse => write!(f, "RBB {:.2}", self.magnitude()),
+        }
+    }
+}
+
+/// State-retentive sleep via reverse body bias, contrasted with power gating.
+///
+/// The paper's Sec. II-A (point 3) argues RBB sleep beats traditional power
+/// gating for latency-critical servers because it keeps state and enters/
+/// exits in about a microsecond.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SleepMode {
+    /// Reverse-body-bias sleep: leakage cut (bounded by the gate-leakage
+    /// floor, ≈ 10×), state retained, ~µs transitions.
+    ReverseBias {
+        /// The reverse bias applied while asleep.
+        bias: BodyBias,
+    },
+    /// Conventional power gating: near-zero leakage, state lost, much slower
+    /// wake-up (architectural state must be restored).
+    PowerGated,
+}
+
+/// Cost/benefit summary of entering a sleep mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepTransition {
+    /// Time to enter the sleep state.
+    pub entry: Picoseconds,
+    /// Time to resume execution after wake-up.
+    pub exit: Picoseconds,
+    /// Fraction of awake leakage still consumed while asleep (0..1).
+    pub residual_leakage: f64,
+    /// Whether architectural and micro-architectural state is preserved.
+    pub state_retentive: bool,
+}
+
+impl SleepMode {
+    /// Wake-up penalty for power gating: state restore dominated, ~100 µs
+    /// for an OS-visible core offline/online cycle.
+    pub const POWER_GATE_WAKE: Picoseconds = Picoseconds(100e6);
+
+    /// Characterizes the transition costs of this sleep mode.
+    ///
+    /// `leak_ratio` must be the technology's leakage ratio under the sleep
+    /// bias (from [`crate::LeakageModel`]); it is clamped into `[0, 1]`.
+    pub fn transition(self, leak_ratio: f64) -> SleepTransition {
+        match self {
+            SleepMode::ReverseBias { bias } => SleepTransition {
+                entry: BodyBias::ZERO.transition_time(bias),
+                exit: bias.transition_time(BodyBias::ZERO),
+                residual_leakage: leak_ratio.clamp(0.0, 1.0),
+                state_retentive: true,
+            },
+            SleepMode::PowerGated => SleepTransition {
+                entry: Picoseconds(1e6),
+                exit: Self::POWER_GATE_WAKE,
+                residual_leakage: 0.02,
+                state_retentive: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate_range() {
+        assert!(BodyBias::forward(Volts(3.0)).is_ok());
+        assert!(BodyBias::forward(Volts(3.1)).is_err());
+        assert!(BodyBias::forward(Volts(-0.5)).is_err());
+        assert!(BodyBias::reverse(Volts(2.0)).is_ok());
+        assert!(BodyBias::from_signed(Volts(-3.0)).is_ok());
+        assert!(BodyBias::from_signed(Volts(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn vth_shift_sign_and_magnitude() {
+        let fbb = BodyBias::forward(Volts(1.0)).unwrap();
+        assert!((fbb.vth_shift().0 + 0.085).abs() < 1e-12);
+        let rbb = BodyBias::reverse(Volts(1.0)).unwrap();
+        assert!((rbb.vth_shift().0 - 0.085).abs() < 1e-12);
+        assert_eq!(BodyBias::ZERO.vth_shift(), Volts(0.0));
+    }
+
+    #[test]
+    fn transition_time_matches_measured_figure() {
+        // 0V -> 1.3V in less than 1us (Jacquet et al.)
+        let t = BodyBias::ZERO.transition_time(BodyBias::forward(Volts(1.3)).unwrap());
+        assert!(t.0 < 1.05e6, "transition {t} should be about a microsecond");
+        assert!(t.0 > 0.5e6);
+    }
+
+    #[test]
+    fn directions() {
+        assert_eq!(BodyBias::ZERO.direction(), BiasDirection::Zero);
+        assert_eq!(
+            BodyBias::forward(Volts(0.5)).unwrap().direction(),
+            BiasDirection::Forward
+        );
+        assert_eq!(
+            BodyBias::reverse(Volts(0.5)).unwrap().direction(),
+            BiasDirection::Reverse
+        );
+    }
+
+    #[test]
+    fn rbb_sleep_is_state_retentive_and_fast() {
+        let bias = BodyBias::reverse(Volts(3.0)).unwrap();
+        let t = SleepMode::ReverseBias { bias }.transition(0.1);
+        assert!(t.state_retentive);
+        assert!(t.exit.0 < 3e6, "rbb wake-up should be a few microseconds");
+        let pg = SleepMode::PowerGated.transition(0.0);
+        assert!(!pg.state_retentive);
+        assert!(pg.exit > t.exit, "power gating wakes up much more slowly");
+        assert!(pg.residual_leakage < t.residual_leakage);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BodyBias::ZERO.to_string(), "no bias");
+        assert_eq!(
+            BodyBias::forward(Volts(2.0)).unwrap().to_string(),
+            "FBB 2.00 V"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! DVFS transition costs.
+//!
+//! Changing an operating point is not free: the voltage regulator slews at
+//! a finite rate, the PLL relocks, and — on FD-SOI — the back-bias network
+//! slews at its own rate (Sec. II-A: ≈1 µs for a 1.3 V bias swing, which is
+//! exactly why the paper positions body bias as the *fast* knob next to
+//! conventional DVFS).
+//!
+//! [`DvfsTransitionModel`] quantifies a switch between two
+//! [`OperatingPoint`]s so governors can account transition overhead at
+//! their control granularity.
+
+use crate::opp::OperatingPoint;
+use crate::units::{Picoseconds, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Cost of one operating-point change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTransition {
+    /// Voltage-ramp time.
+    pub voltage_ramp: Picoseconds,
+    /// PLL relock time (frequency change only).
+    pub pll_relock: Picoseconds,
+    /// Body-bias slew time.
+    pub bias_slew: Picoseconds,
+    /// Whether execution stalls for the whole transition (conventional
+    /// DVFS) or continues at the old point (bias-only changes).
+    pub stalls: bool,
+}
+
+impl DvfsTransition {
+    /// Total wall-clock duration (components overlap is conservative:
+    /// they serialize).
+    pub fn duration(&self) -> Picoseconds {
+        self.voltage_ramp + self.pll_relock + self.bias_slew
+    }
+
+    /// Duration in seconds.
+    pub fn duration_seconds(&self) -> Seconds {
+        self.duration().as_seconds()
+    }
+}
+
+/// Regulator/PLL parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTransitionModel {
+    /// Regulator slew rate in volts per microsecond.
+    pub slew_v_per_us: f64,
+    /// PLL relock time in microseconds.
+    pub pll_relock_us: f64,
+}
+
+impl DvfsTransitionModel {
+    /// A server-class integrated regulator: 10 mV/µs slew, 20 µs relock.
+    pub fn server_class() -> Self {
+        DvfsTransitionModel {
+            slew_v_per_us: 0.010,
+            pll_relock_us: 20.0,
+        }
+    }
+
+    /// Creates a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters.
+    pub fn new(slew_v_per_us: f64, pll_relock_us: f64) -> Self {
+        assert!(
+            slew_v_per_us > 0.0 && pll_relock_us >= 0.0,
+            "degenerate transition model"
+        );
+        DvfsTransitionModel {
+            slew_v_per_us,
+            pll_relock_us,
+        }
+    }
+
+    /// The cost of switching `from → to`.
+    pub fn transition(&self, from: OperatingPoint, to: OperatingPoint) -> DvfsTransition {
+        let dv = (to.vdd.0 - from.vdd.0).abs();
+        let voltage_ramp = Picoseconds(dv / self.slew_v_per_us * 1e6);
+        let freq_changed = (to.frequency.0 - from.frequency.0).abs() > 1e-9;
+        let pll_relock = if freq_changed {
+            Picoseconds(self.pll_relock_us * 1e6)
+        } else {
+            Picoseconds(0.0)
+        };
+        let bias_slew = from.bias.transition_time(to.bias);
+        // A pure bias change keeps the clock running; voltage/frequency
+        // changes stall (conservative halt-and-switch model).
+        let stalls = freq_changed || dv > 1e-9;
+        DvfsTransition {
+            voltage_ramp,
+            pll_relock,
+            bias_slew,
+            stalls,
+        }
+    }
+}
+
+impl Default for DvfsTransitionModel {
+    fn default() -> Self {
+        Self::server_class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::BodyBias;
+    use crate::fmax::CoreModel;
+    use crate::technology::{Technology, TechnologyKind};
+    use crate::units::{MegaHertz, Volts};
+
+    fn op(mhz: f64, bias: BodyBias) -> OperatingPoint {
+        let core = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28));
+        OperatingPoint::at(&core, MegaHertz(mhz), bias).unwrap()
+    }
+
+    #[test]
+    fn big_voltage_swings_take_tens_of_microseconds() {
+        let m = DvfsTransitionModel::server_class();
+        let t = m.transition(op(200.0, BodyBias::ZERO), op(2000.0, BodyBias::ZERO));
+        let us = t.duration_seconds().0 * 1e6;
+        assert!(
+            us > 40.0 && us < 200.0,
+            "200 MHz -> 2 GHz should take tens of microseconds, got {us:.1}"
+        );
+        assert!(t.stalls);
+    }
+
+    #[test]
+    fn bias_only_changes_are_fast_and_non_stalling() {
+        let m = DvfsTransitionModel::server_class();
+        let fbb = BodyBias::forward(Volts(1.3)).unwrap();
+        let from = op(500.0, BodyBias::ZERO);
+        // Same voltage, same frequency, new bias.
+        let to = OperatingPoint {
+            bias: fbb,
+            ..from
+        };
+        let t = m.transition(from, to);
+        assert!(!t.stalls, "boost engages without halting the core");
+        let us = t.duration_seconds().0 * 1e6;
+        assert!(us < 1.5, "bias slews in about a microsecond, got {us:.2}");
+    }
+
+    #[test]
+    fn identical_points_cost_nothing() {
+        let m = DvfsTransitionModel::server_class();
+        let a = op(1000.0, BodyBias::ZERO);
+        let t = m.transition(a, a);
+        assert_eq!(t.duration(), Picoseconds(0.0));
+        assert!(!t.stalls);
+    }
+
+    #[test]
+    fn transitions_are_symmetric_in_duration() {
+        let m = DvfsTransitionModel::server_class();
+        let a = op(400.0, BodyBias::ZERO);
+        let b = op(1600.0, BodyBias::ZERO);
+        assert_eq!(m.transition(a, b).duration(), m.transition(b, a).duration());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_zero_slew() {
+        let _ = DvfsTransitionModel::new(0.0, 20.0);
+    }
+}

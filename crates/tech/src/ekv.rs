@@ -1,0 +1,246 @@
+//! Unified EKV-style drive-current model.
+//!
+//! Near-threshold design-space exploration needs a transistor on-current
+//! expression that is accurate *across* operating regions: strong inversion
+//! (where the classic alpha-power law holds), the near-threshold region
+//! around `Vdd ≈ Vth`, and sub-threshold conduction (exponential in the gate
+//! overdrive). The EKV inversion-charge formulation provides a single smooth
+//! expression covering all three:
+//!
+//! ```text
+//! I_on(V) = I_spec · ln²(1 + exp((V − Vth_eff) / (2·n·v_T)))
+//! ```
+//!
+//! * for `V ≫ Vth` this tends to `I_spec · ((V − Vth)/(2·n·v_T))²` — the
+//!   quadratic (alpha ≈ 2) strong-inversion law;
+//! * for `V ≪ Vth` it tends to `I_spec · exp((V − Vth)/(n·v_T))` — the
+//!   sub-threshold exponential with slope factor `n`.
+//!
+//! This is the functional form used to fit the 28 nm UTBB FD-SOI
+//! near-threshold measurements in Rossi et al. (the template the paper's
+//! Section II-C extends its power model with).
+
+use crate::units::{Kelvin, Volts};
+use crate::{thermal_voltage, TechError};
+use serde::{Deserialize, Serialize};
+
+/// Unified drive-current model for one device flavour.
+///
+/// The model is normalized: [`EkvModel::drive_factor`] returns a
+/// dimensionless quantity proportional to the on-current per unit width.
+/// Absolute calibration (mobility, width, specific current) is folded into
+/// the critical-path constant of [`crate::fmax::CoreModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EkvModel {
+    /// Sub-threshold slope factor `n` (dimensionless, ≥ 1). FD-SOI's
+    /// undoped fully-depleted channel gives a near-ideal `n ≈ 1.25`;
+    /// 28 nm bulk sits near `n ≈ 1.5`.
+    slope_factor: f64,
+    /// Drain-induced barrier lowering coefficient (V/V): effective threshold
+    /// reduction per volt of drain (≈ supply) voltage.
+    dibl: f64,
+    /// Threshold-voltage temperature coefficient (V/K, negative: Vth drops
+    /// as temperature rises).
+    vth_tempco: f64,
+    /// Reference temperature at which `Vth` values are quoted.
+    reference_temp: Kelvin,
+}
+
+impl EkvModel {
+    /// Creates a drive-current model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] if `slope_factor < 1`, or if
+    /// `dibl` is negative, or if any parameter is non-finite.
+    pub fn new(
+        slope_factor: f64,
+        dibl: f64,
+        vth_tempco: f64,
+        reference_temp: Kelvin,
+    ) -> Result<Self, TechError> {
+        if !slope_factor.is_finite() || slope_factor < 1.0 {
+            return Err(TechError::InvalidParameter {
+                name: "slope_factor",
+                value: slope_factor,
+            });
+        }
+        if !dibl.is_finite() || dibl < 0.0 {
+            return Err(TechError::InvalidParameter {
+                name: "dibl",
+                value: dibl,
+            });
+        }
+        if !vth_tempco.is_finite() {
+            return Err(TechError::InvalidParameter {
+                name: "vth_tempco",
+                value: vth_tempco,
+            });
+        }
+        if !reference_temp.0.is_finite() || reference_temp.0 <= 0.0 {
+            return Err(TechError::InvalidParameter {
+                name: "reference_temp",
+                value: reference_temp.0,
+            });
+        }
+        Ok(EkvModel {
+            slope_factor,
+            dibl,
+            vth_tempco,
+            reference_temp,
+        })
+    }
+
+    /// The sub-threshold slope factor `n`.
+    pub fn slope_factor(&self) -> f64 {
+        self.slope_factor
+    }
+
+    /// The DIBL coefficient in V/V.
+    pub fn dibl(&self) -> f64 {
+        self.dibl
+    }
+
+    /// Sub-threshold swing in mV/decade at the given temperature:
+    /// `S = n · v_T · ln(10)`.
+    ///
+    /// ```
+    /// # use ntc_tech::{EkvModel, Kelvin};
+    /// let m = EkvModel::new(1.25, 0.06, -1.0e-3, Kelvin(300.0)).unwrap();
+    /// let s = m.subthreshold_swing_mv_per_dec(Kelvin(300.0));
+    /// assert!((s - 74.4).abs() < 1.0); // near-ideal FD-SOI swing
+    /// ```
+    pub fn subthreshold_swing_mv_per_dec(&self, temp: Kelvin) -> f64 {
+        self.slope_factor * thermal_voltage(temp).0 * std::f64::consts::LN_10 * 1e3
+    }
+
+    /// Effective threshold voltage after DIBL and temperature corrections.
+    ///
+    /// `vth0` is the zero-bias threshold at the reference temperature and
+    /// low drain voltage; body-bias shifts are applied by the caller (see
+    /// [`crate::bias::BodyBias::vth_shift`]).
+    pub fn effective_vth(&self, vth0: Volts, vdd: Volts, temp: Kelvin) -> Volts {
+        let dibl_drop = self.dibl * vdd.0;
+        let temp_drop = self.vth_tempco * (temp.0 - self.reference_temp.0);
+        Volts(vth0.0 - dibl_drop + temp_drop)
+    }
+
+    /// Normalized inversion charge `ln²(1 + exp((V − Vth_eff)/(2·n·v_T)))`.
+    ///
+    /// Proportional to the on-current per unit width. Smoothly spans
+    /// sub-threshold (exponential) to strong inversion (quadratic).
+    pub fn drive_factor(&self, vdd: Volts, vth_eff: Volts, temp: Kelvin) -> f64 {
+        let vt = thermal_voltage(temp).0;
+        let x = (vdd.0 - vth_eff.0) / (2.0 * self.slope_factor * vt);
+        // ln(1 + e^x) computed stably: for large x it is x + ln(1+e^-x).
+        let softplus = if x > 30.0 {
+            x
+        } else if x < -30.0 {
+            x.exp()
+        } else {
+            x.exp().ln_1p()
+        };
+        softplus * softplus
+    }
+
+    /// Normalized sub-threshold leakage current at gate voltage 0:
+    /// `exp(−Vth_eff / (n·v_T))`, before DIBL-at-Vds and width scaling.
+    pub fn subthreshold_leak_factor(&self, vth_eff: Volts, temp: Kelvin) -> f64 {
+        let vt = thermal_voltage(temp).0;
+        (-vth_eff.0 / (self.slope_factor * vt)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EkvModel {
+        EkvModel::new(1.3, 0.06, -1.0e-3, Kelvin(300.0)).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(EkvModel::new(0.9, 0.06, -1e-3, Kelvin(300.0)).is_err());
+        assert!(EkvModel::new(1.3, -0.1, -1e-3, Kelvin(300.0)).is_err());
+        assert!(EkvModel::new(1.3, 0.06, f64::NAN, Kelvin(300.0)).is_err());
+        assert!(EkvModel::new(1.3, 0.06, -1e-3, Kelvin(0.0)).is_err());
+    }
+
+    #[test]
+    fn strong_inversion_limit_is_quadratic() {
+        let m = model();
+        let t = Kelvin(300.0);
+        let vth = Volts(0.4);
+        // Far above threshold the drive factor ~ ((V-Vth)/(2 n vT))^2, so
+        // doubling the overdrive should ~quadruple the factor.
+        let d1 = m.drive_factor(Volts(0.4 + 0.4), vth, t);
+        let d2 = m.drive_factor(Volts(0.4 + 0.8), vth, t);
+        let ratio = d2 / d1;
+        assert!(
+            (ratio - 4.0).abs() < 0.4,
+            "expected near-quadratic scaling, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn subthreshold_limit_is_exponential() {
+        let m = model();
+        let t = Kelvin(300.0);
+        let vth = Volts(0.4);
+        let vt = thermal_voltage(t).0;
+        // 60 mV below threshold vs 120 mV below threshold: the ratio should
+        // approach exp(0.06/(n*vT)).
+        let d1 = m.drive_factor(Volts(0.4 - 0.12), vth, t);
+        let d2 = m.drive_factor(Volts(0.4 - 0.06), vth, t);
+        let expected = (0.06 / (m.slope_factor() * vt)).exp();
+        let ratio = d2 / d1;
+        assert!(
+            (ratio / expected - 1.0).abs() < 0.25,
+            "subthreshold ratio {ratio} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn drive_factor_is_monotone_in_vdd() {
+        let m = model();
+        let t = Kelvin(300.0);
+        let vth = Volts(0.4);
+        let mut prev = 0.0;
+        for step in 1..=140 {
+            let v = Volts(step as f64 * 0.01);
+            let d = m.drive_factor(v, vth, t);
+            assert!(d > prev, "drive factor must increase with vdd");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn effective_vth_applies_dibl_and_temperature() {
+        let m = model();
+        let vth = m.effective_vth(Volts(0.4), Volts(1.0), Kelvin(300.0));
+        assert!((vth.0 - (0.4 - 0.06)).abs() < 1e-12);
+        // hotter -> lower Vth (tempco negative)
+        let hot = m.effective_vth(Volts(0.4), Volts(1.0), Kelvin(350.0));
+        assert!(hot < vth);
+    }
+
+    #[test]
+    fn extreme_arguments_do_not_overflow() {
+        let m = model();
+        let t = Kelvin(300.0);
+        let lo = m.drive_factor(Volts(-5.0), Volts(0.4), t);
+        let hi = m.drive_factor(Volts(50.0), Volts(0.4), t);
+        assert!(lo >= 0.0 && lo.is_finite());
+        assert!(hi.is_finite());
+    }
+
+    #[test]
+    fn leak_factor_decreases_with_vth() {
+        let m = model();
+        let t = Kelvin(300.0);
+        let l1 = m.subthreshold_leak_factor(Volts(0.3), t);
+        let l2 = m.subthreshold_leak_factor(Volts(0.4), t);
+        assert!(l1 > l2);
+    }
+}

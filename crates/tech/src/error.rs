@@ -1,0 +1,109 @@
+//! Error types for the technology layer.
+
+use crate::units::{MegaHertz, Volts};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the device and operating-point models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechError {
+    /// A body-bias voltage outside the technology's legal range was requested.
+    BiasOutOfRange {
+        /// The requested bias voltage (signed: positive = forward).
+        requested: Volts,
+        /// Lowest legal bias (most negative / reverse).
+        min: Volts,
+        /// Highest legal bias (most positive / forward).
+        max: Volts,
+    },
+    /// A supply voltage outside the technology's legal range was requested.
+    VddOutOfRange {
+        /// The requested supply voltage.
+        requested: Volts,
+        /// Lowest functional supply voltage.
+        min: Volts,
+        /// Highest rated supply voltage.
+        max: Volts,
+    },
+    /// The requested frequency cannot be reached at any legal supply voltage.
+    FrequencyUnreachable {
+        /// The requested frequency.
+        requested: MegaHertz,
+        /// The maximum frequency at the highest rated voltage.
+        fmax_at_vmax: MegaHertz,
+    },
+    /// The requested frequency is below the minimum useful clock.
+    FrequencyTooLow {
+        /// The requested frequency.
+        requested: MegaHertz,
+    },
+    /// A model parameter was invalid (non-finite, non-positive, …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::BiasOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "body bias {requested:.2} outside legal range [{min:.2}, {max:.2}]"
+            ),
+            TechError::VddOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "supply voltage {requested:.2} outside legal range [{min:.2}, {max:.2}]"
+            ),
+            TechError::FrequencyUnreachable {
+                requested,
+                fmax_at_vmax,
+            } => write!(
+                f,
+                "frequency {requested:.0} unreachable; maximum at rated voltage is {fmax_at_vmax:.0}"
+            ),
+            TechError::FrequencyTooLow { requested } => {
+                write!(f, "frequency {requested:.3} below the minimum useful clock")
+            }
+            TechError::InvalidParameter { name, value } => {
+                write!(f, "invalid model parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TechError::BiasOutOfRange {
+            requested: Volts(5.0),
+            min: Volts(0.0),
+            max: Volts(3.0),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("body bias"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

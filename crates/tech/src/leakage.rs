@@ -1,0 +1,242 @@
+//! Static (leakage) power model.
+//!
+//! Two components:
+//!
+//! * **Sub-threshold conduction** — exponential in the effective threshold
+//!   voltage, hence strongly dependent on body bias (85 mV/V) and on
+//!   temperature (through the Vth tempco and thermal voltage). This is the
+//!   term reverse body bias attacks.
+//! * **Gate (tunnelling) leakage** — roughly quadratic in `Vdd`, insensitive
+//!   to body bias. It forms the floor that caps RBB's benefit at "up to an
+//!   order of magnitude" (paper Sec. II-A point 3).
+//!
+//! The model is calibrated per block with a single power anchor (e.g. "this
+//! core leaks 150 mW at 1.3 V, zero bias, 300 K"); the split between the two
+//! components is set by the gate-leakage fraction at the anchor.
+
+use crate::bias::BodyBias;
+use crate::technology::Technology;
+use crate::units::{Kelvin, Volts, Watts};
+use crate::TechError;
+use serde::{Deserialize, Serialize};
+
+/// Default fraction of anchor leakage attributed to gate tunnelling.
+///
+/// With a 10 % floor, maximal RBB cuts total leakage ≈10× — the paper's
+/// "order of magnitude".
+pub const DEFAULT_GATE_FRACTION: f64 = 0.10;
+
+/// Calibrated leakage model for one block (core, cache slice, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakageModel {
+    tech: Technology,
+    /// Sub-threshold scale constant (watts per volt of Vdd at unit
+    /// exponential factor).
+    c_sub: f64,
+    /// Gate-leakage scale constant (watts per volt² of Vdd).
+    c_gate: f64,
+}
+
+impl LeakageModel {
+    /// Calibrates the model so that total leakage equals `anchor_power` at
+    /// the anchor condition, splitting off `gate_fraction` as bias-immune
+    /// gate leakage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] if `anchor_power` is not
+    /// positive/finite or `gate_fraction` is outside `[0, 1)`, and
+    /// propagates bias/voltage range errors for the anchor condition.
+    pub fn calibrated(
+        tech: Technology,
+        anchor_vdd: Volts,
+        anchor_bias: BodyBias,
+        anchor_temp: Kelvin,
+        anchor_power: Watts,
+        gate_fraction: f64,
+    ) -> Result<Self, TechError> {
+        if !anchor_power.0.is_finite() || anchor_power.0 <= 0.0 {
+            return Err(TechError::InvalidParameter {
+                name: "anchor_power",
+                value: anchor_power.0,
+            });
+        }
+        if !(0.0..1.0).contains(&gate_fraction) {
+            return Err(TechError::InvalidParameter {
+                name: "gate_fraction",
+                value: gate_fraction,
+            });
+        }
+        tech.check_vdd(anchor_vdd)?;
+        tech.check_bias(anchor_bias)?;
+
+        let vth = tech.vth_eff(anchor_vdd, anchor_bias, anchor_temp);
+        let sub_factor = tech.device().subthreshold_leak_factor(vth, anchor_temp);
+        let sub_power = anchor_power.0 * (1.0 - gate_fraction);
+        let gate_power = anchor_power.0 * gate_fraction;
+        let c_sub = sub_power / (anchor_vdd.0 * sub_factor * tech.leak_scale());
+        let c_gate = gate_power / (anchor_vdd.0 * anchor_vdd.0);
+        Ok(LeakageModel {
+            tech,
+            c_sub,
+            c_gate,
+        })
+    }
+
+    /// Calibrates with the default 10 % gate-leakage floor.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageModel::calibrated`].
+    pub fn calibrated_default(
+        tech: Technology,
+        anchor_vdd: Volts,
+        anchor_power: Watts,
+    ) -> Result<Self, TechError> {
+        Self::calibrated(
+            tech,
+            anchor_vdd,
+            BodyBias::ZERO,
+            Kelvin(300.0),
+            anchor_power,
+            DEFAULT_GATE_FRACTION,
+        )
+    }
+
+    /// The underlying technology.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Static power at an operating condition.
+    ///
+    /// Does **not** validate ranges (hot loops call this); pass conditions
+    /// already vetted by [`Technology::check_vdd`] / [`Technology::check_bias`]
+    /// when legality matters. Retention-voltage conditions (below SRAM
+    /// operating Vmin) are deliberately allowed: that is exactly the drowsy
+    /// state the energy-proportionality extension evaluates.
+    pub fn power(&self, vdd: Volts, bias: BodyBias, temp: Kelvin) -> Watts {
+        if vdd.0 <= 0.0 {
+            return Watts::ZERO;
+        }
+        let vth = self.tech.vth_eff(vdd, bias, temp);
+        let sub_factor = self.tech.device().subthreshold_leak_factor(vth, temp);
+        let sub = self.c_sub * self.tech.leak_scale() * vdd.0 * sub_factor;
+        let gate = self.c_gate * vdd.0 * vdd.0;
+        Watts(sub + gate)
+    }
+
+    /// Static power when only a fraction of the block's wells receive the
+    /// bias (selective well biasing: designers route forward bias to the
+    /// critical-path wells and leave the leakage-dominant majority of the
+    /// width unbiased).
+    ///
+    /// `exposure` is the fraction of leakage-relevant width under the bias,
+    /// clamped to `[0, 1]`; the remainder leaks at zero bias.
+    pub fn power_with_exposure(
+        &self,
+        vdd: Volts,
+        bias: BodyBias,
+        temp: Kelvin,
+        exposure: f64,
+    ) -> Watts {
+        let e = exposure.clamp(0.0, 1.0);
+        self.power(vdd, bias, temp) * e + self.power(vdd, BodyBias::ZERO, temp) * (1.0 - e)
+    }
+
+    /// Ratio of leakage under `bias` to leakage at zero bias, at equal
+    /// voltage and temperature. < 1 for reverse bias, > 1 for forward bias.
+    pub fn bias_leak_ratio(&self, vdd: Volts, bias: BodyBias, temp: Kelvin) -> f64 {
+        let p0 = self.power(vdd, BodyBias::ZERO, temp);
+        if p0.0 == 0.0 {
+            return 1.0;
+        }
+        self.power(vdd, bias, temp) / p0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::TechnologyKind;
+
+    fn model(kind: TechnologyKind) -> LeakageModel {
+        LeakageModel::calibrated_default(Technology::preset(kind), Volts(1.3), Watts(0.15))
+            .unwrap()
+    }
+
+    #[test]
+    fn anchor_is_reproduced() {
+        let m = model(TechnologyKind::Bulk28);
+        let p = m.power(Volts(1.3), BodyBias::ZERO, Kelvin(300.0));
+        assert!((p.0 - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_decreases_with_voltage() {
+        let m = model(TechnologyKind::FdSoi28);
+        let hi = m.power(Volts(1.3), BodyBias::ZERO, Kelvin(300.0));
+        let lo = m.power(Volts(0.5), BodyBias::ZERO, Kelvin(300.0));
+        assert!(lo < hi);
+        assert!(lo.0 > 0.0);
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let m = model(TechnologyKind::FdSoi28);
+        let cold = m.power(Volts(1.0), BodyBias::ZERO, Kelvin(300.0));
+        let hot = m.power(Volts(1.0), BodyBias::ZERO, Kelvin(350.0));
+        assert!(
+            hot.0 > cold.0 * 2.0,
+            "50 K should multiply leakage severalfold: {cold} -> {hot}"
+        );
+    }
+
+    #[test]
+    fn paper_anchor_rbb_cuts_leakage_an_order_of_magnitude() {
+        let m = model(TechnologyKind::FdSoi28ConventionalWell);
+        let rbb = BodyBias::reverse(Volts(3.0)).unwrap();
+        let ratio = m.bias_leak_ratio(Volts(0.5), rbb, Kelvin(300.0));
+        assert!(
+            ratio < 0.20 && ratio > 0.05,
+            "max rbb should cut leakage 5-10x (gate floor binds), got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn fbb_raises_leakage() {
+        let m = model(TechnologyKind::FdSoi28);
+        let fbb = BodyBias::forward(Volts(1.0)).unwrap();
+        let ratio = m.bias_leak_ratio(Volts(0.6), fbb, Kelvin(300.0));
+        assert!(ratio > 3.0, "1 V fbb should multiply leakage, got {ratio}");
+    }
+
+    #[test]
+    fn calibration_validation() {
+        let tech = Technology::preset(TechnologyKind::FdSoi28);
+        assert!(LeakageModel::calibrated(
+            tech.clone(),
+            Volts(1.3),
+            BodyBias::ZERO,
+            Kelvin(300.0),
+            Watts(-1.0),
+            0.1
+        )
+        .is_err());
+        assert!(LeakageModel::calibrated(
+            tech,
+            Volts(1.3),
+            BodyBias::ZERO,
+            Kelvin(300.0),
+            Watts(0.1),
+            1.5
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_voltage_means_zero_leakage() {
+        let m = model(TechnologyKind::FdSoi28);
+        assert_eq!(m.power(Volts(0.0), BodyBias::ZERO, Kelvin(300.0)), Watts::ZERO);
+    }
+}

@@ -1,0 +1,151 @@
+//! SRAM functional-voltage limits.
+//!
+//! The paper's Section V-B pins the low-voltage boundary of the design space
+//! on the memory arrays, not the logic: *"there is a voltage point, 0.5 V,
+//! where cores become non-functional due to the L1 cache"*. Six-transistor
+//! SRAM cells lose their static noise margin before logic loses timing, so
+//! the core's minimum operating voltage is `max(logic Vmin, SRAM Vmin)`.
+//!
+//! Read/write assist circuitry can buy back some margin at an area/energy
+//! cost; the model exposes that knob for the energy-proportionality
+//! extensions.
+
+use crate::units::Volts;
+use serde::{Deserialize, Serialize};
+
+/// Functional-voltage limits of the SRAM arrays embedded in a block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramLimits {
+    /// Minimum voltage at which read/write operations are reliable.
+    vmin_operate: Volts,
+    /// Minimum voltage at which cell contents are retained (data held but
+    /// not accessible) — the floor for drowsy/retention modes.
+    vmin_retain: Volts,
+    /// Voltage reduction available from read/write assist circuits.
+    assist_margin: Volts,
+    /// Whether assist circuits are enabled.
+    assist_enabled: bool,
+}
+
+impl SramLimits {
+    /// 28 nm bulk 6T SRAM: operating Vmin ≈ 0.7 V, retention ≈ 0.45 V.
+    ///
+    /// This is why the paper's bulk A57 "has timing issues when operating in
+    /// the low voltage region (0.5 V)" — the arrays give out well above it.
+    pub fn bulk_28nm() -> Self {
+        SramLimits {
+            vmin_operate: Volts(0.70),
+            vmin_retain: Volts(0.45),
+            assist_margin: Volts(0.08),
+            assist_enabled: false,
+        }
+    }
+
+    /// 28 nm FD-SOI 6T SRAM: operating Vmin = 0.5 V (the paper's limit),
+    /// retention ≈ 0.30 V. The undoped channel removes random dopant
+    /// fluctuation, the dominant Vmin contributor in bulk.
+    pub fn fdsoi_28nm() -> Self {
+        SramLimits {
+            vmin_operate: Volts(0.50),
+            vmin_retain: Volts(0.30),
+            assist_margin: Volts(0.10),
+            assist_enabled: false,
+        }
+    }
+
+    /// Creates custom limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vmin_retain > vmin_operate` or any voltage is negative.
+    pub fn new(vmin_operate: Volts, vmin_retain: Volts, assist_margin: Volts) -> Self {
+        assert!(
+            vmin_retain <= vmin_operate,
+            "retention voltage {vmin_retain} must not exceed operating voltage {vmin_operate}"
+        );
+        assert!(vmin_retain.0 >= 0.0 && assist_margin.0 >= 0.0);
+        SramLimits {
+            vmin_operate,
+            vmin_retain,
+            assist_margin,
+            assist_enabled: false,
+        }
+    }
+
+    /// Returns a copy with read/write assist circuits enabled, lowering the
+    /// operating Vmin by the assist margin.
+    pub fn with_assist(mut self) -> Self {
+        self.assist_enabled = true;
+        self
+    }
+
+    /// Whether assist circuits are enabled.
+    pub fn assist_enabled(&self) -> bool {
+        self.assist_enabled
+    }
+
+    /// Minimum reliable operating voltage, accounting for assists.
+    pub fn vmin_operate(&self) -> Volts {
+        if self.assist_enabled {
+            (self.vmin_operate - self.assist_margin).max(self.vmin_retain)
+        } else {
+            self.vmin_operate
+        }
+    }
+
+    /// Minimum retention voltage (drowsy floor).
+    pub fn vmin_retain(&self) -> Volts {
+        self.vmin_retain
+    }
+
+    /// Whether the array operates correctly at `vdd`.
+    pub fn operational_at(&self, vdd: Volts) -> bool {
+        vdd >= self.vmin_operate()
+    }
+
+    /// Whether the array retains state at `vdd` (even if not accessible).
+    pub fn retains_at(&self, vdd: Volts) -> bool {
+        vdd >= self.vmin_retain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_fdsoi_sram_limits_at_half_volt() {
+        let s = SramLimits::fdsoi_28nm();
+        assert!(s.operational_at(Volts(0.50)));
+        assert!(!s.operational_at(Volts(0.49)));
+    }
+
+    #[test]
+    fn paper_anchor_bulk_sram_fails_at_half_volt() {
+        let s = SramLimits::bulk_28nm();
+        assert!(!s.operational_at(Volts(0.50)));
+        assert!(s.operational_at(Volts(0.70)));
+        assert!(s.retains_at(Volts(0.50)));
+    }
+
+    #[test]
+    fn assist_lowers_vmin() {
+        let s = SramLimits::fdsoi_28nm().with_assist();
+        assert!(s.assist_enabled());
+        assert!(s.operational_at(Volts(0.42)));
+        assert!(!s.operational_at(Volts(0.35)));
+    }
+
+    #[test]
+    fn retention_below_operation() {
+        for s in [SramLimits::bulk_28nm(), SramLimits::fdsoi_28nm()] {
+            assert!(s.vmin_retain() < s.vmin_operate());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn new_rejects_inverted_limits() {
+        let _ = SramLimits::new(Volts(0.3), Volts(0.5), Volts(0.1));
+    }
+}

@@ -1,0 +1,309 @@
+//! Technology presets: 28 nm bulk CMOS and 28 nm UTBB FD-SOI.
+//!
+//! Parameter values are calibrated so the resulting `Vdd(f)`/power curves hit
+//! the anchor points of the paper's Figure 1:
+//!
+//! * bulk has timing issues at 0.5 V (no useful clock);
+//! * plain FD-SOI reaches ≈ 100 MHz at 0.5 V;
+//! * FD-SOI with forward body bias exceeds 500 MHz at 0.5 V;
+//! * FD-SOI sustains a higher frequency than bulk at equal voltage, and a
+//!   lower voltage (hence lower power) at equal frequency.
+
+use crate::bias::{BiasDirection, BodyBias};
+use crate::ekv::EkvModel;
+use crate::sram::SramLimits;
+use crate::units::{Kelvin, Volts};
+use crate::TechError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The process flavours studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechnologyKind {
+    /// 28 nm planar bulk CMOS.
+    Bulk28,
+    /// 28 nm UTBB FD-SOI, flip-well (LVT) implementation: accepts forward
+    /// body bias from 0 to +3 V, targets high-performance operation.
+    FdSoi28,
+    /// 28 nm UTBB FD-SOI, conventional-well (RVT) implementation: accepts
+    /// reverse body bias from −3 to 0 V, used for leakage-managed uncore
+    /// blocks and sleep states.
+    FdSoi28ConventionalWell,
+}
+
+impl TechnologyKind {
+    /// All flavours, in the order used by Figure 1.
+    pub const ALL: [TechnologyKind; 3] = [
+        TechnologyKind::Bulk28,
+        TechnologyKind::FdSoi28,
+        TechnologyKind::FdSoi28ConventionalWell,
+    ];
+}
+
+impl fmt::Display for TechnologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechnologyKind::Bulk28 => write!(f, "28nm bulk"),
+            TechnologyKind::FdSoi28 => write!(f, "28nm FD-SOI (flip-well LVT)"),
+            TechnologyKind::FdSoi28ConventionalWell => {
+                write!(f, "28nm FD-SOI (conventional-well RVT)")
+            }
+        }
+    }
+}
+
+/// A calibrated process technology.
+///
+/// Bundles the device model, threshold voltage, legal supply/bias ranges and
+/// the SRAM functional limits that bound low-voltage operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    kind: TechnologyKind,
+    device: EkvModel,
+    /// Zero-bias threshold voltage at the reference temperature.
+    vth0: Volts,
+    /// Lowest supply voltage at which logic timing closes at all.
+    vdd_min: Volts,
+    /// Highest rated supply voltage.
+    vdd_max: Volts,
+    /// Legal body-bias range (signed; positive = forward).
+    bias_min: Volts,
+    bias_max: Volts,
+    /// SRAM functional limits (the L1 arrays bound core Vmin).
+    sram: SramLimits,
+    /// Relative drive strength vs. the bulk reference (mobility × stack
+    /// effects); FD-SOI's undoped channel carries slightly better mobility.
+    drive_scale: f64,
+    /// Relative leakage width scale vs. bulk at identical `Vth` (captures
+    /// junction/GIDL differences; FD-SOI has no junction leakage).
+    leak_scale: f64,
+}
+
+impl Technology {
+    /// Returns the calibrated preset for a process flavour.
+    pub fn preset(kind: TechnologyKind) -> Self {
+        match kind {
+            // Bulk 28nm: higher slope factor (worse subthreshold swing),
+            // stronger DIBL, Vth ~0.46 V. Body bias limited to +/-0.3 V
+            // (forward-biasing a bulk junction beyond ~0.3V would turn it on).
+            TechnologyKind::Bulk28 => Technology {
+                kind,
+                device: EkvModel::new(1.5, 0.09, -1.1e-3, Kelvin(300.0))
+                    .expect("bulk preset parameters are valid"),
+                vth0: Volts(0.46),
+                vdd_min: Volts(0.40),
+                vdd_max: Volts(1.30),
+                bias_min: Volts(-0.30),
+                bias_max: Volts(0.30),
+                sram: SramLimits::bulk_28nm(),
+                drive_scale: 1.0,
+                leak_scale: 1.0,
+            },
+            // Flip-well LVT FD-SOI: near-ideal subthreshold slope, lower Vth,
+            // FBB 0..+3 V. SRAM stays functional down to 0.5 V.
+            TechnologyKind::FdSoi28 => Technology {
+                kind,
+                device: EkvModel::new(1.28, 0.06, -0.9e-3, Kelvin(300.0))
+                    .expect("fdsoi preset parameters are valid"),
+                vth0: Volts(0.42),
+                vdd_min: Volts(0.35),
+                vdd_max: Volts(1.30),
+                bias_min: Volts(0.0),
+                bias_max: Volts(3.0),
+                sram: SramLimits::fdsoi_28nm(),
+                drive_scale: 1.12,
+                leak_scale: 0.8,
+            },
+            // Conventional-well RVT FD-SOI: higher Vth, RBB -3..0 V.
+            TechnologyKind::FdSoi28ConventionalWell => Technology {
+                kind,
+                device: EkvModel::new(1.28, 0.06, -0.9e-3, Kelvin(300.0))
+                    .expect("fdsoi rvt preset parameters are valid"),
+                vth0: Volts(0.45),
+                vdd_min: Volts(0.35),
+                vdd_max: Volts(1.30),
+                bias_min: Volts(-3.0),
+                bias_max: Volts(0.0),
+                sram: SramLimits::fdsoi_28nm(),
+                drive_scale: 1.05,
+                leak_scale: 0.7,
+            },
+        }
+    }
+
+    /// The flavour this preset models.
+    pub fn kind(&self) -> TechnologyKind {
+        self.kind
+    }
+
+    /// The underlying device model.
+    pub fn device(&self) -> &EkvModel {
+        &self.device
+    }
+
+    /// Zero-bias threshold voltage at the reference temperature.
+    pub fn vth0(&self) -> Volts {
+        self.vth0
+    }
+
+    /// Lowest supply voltage at which logic timing closes.
+    pub fn vdd_min(&self) -> Volts {
+        self.vdd_min
+    }
+
+    /// Highest rated supply voltage.
+    pub fn vdd_max(&self) -> Volts {
+        self.vdd_max
+    }
+
+    /// SRAM functional limits.
+    pub fn sram(&self) -> &SramLimits {
+        &self.sram
+    }
+
+    /// Relative drive strength vs. the bulk reference.
+    pub fn drive_scale(&self) -> f64 {
+        self.drive_scale
+    }
+
+    /// Relative leakage scale vs. the bulk reference at identical `Vth`.
+    pub fn leak_scale(&self) -> f64 {
+        self.leak_scale
+    }
+
+    /// Validates a body bias against this flavour's legal range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::BiasOutOfRange`] when the signed bias falls
+    /// outside `[bias_min, bias_max]` — e.g. any reverse bias on a flip-well
+    /// LVT device, or forward bias beyond ±0.3 V on bulk.
+    pub fn check_bias(&self, bias: BodyBias) -> Result<(), TechError> {
+        let v = bias.signed();
+        if v < self.bias_min || v > self.bias_max {
+            return Err(TechError::BiasOutOfRange {
+                requested: v,
+                min: self.bias_min,
+                max: self.bias_max,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates a supply voltage against the rated range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::VddOutOfRange`] outside `[vdd_min, vdd_max]`.
+    pub fn check_vdd(&self, vdd: Volts) -> Result<(), TechError> {
+        if !vdd.0.is_finite() || vdd < self.vdd_min || vdd > self.vdd_max {
+            return Err(TechError::VddOutOfRange {
+                requested: vdd,
+                min: self.vdd_min,
+                max: self.vdd_max,
+            });
+        }
+        Ok(())
+    }
+
+    /// The strongest forward bias this flavour allows.
+    pub fn max_forward_bias(&self) -> BodyBias {
+        BodyBias::from_signed(self.bias_max).expect("preset bias range is legal")
+    }
+
+    /// The strongest reverse bias this flavour allows.
+    pub fn max_reverse_bias(&self) -> BodyBias {
+        BodyBias::from_signed(self.bias_min).expect("preset bias range is legal")
+    }
+
+    /// Effective threshold voltage at an operating condition, including
+    /// DIBL, temperature and body bias.
+    pub fn vth_eff(&self, vdd: Volts, bias: BodyBias, temp: Kelvin) -> Volts {
+        let base = self.device.effective_vth(self.vth0, vdd, temp);
+        base + bias.vth_shift()
+    }
+
+    /// Returns a copy with a different zero-bias threshold voltage.
+    ///
+    /// Used by the variation model to instantiate per-die/per-core samples
+    /// whose `Vth` deviates from the typical corner.
+    pub fn with_vth0(&self, vth0: Volts) -> Self {
+        let mut t = self.clone();
+        t.vth0 = vth0;
+        t
+    }
+
+    /// Whether a bias in the given direction is legal for this flavour.
+    pub fn supports(&self, dir: BiasDirection) -> bool {
+        match dir {
+            BiasDirection::Zero => true,
+            BiasDirection::Forward => self.bias_max.0 > 0.0,
+            BiasDirection::Reverse => self.bias_min.0 < 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sensible_ordering() {
+        let bulk = Technology::preset(TechnologyKind::Bulk28);
+        let fdsoi = Technology::preset(TechnologyKind::FdSoi28);
+        assert!(fdsoi.vth0() < bulk.vth0());
+        assert!(fdsoi.device().slope_factor() < bulk.device().slope_factor());
+        assert!(fdsoi.drive_scale() > bulk.drive_scale());
+    }
+
+    #[test]
+    fn bias_ranges_enforced_per_flavour() {
+        let bulk = Technology::preset(TechnologyKind::Bulk28);
+        let fdsoi = Technology::preset(TechnologyKind::FdSoi28);
+        let rvt = Technology::preset(TechnologyKind::FdSoi28ConventionalWell);
+
+        let fbb2 = BodyBias::forward(Volts(2.0)).unwrap();
+        let rbb2 = BodyBias::reverse(Volts(2.0)).unwrap();
+
+        assert!(bulk.check_bias(fbb2).is_err());
+        assert!(fdsoi.check_bias(fbb2).is_ok());
+        assert!(fdsoi.check_bias(rbb2).is_err(), "flip-well has no rbb");
+        assert!(rvt.check_bias(rbb2).is_ok());
+        assert!(rvt.check_bias(fbb2).is_err(), "conventional-well has no fbb");
+    }
+
+    #[test]
+    fn vth_eff_includes_bias_shift() {
+        let fdsoi = Technology::preset(TechnologyKind::FdSoi28);
+        let t = Kelvin(300.0);
+        let v = Volts(0.5);
+        let no_bias = fdsoi.vth_eff(v, BodyBias::ZERO, t);
+        let fbb = fdsoi.vth_eff(v, BodyBias::forward(Volts(2.0)).unwrap(), t);
+        assert!((no_bias.0 - fbb.0 - 0.17).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vdd_range_checks() {
+        let fdsoi = Technology::preset(TechnologyKind::FdSoi28);
+        assert!(fdsoi.check_vdd(Volts(0.5)).is_ok());
+        assert!(fdsoi.check_vdd(Volts(1.5)).is_err());
+        assert!(fdsoi.check_vdd(Volts(0.1)).is_err());
+        assert!(fdsoi.check_vdd(Volts(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn supports_directions() {
+        let bulk = Technology::preset(TechnologyKind::Bulk28);
+        assert!(bulk.supports(BiasDirection::Forward));
+        assert!(bulk.supports(BiasDirection::Reverse));
+        let fdsoi = Technology::preset(TechnologyKind::FdSoi28);
+        assert!(fdsoi.supports(BiasDirection::Forward));
+        assert!(!fdsoi.supports(BiasDirection::Reverse));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TechnologyKind::Bulk28.to_string(), "28nm bulk");
+        assert!(TechnologyKind::FdSoi28.to_string().contains("FD-SOI"));
+    }
+}

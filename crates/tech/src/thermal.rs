@@ -1,0 +1,231 @@
+//! Compact thermal model and the leakage-temperature feedback loop.
+//!
+//! The paper's discussion (Sec. V-C) draws a line between *power/thermal
+//! bound* operation — where the thermal design power (TDP) and the cooling
+//! solution constrain the chip — and the *energy bound* regime
+//! near-threshold servers actually live in, where "maximum
+//! energy-efficiency at low power operating point has the advantage of
+//! reducing the overall system TDP — easing the thermal design and
+//! dark-silicon effects".
+//!
+//! This module makes that argument executable: a lumped thermal resistance
+//! maps dissipated power to die temperature, leakage rises with
+//! temperature, and [`ThermalModel::steady_state`] solves the fixed point.
+//! At near-threshold power levels the loop converges a few kelvin above
+//! ambient; at full speed the same package runs tens of kelvin hotter and
+//! pays measurable extra leakage.
+
+use crate::units::{Celsius, Kelvin, Watts};
+use crate::TechError;
+use serde::{Deserialize, Serialize};
+
+/// Lumped package+heatsink thermal model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Junction-to-ambient thermal resistance in K/W.
+    r_theta: f64,
+    /// Ambient (inlet) temperature.
+    ambient: Kelvin,
+    /// Maximum junction temperature the package tolerates.
+    t_junction_max: Kelvin,
+}
+
+/// Result of a steady-state thermal solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalOperatingPoint {
+    /// Converged die temperature.
+    pub temperature: Kelvin,
+    /// Total power at the converged temperature.
+    pub power: Watts,
+    /// Whether the junction limit is respected.
+    pub within_limits: bool,
+    /// Fixed-point iterations used.
+    pub iterations: u32,
+}
+
+impl ThermalModel {
+    /// A server-class air-cooled heatsink: 0.25 K/W to a 30 °C inlet,
+    /// 95 °C junction limit.
+    pub fn server_air_cooled() -> Self {
+        ThermalModel {
+            r_theta: 0.25,
+            ambient: Celsius(30.0).to_kelvin(),
+            t_junction_max: Celsius(95.0).to_kelvin(),
+        }
+    }
+
+    /// A free-cooled (economizer) datacenter: warmer inlet, same sink.
+    pub fn free_cooled() -> Self {
+        ThermalModel {
+            r_theta: 0.25,
+            ambient: Celsius(40.0).to_kelvin(),
+            t_junction_max: Celsius(95.0).to_kelvin(),
+        }
+    }
+
+    /// Creates a custom model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] for a non-positive thermal
+    /// resistance or a junction limit at/below ambient.
+    pub fn new(
+        r_theta: f64,
+        ambient: Kelvin,
+        t_junction_max: Kelvin,
+    ) -> Result<Self, TechError> {
+        if !r_theta.is_finite() || r_theta <= 0.0 {
+            return Err(TechError::InvalidParameter {
+                name: "r_theta",
+                value: r_theta,
+            });
+        }
+        if t_junction_max <= ambient {
+            return Err(TechError::InvalidParameter {
+                name: "t_junction_max",
+                value: t_junction_max.0,
+            });
+        }
+        Ok(ThermalModel {
+            r_theta,
+            ambient,
+            t_junction_max,
+        })
+    }
+
+    /// Junction-to-ambient resistance (K/W).
+    pub fn r_theta(&self) -> f64 {
+        self.r_theta
+    }
+
+    /// Ambient temperature.
+    pub fn ambient(&self) -> Kelvin {
+        self.ambient
+    }
+
+    /// Junction temperature limit.
+    pub fn t_junction_max(&self) -> Kelvin {
+        self.t_junction_max
+    }
+
+    /// Die temperature at a given dissipation (no feedback).
+    pub fn temperature_at(&self, power: Watts) -> Kelvin {
+        Kelvin(self.ambient.0 + self.r_theta * power.0.max(0.0))
+    }
+
+    /// Maximum dissipation within the junction limit — the package's TDP.
+    pub fn tdp(&self) -> Watts {
+        Watts((self.t_junction_max.0 - self.ambient.0) / self.r_theta)
+    }
+
+    /// Solves the leakage-temperature fixed point: `power(T)` gives total
+    /// chip power at die temperature `T` (its leakage share grows with
+    /// `T`); the solution satisfies `T = ambient + Rθ · power(T)`.
+    ///
+    /// Uses damped fixed-point iteration; converges for any physical
+    /// (sub-runaway) configuration and reports non-convergence as a point
+    /// outside limits at the junction cap (thermal runaway).
+    pub fn steady_state<F>(&self, power_at: F) -> ThermalOperatingPoint
+    where
+        F: Fn(Kelvin) -> Watts,
+    {
+        let mut t = self.ambient;
+        let mut power = power_at(t);
+        let mut iterations = 0;
+        for i in 0..200 {
+            iterations = i + 1;
+            let target = self.temperature_at(power);
+            // Damping stabilizes strong leakage feedback.
+            let next = Kelvin(t.0 + 0.5 * (target.0 - t.0));
+            let next_power = power_at(next);
+            if (next.0 - t.0).abs() < 1e-4 {
+                t = next;
+                power = next_power;
+                break;
+            }
+            t = next;
+            power = next_power;
+            if t > self.t_junction_max + Kelvin(50.0) {
+                // Runaway: report at the cap.
+                return ThermalOperatingPoint {
+                    temperature: t,
+                    power,
+                    within_limits: false,
+                    iterations,
+                };
+            }
+        }
+        ThermalOperatingPoint {
+            temperature: t,
+            power,
+            within_limits: t <= self.t_junction_max,
+            iterations,
+        }
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self::server_air_cooled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tdp_follows_from_resistance_and_limits() {
+        let m = ThermalModel::server_air_cooled();
+        // (95-30)/0.25 = 260 W package TDP.
+        assert!((m.tdp().0 - 260.0).abs() < 1e-9);
+        let hot = ThermalModel::free_cooled();
+        assert!(hot.tdp() < m.tdp(), "warmer inlet shrinks the TDP");
+    }
+
+    #[test]
+    fn constant_power_converges_to_the_linear_solution() {
+        let m = ThermalModel::server_air_cooled();
+        let op = m.steady_state(|_| Watts(100.0));
+        assert!((op.temperature.0 - (303.15 + 25.0)).abs() < 0.01);
+        assert!(op.within_limits);
+    }
+
+    #[test]
+    fn leakage_feedback_raises_the_operating_point() {
+        let m = ThermalModel::server_air_cooled();
+        // 80 W dynamic + leakage that doubles every 25 K above ambient.
+        let with_feedback = m.steady_state(|t| {
+            let leak = 8.0 * ((t.0 - 303.15) / 25.0).exp2();
+            Watts(80.0 + leak)
+        });
+        let without = m.steady_state(|_| Watts(88.0));
+        assert!(with_feedback.temperature > without.temperature);
+        assert!(with_feedback.power.0 > 88.0);
+        assert!(with_feedback.within_limits);
+    }
+
+    #[test]
+    fn runaway_is_detected() {
+        let m = ThermalModel::server_air_cooled();
+        // Pathological leakage: doubles every 4 K. No stable point.
+        let op = m.steady_state(|t| Watts(50.0 + 30.0 * ((t.0 - 303.15) / 4.0).exp2()));
+        assert!(!op.within_limits);
+    }
+
+    #[test]
+    fn near_threshold_stays_near_ambient() {
+        // The paper's point: a ~40 W near-threshold server barely warms up.
+        let m = ThermalModel::server_air_cooled();
+        let nt = m.steady_state(|_| Watts(40.0));
+        assert!(nt.temperature.to_celsius().0 < 45.0);
+        let fast = m.steady_state(|_| Watts(160.0));
+        assert!(fast.temperature.to_celsius().0 > 65.0);
+    }
+
+    #[test]
+    fn rejects_unphysical_parameters() {
+        assert!(ThermalModel::new(-0.1, Kelvin(300.0), Kelvin(370.0)).is_err());
+        assert!(ThermalModel::new(0.25, Kelvin(370.0), Kelvin(300.0)).is_err());
+    }
+}

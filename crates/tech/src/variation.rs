@@ -1,0 +1,232 @@
+//! Process-variation modelling and body-bias compensation.
+//!
+//! Variations are *magnified* at near-threshold operation: a fixed `σ(Vth)`
+//! translates into an exponentially growing spread of drive current as the
+//! overdrive `Vdd − Vth` shrinks. The paper (Sec. II-A point 4) proposes
+//! spending part of the body-bias range on compensating these variations and
+//! leaving the rest for performance/energy management — implemented here by
+//! [`VariationModel::compensating_bias`].
+//!
+//! FD-SOI's undoped channel eliminates random dopant fluctuation, the
+//! dominant `Vth` variation source in bulk, so its σ is roughly half.
+
+use crate::bias::BodyBias;
+use crate::bias::VTH_SHIFT_PER_VOLT;
+use crate::technology::{Technology, TechnologyKind};
+use crate::units::Volts;
+use crate::TechError;
+use serde::{Deserialize, Serialize};
+
+/// A sampled per-core threshold-voltage deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VthSample {
+    /// Deviation from the typical `Vth0` (positive = slower, leakier-proof).
+    pub delta_vth: Volts,
+    /// Index of the sample in its population (die/core id).
+    pub index: u32,
+}
+
+/// Gaussian `Vth` variation with deterministic sampling.
+///
+/// Sampling is deterministic (a splitmix-style hash of the seed and index
+/// feeding a Box–Muller transform) so experiments are reproducible without
+/// threading an RNG through the technology layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Standard deviation of `Vth` across cores (die-to-die + within-die).
+    sigma_vth: Volts,
+    /// Seed for deterministic sampling.
+    seed: u64,
+}
+
+impl VariationModel {
+    /// Typical σ(Vth) for a core-sized block in 28 nm bulk: ≈ 30 mV.
+    pub const SIGMA_BULK_28: Volts = Volts(0.030);
+    /// Typical σ(Vth) for a core-sized block in 28 nm FD-SOI: ≈ 14 mV
+    /// (no random dopant fluctuation).
+    pub const SIGMA_FDSOI_28: Volts = Volts(0.014);
+
+    /// Creates a variation model with an explicit σ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] for a negative or non-finite σ.
+    pub fn new(sigma_vth: Volts, seed: u64) -> Result<Self, TechError> {
+        if !sigma_vth.0.is_finite() || sigma_vth.0 < 0.0 {
+            return Err(TechError::InvalidParameter {
+                name: "sigma_vth",
+                value: sigma_vth.0,
+            });
+        }
+        Ok(VariationModel { sigma_vth, seed })
+    }
+
+    /// The preset σ for a technology flavour.
+    pub fn preset(kind: TechnologyKind, seed: u64) -> Self {
+        let sigma = match kind {
+            TechnologyKind::Bulk28 => Self::SIGMA_BULK_28,
+            TechnologyKind::FdSoi28 | TechnologyKind::FdSoi28ConventionalWell => {
+                Self::SIGMA_FDSOI_28
+            }
+        };
+        VariationModel {
+            sigma_vth: sigma,
+            seed,
+        }
+    }
+
+    /// The standard deviation of `Vth`.
+    pub fn sigma(&self) -> Volts {
+        self.sigma_vth
+    }
+
+    /// Draws the `index`-th deterministic Gaussian `Vth` sample.
+    pub fn sample(&self, index: u32) -> VthSample {
+        // splitmix64 over (seed, index) for two independent uniforms.
+        let u1 = splitmix(self.seed ^ (u64::from(index) << 1 | 1));
+        let u2 = splitmix(self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15) ^ u64::from(index));
+        let (a, b) = (to_unit_open(u1), to_unit_open(u2));
+        // Box–Muller.
+        let z = (-2.0 * a.ln()).sqrt() * (2.0 * std::f64::consts::PI * b).cos();
+        VthSample {
+            delta_vth: Volts(self.sigma_vth.0 * z),
+            index,
+        }
+    }
+
+    /// Draws `n` samples (indices `0..n`).
+    pub fn population(&self, n: u32) -> Vec<VthSample> {
+        (0..n).map(|i| self.sample(i)).collect()
+    }
+
+    /// Applies a sampled deviation to a technology, yielding the instance
+    /// corner for one core.
+    pub fn apply(&self, tech: &Technology, sample: VthSample) -> Technology {
+        tech.with_vth0(tech.vth0() + sample.delta_vth)
+    }
+
+    /// `Vth` guard-band covering `n_sigma` of the population: designing for
+    /// `Vth0 + n_sigma·σ` guarantees timing on that fraction of cores.
+    pub fn guard_band(&self, n_sigma: f64) -> Volts {
+        Volts(self.sigma_vth.0 * n_sigma)
+    }
+
+    /// The body bias that re-centres a deviated core onto the typical `Vth`,
+    /// clipped to the technology's legal range.
+    ///
+    /// A slow core (positive `delta_vth`) receives forward bias; a leaky
+    /// fast core receives reverse bias (where the flavour allows it).
+    /// Returns the chosen bias and the residual `Vth` error after clipping.
+    pub fn compensating_bias(&self, tech: &Technology, sample: VthSample) -> (BodyBias, Volts) {
+        // delta_vth > 0 needs vth_shift = -delta  => forward bias of
+        // delta / 0.085 volts.
+        let wanted_signed = sample.delta_vth.0 / VTH_SHIFT_PER_VOLT;
+        let clipped = wanted_signed.clamp(
+            tech.max_reverse_bias().signed().0,
+            tech.max_forward_bias().signed().0,
+        );
+        let bias = BodyBias::from_signed(Volts(clipped)).expect("clipped bias is legal");
+        let residual = Volts(sample.delta_vth.0 + bias.vth_shift().0);
+        (bias, residual)
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn to_unit_open(x: u64) -> f64 {
+    // (0, 1): avoid exactly 0 for the ln() in Box-Muller.
+    ((x >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = VariationModel::preset(TechnologyKind::FdSoi28, 42);
+        assert_eq!(m.sample(7), m.sample(7));
+        assert_ne!(m.sample(7).delta_vth, m.sample(8).delta_vth);
+    }
+
+    #[test]
+    fn population_statistics_match_sigma() {
+        let m = VariationModel::preset(TechnologyKind::Bulk28, 1);
+        let pop = m.population(20_000);
+        let mean: f64 = pop.iter().map(|s| s.delta_vth.0).sum::<f64>() / pop.len() as f64;
+        let var: f64 =
+            pop.iter().map(|s| (s.delta_vth.0 - mean).powi(2)).sum::<f64>() / pop.len() as f64;
+        let sigma = var.sqrt();
+        assert!(mean.abs() < 0.002, "mean should be near zero, got {mean}");
+        assert!(
+            (sigma / m.sigma().0 - 1.0).abs() < 0.05,
+            "sample sigma {sigma} vs model {}",
+            m.sigma().0
+        );
+    }
+
+    #[test]
+    fn fdsoi_has_less_variation_than_bulk() {
+        let b = VariationModel::preset(TechnologyKind::Bulk28, 0);
+        let f = VariationModel::preset(TechnologyKind::FdSoi28, 0);
+        assert!(f.sigma() < b.sigma());
+    }
+
+    #[test]
+    fn compensation_recentres_within_bias_range() {
+        let tech = Technology::preset(TechnologyKind::FdSoi28);
+        let m = VariationModel::preset(TechnologyKind::FdSoi28, 3);
+        // A slow core: +3 sigma.
+        let slow = VthSample {
+            delta_vth: Volts(3.0 * m.sigma().0),
+            index: 0,
+        };
+        let (bias, residual) = m.compensating_bias(&tech, slow);
+        assert!(bias.signed().0 > 0.0, "slow core gets forward bias");
+        assert!(residual.abs().0 < 1e-9, "fully compensated: {residual:?}");
+    }
+
+    #[test]
+    fn compensation_clips_where_flavour_lacks_range() {
+        // Flip-well LVT cannot reverse-bias, so a fast/leaky core cannot be
+        // slowed: bias clips to zero and the residual equals the deviation.
+        let tech = Technology::preset(TechnologyKind::FdSoi28);
+        let m = VariationModel::preset(TechnologyKind::FdSoi28, 3);
+        let fast = VthSample {
+            delta_vth: Volts(-0.05),
+            index: 0,
+        };
+        let (bias, residual) = m.compensating_bias(&tech, fast);
+        assert_eq!(bias, BodyBias::ZERO);
+        assert!((residual.0 - (-0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guard_band_scales_with_sigma() {
+        let m = VariationModel::preset(TechnologyKind::Bulk28, 0);
+        assert!((m.guard_band(3.0).0 - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn applied_sample_changes_vth0() {
+        let tech = Technology::preset(TechnologyKind::FdSoi28);
+        let m = VariationModel::preset(TechnologyKind::FdSoi28, 9);
+        let s = VthSample {
+            delta_vth: Volts(0.02),
+            index: 1,
+        };
+        let t2 = m.apply(&tech, s);
+        assert!((t2.vth0().0 - tech.vth0().0 - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_negative_sigma() {
+        assert!(VariationModel::new(Volts(-0.01), 0).is_err());
+    }
+}

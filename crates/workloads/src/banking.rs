@@ -1,0 +1,253 @@
+//! Virtualized banking workload: blocked matrix multiplication.
+//!
+//! The paper's VMs "perform batch financial analysis, mainly based on
+//! matrix multiplication and manipulation, and both their CPU and memory
+//! utilization can be tuned" (Sec. III-A2). [`BankingWorkload`] models a
+//! cache-blocked GEMM whose matrix sizes follow the VM's memory
+//! provisioning and whose blocking degree tunes CPU-vs-memory boundedness;
+//! it emits the address/op pattern of the three-level blocked loop nest and
+//! can be consumed directly as an instruction stream.
+
+use crate::profile::WorkloadProfile;
+use ntc_sim::{Instr, InstructionStream, OpClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A tunable banking (blocked-GEMM) workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BankingWorkload {
+    /// Square matrix dimension `n` (the job multiplies two n×n doubles).
+    pub n: u64,
+    /// Cache block (tile) size in elements.
+    pub block: u64,
+    /// Target CPU utilization of the VM in `[0, 1]` (the Bitbrains-derived
+    /// stress knob; 1.0 = the paper's worst-case tuning).
+    pub cpu_utilization: f64,
+}
+
+impl BankingWorkload {
+    /// Sizes a job to a VM memory provisioning: three n×n double matrices
+    /// fill `mem_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_bytes` is too small for even an 8×8 job or
+    /// `cpu_utilization` is outside `[0, 1]`.
+    pub fn for_memory(mem_bytes: u64, cpu_utilization: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cpu_utilization),
+            "cpu utilization must be a fraction"
+        );
+        let n = ((mem_bytes as f64 / (3.0 * 8.0)).sqrt()) as u64;
+        assert!(n >= 8, "memory provisioning too small: {mem_bytes} bytes");
+        BankingWorkload {
+            n,
+            block: 32,
+            cpu_utilization,
+        }
+    }
+
+    /// The paper's low-memory VM: 100 MB provisioning, tuned to maximize
+    /// CPU utilization.
+    pub fn low_mem() -> Self {
+        Self::for_memory(100 << 20, 1.0)
+    }
+
+    /// The paper's high-memory VM: 700 MB provisioning, tuned to maximize
+    /// CPU utilization.
+    pub fn high_mem() -> Self {
+        Self::for_memory(700 << 20, 1.0)
+    }
+
+    /// Total resident bytes (three matrices of doubles).
+    pub fn footprint_bytes(&self) -> u64 {
+        3 * self.n * self.n * 8
+    }
+
+    /// Floating-point operations for the full multiply (2n³).
+    pub fn flops(&self) -> u64 {
+        2 * self.n * self.n * self.n
+    }
+
+    /// Arithmetic intensity of the blocked kernel in flops per byte of
+    /// DRAM traffic (≈ `2 · block / 8` for square tiles — larger blocks
+    /// mean more CPU-bound execution).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.block as f64 / 4.0
+    }
+
+    /// The corresponding statistical [`WorkloadProfile`] (degradation QoS
+    /// bound attached by the caller).
+    pub fn profile(&self, max_slowdown: f64) -> WorkloadProfile {
+        if self.footprint_bytes() > 300 << 20 {
+            WorkloadProfile::banking_high_mem(max_slowdown)
+        } else {
+            WorkloadProfile::banking_low_mem(max_slowdown)
+        }
+    }
+}
+
+/// Instruction stream of the blocked GEMM inner loops.
+///
+/// Emits the micro-pattern of `C[i][j] += A[i][k] * B[k][j]` tile by tile:
+/// within a tile, A walks rows (stride 8), B walks columns (stride `8n`,
+/// tile-resident after first touch), C accumulates; each tile boundary
+/// streams fresh tile data in. Idle-loop filler instructions appear when
+/// the VM's CPU utilization target is below 1.
+#[derive(Debug)]
+pub struct BankingStream {
+    job: BankingWorkload,
+    rng: SmallRng,
+    base: u64,
+    /// Position inside the current tile's micro-loop.
+    k: u64,
+    /// Current tile origin (element offset).
+    tile: u64,
+    pc: u64,
+    phase: u8,
+}
+
+impl BankingStream {
+    /// Builds the stream for one VM/core.
+    pub fn new(job: BankingWorkload, seed: u64) -> Self {
+        BankingStream {
+            job,
+            rng: SmallRng::seed_from_u64(seed ^ 0xBA2C),
+            base: 0x2_0000_0000 + (seed % 64) * job.footprint_bytes().next_power_of_two(),
+            k: 0,
+            tile: 0,
+            pc: 0x6000_0000,
+            phase: 0,
+        }
+    }
+
+    fn a_addr(&self) -> u64 {
+        self.base + (self.tile * self.job.block + self.k) % (self.job.n * self.job.n) * 8
+    }
+
+    fn b_addr(&self) -> u64 {
+        let matrix = self.job.n * self.job.n * 8;
+        self.base + matrix + (self.k * self.job.n + self.tile) % (self.job.n * self.job.n) * 8
+    }
+
+    fn c_addr(&self) -> u64 {
+        let matrix = self.job.n * self.job.n * 8;
+        self.base + 2 * matrix + (self.tile % (self.job.n * self.job.n)) * 8
+    }
+}
+
+impl InstructionStream for BankingStream {
+    fn next_instr(&mut self) -> Instr {
+        self.pc = 0x6000_0000 + (self.pc + 4 - 0x6000_0000) % 2048;
+
+        // Idle filler when CPU utilization is tuned below 1: a spin loop of
+        // OS-context instructions (the hypervisor idle path).
+        if self.job.cpu_utilization < 1.0 && self.rng.gen_bool(1.0 - self.job.cpu_utilization) {
+            return Instr::alu(self.pc).as_os();
+        }
+
+        // Micro-loop: load A, load B, FMA, occasionally store C, loop branch.
+        let phase = self.phase;
+        self.phase = (self.phase + 1) % 5;
+        match phase {
+            0 => Instr::load(self.pc, self.a_addr()),
+            1 => Instr::load(self.pc, self.b_addr()),
+            2 => Instr {
+                op: OpClass::Fp,
+                pc: self.pc,
+                addr: 0,
+                dep_dist: 2,
+                is_user: true,
+            },
+            3 => {
+                self.k += 1;
+                if self.k >= self.job.block * self.job.block {
+                    self.k = 0;
+                    self.tile = (self.tile + self.job.block) % (self.job.n * self.job.n);
+                    Instr::store(self.pc, self.c_addr())
+                } else {
+                    Instr {
+                        op: OpClass::Fp,
+                        pc: self.pc,
+                        addr: 0,
+                        dep_dist: 1,
+                        is_user: true,
+                    }
+                }
+            }
+            _ => Instr {
+                op: OpClass::Branch {
+                    mispredicted: self.rng.gen_bool(0.002),
+                },
+                pc: self.pc,
+                addr: 0,
+                dep_dist: 0,
+                is_user: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_sim::InstructionStream;
+
+    #[test]
+    fn memory_sizing_matches_provisioning() {
+        let lo = BankingWorkload::low_mem();
+        let hi = BankingWorkload::high_mem();
+        let lo_fp = lo.footprint_bytes() as f64 / (100u64 << 20) as f64;
+        let hi_fp = hi.footprint_bytes() as f64 / (700u64 << 20) as f64;
+        assert!(lo_fp > 0.9 && lo_fp <= 1.0, "low-mem sized to 100 MB: {lo_fp}");
+        assert!(hi_fp > 0.9 && hi_fp <= 1.0, "high-mem sized to 700 MB: {hi_fp}");
+        assert!(hi.n > lo.n);
+    }
+
+    #[test]
+    fn flops_and_intensity() {
+        let j = BankingWorkload {
+            n: 100,
+            block: 32,
+            cpu_utilization: 1.0,
+        };
+        assert_eq!(j.flops(), 2_000_000);
+        assert!((j.arithmetic_intensity() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_is_fp_heavy_and_user_dominated() {
+        let mut s = BankingStream::new(BankingWorkload::low_mem(), 0);
+        let v: Vec<_> = (0..10_000).map(|_| s.next_instr()).collect();
+        let fp = v.iter().filter(|i| i.op == OpClass::Fp).count() as f64 / v.len() as f64;
+        let user = v.iter().filter(|i| i.is_user).count() as f64 / v.len() as f64;
+        assert!(fp > 0.3, "GEMM is FP-heavy, got {fp}");
+        assert!(user > 0.99, "fully CPU-tuned VM is all user code");
+    }
+
+    #[test]
+    fn reduced_cpu_utilization_injects_idle_os_time() {
+        let mut job = BankingWorkload::low_mem();
+        job.cpu_utilization = 0.5;
+        let mut s = BankingStream::new(job, 0);
+        let v: Vec<_> = (0..40_000).map(|_| s.next_instr()).collect();
+        let os = v.iter().filter(|i| !i.is_user).count() as f64 / v.len() as f64;
+        assert!((os - 0.5).abs() < 0.05, "idle share {os}");
+    }
+
+    #[test]
+    fn profile_selection_by_footprint() {
+        assert_eq!(
+            BankingWorkload::high_mem().profile(4.0).name,
+            "VMs high-mem"
+        );
+        assert_eq!(BankingWorkload::low_mem().profile(4.0).name, "VMs low-mem");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_memory() {
+        let _ = BankingWorkload::for_memory(512, 1.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Bitbrains-style VM population synthesizer.
+//!
+//! The paper derives its two VM classes from the Bitbrains dataset — the
+//! performance traces of 1750 VMs hosting business-critical (largely
+//! financial) workloads, characterized statistically by Shen, van Beek and
+//! Iosup (CCGrid'15). The published characterization shows right-skewed,
+//! roughly log-normal CPU and memory demand with a small "large-VM" mode.
+//! [`BitbrainsSynthesizer`] regenerates such a population, from which the
+//! study extracts exactly what the paper used: a low-memory class
+//! provisioned at 100 MB and a high-memory class at 700 MB, tuned to
+//! worst-case CPU utilization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// The two representative VM classes the paper extracts from the traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmClass {
+    /// ≈100 MB memory provisioning.
+    LowMem,
+    /// ≈700 MB memory provisioning.
+    HighMem,
+}
+
+impl VmClass {
+    /// The class's memory provisioning in bytes.
+    pub fn provisioning_bytes(self) -> u64 {
+        match self {
+            VmClass::LowMem => 100 << 20,
+            VmClass::HighMem => 700 << 20,
+        }
+    }
+}
+
+/// One synthesized VM record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmRecord {
+    /// VM identifier within the population.
+    pub id: u32,
+    /// Average CPU utilization in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Peak CPU utilization in `[cpu_utilization, 1]`.
+    pub cpu_peak: f64,
+    /// Actively-used memory in bytes.
+    pub memory_bytes: u64,
+}
+
+impl VmRecord {
+    /// The provisioning class this VM falls into (nearest of the two
+    /// representative classes).
+    pub fn class(&self) -> VmClass {
+        // Threshold at the geometric mean of 100 MB and 700 MB.
+        let threshold = (100.0f64 * 700.0).sqrt() * 1024.0 * 1024.0;
+        if (self.memory_bytes as f64) < threshold {
+            VmClass::LowMem
+        } else {
+            VmClass::HighMem
+        }
+    }
+}
+
+/// Statistical summary of a synthesized population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSummary {
+    /// Number of VMs.
+    pub count: usize,
+    /// Mean CPU utilization.
+    pub mean_cpu: f64,
+    /// Mean memory usage in bytes.
+    pub mean_memory: f64,
+    /// Fraction of VMs in the low-memory class.
+    pub low_mem_fraction: f64,
+}
+
+/// Synthesizes Bitbrains-like VM populations.
+#[derive(Debug, Clone)]
+pub struct BitbrainsSynthesizer {
+    rng: SmallRng,
+    cpu_dist: LogNormal<f64>,
+    mem_dist_small: LogNormal<f64>,
+    mem_dist_large: LogNormal<f64>,
+    large_mode_weight: f64,
+}
+
+impl BitbrainsSynthesizer {
+    /// The trace's published population size.
+    pub const TRACE_VMS: u32 = 1750;
+
+    /// Creates a synthesizer with the characterization-derived parameters:
+    /// median CPU utilization around 10 % with a heavy tail, memory demand
+    /// bimodal around ~100 MB with a secondary mode near ~700 MB.
+    pub fn new(seed: u64) -> Self {
+        BitbrainsSynthesizer {
+            rng: SmallRng::seed_from_u64(seed ^ 0xB17B),
+            // ln-scale: median e^{-2.3} = 0.10 utilization, sigma 0.9.
+            cpu_dist: LogNormal::new(-2.3, 0.9).expect("valid lognormal"),
+            // Memory in MB on ln-scale: median e^{4.6} = 100 MB.
+            mem_dist_small: LogNormal::new(4.6, 0.55).expect("valid lognormal"),
+            // Secondary mode: median e^{6.55} = 700 MB.
+            mem_dist_large: LogNormal::new(6.55, 0.45).expect("valid lognormal"),
+            large_mode_weight: 0.30,
+        }
+    }
+
+    /// Draws one VM record.
+    pub fn sample(&mut self, id: u32) -> VmRecord {
+        let cpu = self.cpu_dist.sample(&mut self.rng).min(1.0);
+        let peak = (cpu * self.rng.gen_range(1.5..5.0)).min(1.0).max(cpu);
+        let mem_mb = if self.rng.gen_bool(self.large_mode_weight) {
+            self.mem_dist_large.sample(&mut self.rng)
+        } else {
+            self.mem_dist_small.sample(&mut self.rng)
+        };
+        VmRecord {
+            id,
+            cpu_utilization: cpu,
+            cpu_peak: peak,
+            memory_bytes: (mem_mb.max(16.0) * 1024.0 * 1024.0) as u64,
+        }
+    }
+
+    /// Synthesizes a population of `n` VMs.
+    pub fn population(&mut self, n: u32) -> Vec<VmRecord> {
+        (0..n).map(|i| self.sample(i)).collect()
+    }
+
+    /// Synthesizes the trace-sized population (1750 VMs).
+    pub fn trace_population(&mut self) -> Vec<VmRecord> {
+        self.population(Self::TRACE_VMS)
+    }
+
+    /// Summarizes a population.
+    pub fn summarize(population: &[VmRecord]) -> PopulationSummary {
+        let count = population.len();
+        if count == 0 {
+            return PopulationSummary {
+                count: 0,
+                mean_cpu: 0.0,
+                mean_memory: 0.0,
+                low_mem_fraction: 0.0,
+            };
+        }
+        let mean_cpu =
+            population.iter().map(|v| v.cpu_utilization).sum::<f64>() / count as f64;
+        let mean_memory =
+            population.iter().map(|v| v.memory_bytes as f64).sum::<f64>() / count as f64;
+        let low = population
+            .iter()
+            .filter(|v| v.class() == VmClass::LowMem)
+            .count() as f64;
+        PopulationSummary {
+            count,
+            mean_cpu,
+            mean_memory,
+            low_mem_fraction: low / count as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_reproducible() {
+        let a = BitbrainsSynthesizer::new(5).trace_population();
+        let b = BitbrainsSynthesizer::new(5).trace_population();
+        assert_eq!(a.len(), 1750);
+        assert_eq!(a[100], b[100]);
+    }
+
+    #[test]
+    fn cpu_utilization_is_low_median_heavy_tail() {
+        let pop = BitbrainsSynthesizer::new(1).trace_population();
+        let mut cpus: Vec<f64> = pop.iter().map(|v| v.cpu_utilization).collect();
+        cpus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = cpus[cpus.len() / 2];
+        let p95 = cpus[(cpus.len() as f64 * 0.95) as usize];
+        assert!(median < 0.2, "median utilization is low: {median}");
+        assert!(p95 > 0.3, "the tail is heavy: p95 {p95}");
+    }
+
+    #[test]
+    fn memory_is_bimodal_around_the_two_classes() {
+        let pop = BitbrainsSynthesizer::new(2).trace_population();
+        let s = BitbrainsSynthesizer::summarize(&pop);
+        assert!(
+            s.low_mem_fraction > 0.5 && s.low_mem_fraction < 0.9,
+            "most but not all VMs are small: {}",
+            s.low_mem_fraction
+        );
+        // Class medians approximate the two provisioning points.
+        let lows: Vec<f64> = pop
+            .iter()
+            .filter(|v| v.class() == VmClass::LowMem)
+            .map(|v| v.memory_bytes as f64 / (1 << 20) as f64)
+            .collect();
+        let median_low = {
+            let mut l = lows.clone();
+            l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            l[l.len() / 2]
+        };
+        assert!(
+            median_low > 40.0 && median_low < 220.0,
+            "low-mem median should be near 100 MB, got {median_low}"
+        );
+    }
+
+    #[test]
+    fn peaks_bound_utilization() {
+        let pop = BitbrainsSynthesizer::new(3).population(500);
+        for v in pop {
+            assert!(v.cpu_peak >= v.cpu_utilization);
+            assert!(v.cpu_peak <= 1.0);
+            assert!(v.cpu_utilization >= 0.0);
+        }
+    }
+
+    #[test]
+    fn class_provisioning_values() {
+        assert_eq!(VmClass::LowMem.provisioning_bytes(), 100 << 20);
+        assert_eq!(VmClass::HighMem.provisioning_bytes(), 700 << 20);
+    }
+
+    #[test]
+    fn empty_population_summary_is_safe() {
+        let s = BitbrainsSynthesizer::summarize(&[]);
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Diurnal datacenter load traces.
+//!
+//! Interactive services follow the day: traffic peaks in the evening,
+//! troughs before dawn, wiggles with noise and the occasional flash crowd.
+//! The paper's discussion points at exactly this variability — a server
+//! provisioned for the peak idles most of the day, which is where a
+//! frequency governor (and near-threshold operation) earns its keep.
+//!
+//! [`DiurnalLoad`] generates reproducible utilization traces with a
+//! sinusoidal daily cycle, log-normal noise and Poisson spikes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A diurnal load generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalLoad {
+    /// Minimum (pre-dawn) utilization of capacity, `[0, 1]`.
+    pub trough: f64,
+    /// Maximum (evening) utilization of capacity, `[trough, 1]`.
+    pub peak: f64,
+    /// Hour of day at which the load peaks.
+    pub peak_hour: f64,
+    /// Multiplicative noise amplitude (log-normal sigma).
+    pub noise: f64,
+    /// Probability per sampled epoch of a flash-crowd spike.
+    pub spike_probability: f64,
+    /// Spike amplitude as a multiple of the current load.
+    pub spike_multiplier: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DiurnalLoad {
+    /// A typical interactive-service day: 15 % trough, 75 % peak at 20:00,
+    /// 10 % noise, rare 1.6× spikes.
+    pub fn interactive_service(seed: u64) -> Self {
+        DiurnalLoad {
+            trough: 0.15,
+            peak: 0.75,
+            peak_hour: 20.0,
+            noise: 0.10,
+            spike_probability: 0.02,
+            spike_multiplier: 1.6,
+            seed,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fractions outside `[0, 1]` or `peak < trough`.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.trough));
+        assert!((0.0..=1.0).contains(&self.peak) && self.peak >= self.trough);
+        assert!(self.noise >= 0.0 && self.spike_multiplier >= 1.0);
+        assert!((0.0..=1.0).contains(&self.spike_probability));
+    }
+
+    /// The noise-free utilization at an hour of day.
+    pub fn mean_at(&self, hour: f64) -> f64 {
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let mid = (self.peak + self.trough) / 2.0;
+        let amp = (self.peak - self.trough) / 2.0;
+        mid + amp * phase.cos()
+    }
+
+    /// Generates a trace of `epochs` samples covering `hours` of wall
+    /// clock, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate request or invalid parameters.
+    pub fn trace(&self, hours: f64, epochs: u32) -> Vec<f64> {
+        self.validate();
+        assert!(hours > 0.0 && epochs > 0, "degenerate trace request");
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xD1A2);
+        (0..epochs)
+            .map(|i| {
+                let hour = (f64::from(i) / f64::from(epochs)) * hours % 24.0;
+                let mut u = self.mean_at(hour);
+                if self.noise > 0.0 {
+                    // Log-normal multiplicative noise around 1.
+                    let g: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                    u *= (self.noise * g).exp();
+                }
+                if rng.gen_bool(self.spike_probability) {
+                    u *= self.spike_multiplier;
+                }
+                u.clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_peaks_at_the_peak_hour() {
+        let d = DiurnalLoad::interactive_service(0);
+        let at_peak = d.mean_at(20.0);
+        let at_trough = d.mean_at(8.0);
+        assert!((at_peak - 0.75).abs() < 1e-9);
+        assert!((at_trough - 0.15).abs() < 1e-9);
+        assert!(d.mean_at(14.0) > at_trough && d.mean_at(14.0) < at_peak);
+    }
+
+    #[test]
+    fn traces_are_bounded_and_reproducible() {
+        let d = DiurnalLoad::interactive_service(9);
+        let a = d.trace(24.0, 288);
+        let b = d.trace(24.0, 288);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn daily_shape_survives_the_noise() {
+        let d = DiurnalLoad::interactive_service(4);
+        let trace = d.trace(24.0, 288);
+        // Average of the evening quarter vs the pre-dawn quarter.
+        let evening: f64 = trace[216..264].iter().sum::<f64>() / 48.0;
+        let predawn: f64 = trace[72..120].iter().sum::<f64>() / 48.0;
+        assert!(
+            evening > predawn * 2.0,
+            "evening {evening:.2} must dwarf pre-dawn {predawn:.2}"
+        );
+    }
+
+    #[test]
+    fn spikes_appear() {
+        let mut d = DiurnalLoad::interactive_service(5);
+        d.spike_probability = 0.2;
+        let trace = d.trace(24.0, 500);
+        let spiky = trace
+            .windows(2)
+            .filter(|w| w[1] > w[0] * 1.4)
+            .count();
+        assert!(spiky > 10, "spikes should be visible, got {spiky}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate trace request")]
+    fn rejects_empty_trace() {
+        let _ = DiurnalLoad::interactive_service(0).trace(24.0, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration: CloudSuite-profile streams driving the cluster simulator
+//! must reproduce the qualitative UIPS/UIPC behaviour the study rests on.
+
+use ntc_sim::{ClusterSim, SimConfig};
+use ntc_workloads::{
+    prewarm_cluster, BankingWorkload, CloudSuiteApp, ProfileStream, WorkloadProfile,
+};
+
+fn measure(profile: &WorkloadProfile, mhz: f64, warm: u64, cycles: u64) -> ntc_sim::SimStats {
+    let mut sim = ClusterSim::new(SimConfig::paper_cluster(mhz), |core| {
+        ProfileStream::new(profile.clone(), u64::from(core))
+    });
+    prewarm_cluster(&mut sim, profile);
+    sim.warm_up(warm);
+    sim.run_measured(cycles)
+}
+
+#[test]
+fn scale_out_uipc_rises_as_frequency_falls() {
+    for app in CloudSuiteApp::ALL {
+        let p = WorkloadProfile::cloudsuite(app);
+        let hi = measure(&p, 2000.0, 5_000, 20_000);
+        let lo = measure(&p, 200.0, 5_000, 20_000);
+        println!(
+            "{app}: UIPC@2GHz {:.3} (L1D MPKI {:.1}, L1I MPKI {:.1}, LLC MPKI {:.1}) UIPC@200MHz {:.3}",
+            hi.uipc(),
+            hi.cores[0].l1d_mpki(),
+            hi.cores[0].l1i_mpki(),
+            hi.llc_mpki(),
+            lo.uipc(),
+        );
+        assert!(
+            lo.uipc() > hi.uipc() * 1.1,
+            "{app}: UIPC must rise at low frequency: {:.3} vs {:.3}",
+            lo.uipc(),
+            hi.uipc()
+        );
+        assert!(
+            hi.uips() > lo.uips(),
+            "{app}: UIPS must still grow with frequency"
+        );
+    }
+}
+
+#[test]
+fn scale_out_uipc_is_in_the_low_ipc_server_range() {
+    // Scale-out workloads on OoO cores are known for low per-core IPC.
+    for app in CloudSuiteApp::ALL {
+        let p = WorkloadProfile::cloudsuite(app);
+        let s = measure(&p, 2000.0, 5_000, 20_000);
+        let per_core_uipc = s.uipc() / s.cores.len() as f64;
+        assert!(
+            per_core_uipc > 0.15 && per_core_uipc < 1.5,
+            "{app}: per-core UIPC {per_core_uipc:.3} outside the plausible server range"
+        );
+    }
+}
+
+#[test]
+fn banking_vms_are_frequency_proportional_and_high_mem_is_faster() {
+    let lo_vm = WorkloadProfile::banking_low_mem(4.0);
+    let hi_vm = WorkloadProfile::banking_high_mem(4.0);
+
+    let lo_2g = measure(&lo_vm, 2000.0, 5_000, 20_000);
+    let lo_500 = measure(&lo_vm, 500.0, 5_000, 20_000);
+    let hi_2g = measure(&hi_vm, 2000.0, 5_000, 20_000);
+
+    println!(
+        "low-mem UIPC@2GHz {:.3} @500MHz {:.3}; high-mem UIPC@2GHz {:.3}",
+        lo_2g.uipc(),
+        lo_500.uipc(),
+        hi_2g.uipc()
+    );
+
+    // CPU-bound VMs: UIPC barely moves with frequency, so execution-time
+    // degradation tracks the frequency ratio (4x at 500 MHz).
+    let degradation = lo_2g.uips() / lo_500.uips();
+    assert!(
+        degradation > 2.8 && degradation < 4.6,
+        "500 MHz should degrade a CPU-bound VM about 4x, got {degradation:.2}"
+    );
+
+    // Paper: the UIPS of VMs high-mem is higher than VMs low-mem.
+    assert!(
+        hi_2g.uips() > lo_2g.uips(),
+        "high-mem VMs must out-execute low-mem VMs: {:.3} vs {:.3}",
+        hi_2g.uipc(),
+        lo_2g.uipc()
+    );
+}
+
+#[test]
+fn banking_stream_variant_runs_too() {
+    let mut sim = ClusterSim::new(SimConfig::paper_cluster(1000.0), |core| {
+        ntc_workloads::banking::BankingStream::new(BankingWorkload::low_mem(), u64::from(core))
+    });
+    sim.warm_up(2_000);
+    let s = sim.run_measured(8_000);
+    assert!(s.uipc() > 0.5, "blocked GEMM should run well, got {}", s.uipc());
+}

@@ -1,0 +1,59 @@
+//! Public-cloud scenario: virtualized banking VMs under relaxed QoS.
+//!
+//! Reproduces the paper's Sec. III-B2 / V analysis: synthesize a
+//! Bitbrains-like VM population, derive the two provisioning classes,
+//! sweep the banking workload, check the 2×/4× degradation bounds, and
+//! consolidate the whole population onto near-threshold servers.
+//!
+//! Run with `cargo run --release --example public_cloud_vms`.
+
+use ntserver::core::{Consolidator, FrequencySweep, ServerConfig, SimMeasurer};
+use ntserver::qos::DegradationModel;
+use ntserver::workloads::{BitbrainsSynthesizer, VmClass, WorkloadProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The trace-derived population.
+    let mut synth = BitbrainsSynthesizer::new(2016);
+    let population = synth.trace_population();
+    let summary = BitbrainsSynthesizer::summarize(&population);
+    println!(
+        "population: {} VMs, mean cpu {:.1}%, mean memory {:.0} MB, {:.0}% low-mem class",
+        summary.count,
+        summary.mean_cpu * 100.0,
+        summary.mean_memory / (1 << 20) as f64,
+        summary.low_mem_fraction * 100.0
+    );
+    println!(
+        "classes: low-mem = {} MB, high-mem = {} MB provisioning\n",
+        VmClass::LowMem.provisioning_bytes() >> 20,
+        VmClass::HighMem.provisioning_bytes() >> 20
+    );
+
+    // 2. Sweep the banking workload and find the degradation floors.
+    let server = ServerConfig::paper().build()?;
+    let profile = WorkloadProfile::banking_low_mem(4.0);
+    let mut measurer = SimMeasurer::fast(profile.clone());
+    let result = FrequencySweep::paper_ladder().run(&server, &mut measurer)?;
+    let samples = result.uips_samples();
+    let base = samples.last().expect("sweep is non-empty").1;
+    let model = DegradationModel::new(base);
+    for bound in [2.0, 4.0] {
+        let floor = model
+            .min_frequency(&samples, bound)
+            .expect("bounds are satisfiable");
+        println!("{bound}x degradation bound -> minimum frequency {floor:.0} MHz");
+    }
+
+    // 3. Consolidate at three service classes of equal CPU capacity.
+    println!("\nconsolidating the population (first-fit-decreasing):");
+    let consolidator = Consolidator::paper_server();
+    for (mhz, slowdown) in [(2000.0, 1.0), (1000.0, 2.0), (500.0, 4.0)] {
+        let plan = consolidator.pack(&result, mhz, slowdown, &population);
+        println!(
+            "  {:>5.0} MHz / {:.0}x: {:>3} servers, {:>6.1} VMs/server, {:>6.3} W per VM",
+            plan.mhz, plan.max_slowdown, plan.servers, plan.vms_per_server, plan.watts_per_vm
+        );
+    }
+    println!("\nsame capacity, near-threshold clocks: watts per VM collapse.");
+    Ok(())
+}

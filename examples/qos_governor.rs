@@ -1,0 +1,55 @@
+//! A day in the life of a QoS-governed near-threshold server.
+//!
+//! Plays a 24-hour diurnal load trace against three frequency policies —
+//! static maximum, load-proportional (ondemand-style) and QoS-aware — and
+//! reports energy and SLO outcomes. This operationalizes the paper's
+//! conclusion: once QoS admits low frequencies, a governor can harvest
+//! them whenever the diurnal trough allows.
+//!
+//! Run with `cargo run --release --example qos_governor`.
+
+use ntserver::core::{FrequencySweep, GovernorPolicy, QosGovernor, ServerConfig, SimMeasurer};
+use ntserver::workloads::{CloudSuiteApp, DiurnalLoad, WorkloadProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = ServerConfig::paper().build()?;
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let mut measurer = SimMeasurer::fast(profile.clone());
+    let result = FrequencySweep::paper_ladder().run(&server, &mut measurer)?;
+    let governor = QosGovernor::new(&result, &profile);
+
+    // 24 hours in 5-minute epochs.
+    let trace = DiurnalLoad::interactive_service(7).trace(24.0, 288);
+    println!(
+        "trace: 24 h of Web Search load, {} epochs, {:.0}%..{:.0}% of capacity\n",
+        trace.len(),
+        trace.iter().cloned().fold(f64::MAX, f64::min) * 100.0,
+        trace.iter().cloned().fold(0.0, f64::max) * 100.0
+    );
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>11} {:>10}",
+        "policy", "mean power", "vs static", "violations", "overload"
+    );
+    let fixed = governor.run(GovernorPolicy::StaticMax, &trace);
+    for (name, policy) in [
+        ("static max", GovernorPolicy::StaticMax),
+        ("load-proportional", GovernorPolicy::LoadProportional),
+        ("QoS-aware", GovernorPolicy::QosAware),
+    ] {
+        let report = governor.run(policy, &trace);
+        println!(
+            "{:<20} {:>10.1} W {:>11.0}% {:>11} {:>10}",
+            name,
+            report.mean_watts,
+            report.energy_ratio_vs(&fixed) * 100.0,
+            report.violations,
+            report.saturated
+        );
+    }
+
+    println!("\nthe QoS-aware governor rides the diurnal trough down toward the");
+    println!("near-threshold frequencies the paper legitimized, with zero");
+    println!("self-inflicted SLO violations (overload epochs hit every policy).");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: the whole study in one page.
+//!
+//! Builds the paper's 36-core FD-SOI server, sweeps the core frequency for
+//! Web Search, and prints where energy efficiency peaks at each accounting
+//! scope — cores, SoC, server — plus the QoS-feasible recommendation.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ntserver::core::{ConstrainedOptimum, FrequencySweep, ServerConfig, SimMeasurer};
+use ntserver::power::Scope;
+use ntserver::workloads::{CloudSuiteApp, WorkloadProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's server: 300 mm² / 100 W, 9 clusters of 4 Cortex-A57s
+    // with 4 MB LLC each, 64 GB of DDR4-1600 — in 28 nm FD-SOI.
+    let server = ServerConfig::paper().build()?;
+    println!(
+        "server: {} clusters, {} cores, {:.0} GB DRAM",
+        server.clusters(),
+        server.cores(),
+        server.dram().config().capacity_gb()
+    );
+
+    // Sweep 100 MHz – 2 GHz running Web Search on the cluster simulator.
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let mut measurer = SimMeasurer::fast(profile.clone());
+    let result = FrequencySweep::paper_ladder().run(&server, &mut measurer)?;
+
+    // Unconstrained efficiency optima at the paper's three scopes.
+    for scope in Scope::ALL {
+        let (best, point) = result.optimum(scope).expect("non-empty sweep");
+        println!(
+            "{scope:>7}: peak {:>8.3} GUIPS/W at {:>5.0} MHz ({:.3} V, {:.1} W server power)",
+            best.at_scope(scope) / 1e9,
+            best.mhz,
+            point.op.vdd.0,
+            point.power.server().0,
+        );
+    }
+
+    // And the QoS-constrained recommendation.
+    let query = ConstrainedOptimum::new(&result, &profile);
+    let floor = query.qos_floor().expect("web search meets QoS somewhere");
+    let best = query.best(Scope::Server).expect("a feasible point exists");
+    println!(
+        "\nQoS floor {floor:.0} MHz; recommended server operating point: {:.0} MHz",
+        best.point.mhz
+    );
+    Ok(())
+}

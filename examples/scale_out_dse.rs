@@ -1,0 +1,59 @@
+//! Private-cloud design-space exploration: the paper's scale-out study.
+//!
+//! For each CloudSuite application this example sweeps the frequency
+//! ladder on the cluster simulator, derives the Figure 2 QoS floor, the
+//! Figure 3 efficiency optima at all three scopes, and prints the paper's
+//! narrative as a table: QoS admits 200–500 MHz, but uncore and memory
+//! power pull the best *server* operating point up to ≈1 GHz.
+//!
+//! Run with `cargo run --release --example scale_out_dse`.
+
+use ntserver::core::{ConstrainedOptimum, FrequencySweep, ServerConfig, SimMeasurer};
+use ntserver::power::Scope;
+use ntserver::qos::QosCurve;
+use ntserver::workloads::{CloudSuiteApp, WorkloadProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = ServerConfig::paper().build()?;
+    println!(
+        "{:<17} {:>9} {:>12} {:>12} {:>12} {:>14}",
+        "application", "QoS floor", "cores-opt", "SoC-opt", "server-opt", "feasible pick"
+    );
+
+    for app in CloudSuiteApp::ALL {
+        let profile = WorkloadProfile::cloudsuite(app);
+        let mut measurer = SimMeasurer::fast(profile.clone());
+        let result = FrequencySweep::paper_ladder().run(&server, &mut measurer)?;
+
+        let curve = QosCurve::build(&profile, &result.uips_samples());
+        let floor = curve.min_qos_frequency().unwrap_or(f64::NAN);
+
+        let opt = |scope| {
+            result
+                .optimum(scope)
+                .map(|(e, _)| e.mhz)
+                .unwrap_or(f64::NAN)
+        };
+        let feasible = ConstrainedOptimum::new(&result, &profile)
+            .best(Scope::Server)
+            .map(|b| b.point.mhz)
+            .unwrap_or(f64::NAN);
+
+        println!(
+            "{:<17} {:>6.0} MHz {:>8.0} MHz {:>8.0} MHz {:>8.0} MHz {:>10.0} MHz",
+            app.to_string(),
+            floor,
+            opt(Scope::Cores),
+            opt(Scope::Soc),
+            opt(Scope::Server),
+            feasible,
+        );
+    }
+
+    println!("\nreading guide (paper Sec. V):");
+    println!(" - every app tolerates 200-500 MHz before violating its tail budget;");
+    println!(" - cores alone would love the lowest functional frequency;");
+    println!(" - the frequency-invariant uncore (LLC/xbar/IO) and the DRAM");
+    println!("   background power drag the true optimum up to about 1 GHz.");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Validating the paper's cluster-scaling methodology against a real
+//! multi-cluster simulation: the sweep engine models the chip as
+//! `9 × cluster` with a bandwidth cap; [`ntserver::sim::ChipSim`] simulates
+//! the nine clusters actually sharing the four DDR4 channels.
+
+use ntserver::sim::{ChipSim, ClusterSim, SimConfig};
+use ntserver::workloads::stream::{
+    COLD_CODE_BASE, HOT_BYTES, HOT_CODE_BASE, HOT_CODE_LINES, WARM_BASE,
+};
+use ntserver::workloads::{prewarm_cluster, CloudSuiteApp, ProfileStream, WorkloadProfile};
+
+fn chip_uips(profile: &WorkloadProfile, clusters: u32, mhz: f64) -> f64 {
+    let p = profile.clone();
+    let mut chip = ChipSim::new(SimConfig::paper_cluster(mhz), clusters, |cl, c| {
+        ProfileStream::new(p.clone(), u64::from(cl) * 64 + u64::from(c))
+    });
+    // Checkpoint-style warming per cluster, mirroring `prewarm_cluster`:
+    // per-core hot data and hot code, plus the LLC-resident warm region
+    // and application code footprint.
+    for cl in 0..clusters {
+        for core in 0..4 {
+            let hot = ProfileStream::hot_base_for(u64::from(core));
+            chip.prewarm_data(cl, core, (0..HOT_BYTES / 64).map(|i| hot + i * 64));
+            chip.prewarm_code(cl, core, (0..HOT_CODE_LINES).map(|i| HOT_CODE_BASE + i * 64));
+        }
+        chip.prewarm_llc(
+            cl,
+            (0..profile.code_bytes / 64).map(|i| COLD_CODE_BASE + i * 64),
+            0b1111,
+        );
+        chip.prewarm_llc(
+            cl,
+            (0..profile.warm_bytes / 64).map(|i| WARM_BASE + i * 64),
+            0,
+        );
+    }
+    chip.run(12_000);
+    chip.run_measured(12_000).uips()
+}
+
+fn cluster_uips(profile: &WorkloadProfile, mhz: f64) -> f64 {
+    let p = profile.clone();
+    let mut sim = ClusterSim::new(SimConfig::paper_cluster(mhz), |c| {
+        ProfileStream::new(p.clone(), u64::from(c))
+    });
+    prewarm_cluster(&mut sim, profile);
+    sim.warm_up(12_000);
+    sim.run_measured(12_000).uips()
+}
+
+#[test]
+fn nine_cluster_chip_tracks_the_scaled_cluster_model() {
+    // Web Search at 1 GHz: modest per-cluster bandwidth, so the x9 scaling
+    // should be close to the truth.
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let scaled = cluster_uips(&profile, 1000.0) * 9.0;
+    let real = chip_uips(&profile, 9, 1000.0);
+    let ratio = real / scaled;
+    println!("chip/scaled UIPS ratio at 1 GHz: {ratio:.3}");
+    assert!(
+        (0.75..=1.1).contains(&ratio),
+        "the x9 scaling must hold within the bandwidth-cap tolerance, got {ratio:.3}"
+    );
+}
+
+#[test]
+fn contention_grows_with_frequency() {
+    // At 2 GHz the nine clusters demand more bandwidth than at 400 MHz, so
+    // the real chip falls further below the ideal x9 scaling.
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
+    let gap = |mhz: f64| chip_uips(&profile, 9, mhz) / (cluster_uips(&profile, mhz) * 9.0);
+    let slow = gap(400.0);
+    let fast = gap(2000.0);
+    println!("chip/scaled ratio: 400 MHz {slow:.3}, 2 GHz {fast:.3}");
+    assert!(
+        fast <= slow + 0.05,
+        "higher frequency, more channel contention: {fast:.3} vs {slow:.3}"
+    );
+}

@@ -1,0 +1,64 @@
+//! Co-location interference: the paper's Sec. III-B1 claim that
+//! *"co-scheduling workloads on the same server is often not possible as
+//! these applications utilize most of the memory and any interference can
+//! lead to unacceptable degradations in QoS"* — tested directly by running
+//! mixed instruction streams on one simulated cluster.
+
+use ntserver::sim::{ClusterSim, InstructionStream, SimConfig};
+use ntserver::workloads::{
+    banking::BankingStream, prewarm_cluster, BankingWorkload, CloudSuiteApp, ProfileStream,
+    WorkloadProfile,
+};
+
+/// Web Search per-core UIPC when sharing the cluster with `intruders`
+/// bandwidth-hungry co-runners (the remaining cores run Web Search).
+fn websearch_uipc_with_intruders(intruders: u32) -> f64 {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let p = profile.clone();
+    let mut sim = ClusterSim::new(
+        SimConfig::paper_cluster(2000.0),
+        |core| -> Box<dyn InstructionStream> {
+            if core < intruders {
+                // A memory-pounding batch co-runner.
+                Box::new(BankingStream::new(BankingWorkload::high_mem(), u64::from(core)))
+            } else {
+                Box::new(ProfileStream::new(p.clone(), u64::from(core)))
+            }
+        },
+    );
+    prewarm_cluster(&mut sim, &profile);
+    sim.warm_up(8_000);
+    let stats = sim.run_measured(16_000);
+    // Per-core UIPC of the Web Search cores only.
+    let ws_cores = &stats.cores[intruders as usize..];
+    ws_cores.iter().map(|c| c.uipc()).sum::<f64>() / ws_cores.len() as f64
+}
+
+#[test]
+fn co_runners_degrade_the_latency_critical_tenant() {
+    let solo = websearch_uipc_with_intruders(0);
+    let shared = websearch_uipc_with_intruders(2);
+    println!("Web Search per-core UIPC: solo {solo:.3}, with 2 co-runners {shared:.3}");
+    assert!(
+        shared < solo * 0.97,
+        "shared LLC/DRAM must cost the latency-critical tenant throughput: \
+         {shared:.3} vs {solo:.3}"
+    );
+    // Throughput loss is tail-latency gain under the paper's scaling: any
+    // UIPS drop directly inflates the p99 against a fixed budget.
+    let implied_latency_inflation = solo / shared;
+    assert!(
+        implied_latency_inflation > 1.02,
+        "interference must show up in the scaled tail"
+    );
+}
+
+#[test]
+fn interference_grows_with_co_runner_count() {
+    let one = websearch_uipc_with_intruders(1);
+    let three = websearch_uipc_with_intruders(3);
+    assert!(
+        three < one,
+        "more co-runners, more contention: {three:.3} vs {one:.3}"
+    );
+}

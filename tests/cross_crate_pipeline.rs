@@ -1,0 +1,103 @@
+//! Plumbing tests across crate boundaries: the quantities one crate emits
+//! must be consumed consistently by the next.
+
+use ntserver::core::{ClusterMeasurement, ClusterMeasurer, SimMeasurer};
+use ntserver::power::{DramPowerModel, DramTraffic};
+use ntserver::sampling::{SmartsConfig, SmartsSampler};
+use ntserver::sim::{ClusterSim, SimConfig};
+use ntserver::workloads::{prewarm_cluster, CloudSuiteApp, ProfileStream, WorkloadProfile};
+
+#[test]
+fn simulator_traffic_feeds_dram_power_sensibly() {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::MediaStreaming);
+    let mut measurer = SimMeasurer::fast(profile);
+    let m = measurer.measure(2000.0);
+    // Streaming at 2 GHz must produce real DRAM bandwidth...
+    assert!(
+        m.dram_read_bps > 100.0e6,
+        "streaming should read >100 MB/s per cluster, got {:.2e}",
+        m.dram_read_bps
+    );
+    // ...and the power model must turn it into a sane dynamic power.
+    let dram = DramPowerModel::paper_server();
+    let traffic = DramTraffic::new(m.dram_read_bps * 9.0, m.dram_write_bps * 9.0);
+    let p = dram.dynamic_power(traffic);
+    assert!(p.0 > 0.0 && p.0 < 40.0, "dram dynamic power {p} out of range");
+    assert!(dram.utilization(traffic) < 1.5);
+}
+
+#[test]
+fn measurement_rates_are_internally_consistent() {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let mut measurer = SimMeasurer::fast(profile);
+    let m: ClusterMeasurement = measurer.measure(1000.0);
+    // UIPS = UIPC × f.
+    assert!((m.uips - m.uipc * 1000.0 * 1e6).abs() < 1.0);
+    // The LLC cannot see more traffic than the crossbar carried.
+    assert!(m.llc_accesses_per_sec <= m.xbar_flits_per_sec * 1.01);
+    // DRAM bandwidth is bounded by LLC miss traffic (64 B per miss).
+    assert!(m.dram_read_bps <= m.llc_accesses_per_sec * 64.0 * 1.2);
+}
+
+#[test]
+fn smarts_sampler_converges_on_real_simulator_windows() {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let cfg = SmartsConfig {
+        min_samples: 4,
+        max_samples: 24,
+        target_rel_error: 0.05,
+        ..SmartsConfig::paper_default()
+    };
+    let sampler = SmartsSampler::new(cfg);
+    let estimate = sampler.run(|k| {
+        let p = profile.clone();
+        let mut sim = ClusterSim::new(
+            SimConfig::paper_cluster(1000.0).with_seed(k),
+            |core| ProfileStream::new(p.clone(), k * 64 + u64::from(core)),
+        );
+        prewarm_cluster(&mut sim, &profile);
+        sim.warm_up(8_000);
+        sim.run_measured(8_000).uipc()
+    });
+    assert!(estimate.mean > 0.5, "web search UIPC estimate {estimate:?}");
+    assert!(
+        estimate.relative_error() < 0.10,
+        "the estimate should be tight: {estimate:?}"
+    );
+}
+
+#[test]
+fn seeds_change_samples_but_not_conclusions() {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
+    let uipc = |seed: u64| {
+        let mut m = SimMeasurer::fast(profile.clone()).with_seed(seed);
+        m.measure(500.0).uipc
+    };
+    let a = uipc(1);
+    let b = uipc(2);
+    assert_ne!(a, b, "different seeds explore different streams");
+    assert!(
+        (a - b).abs() / a.max(b) < 0.25,
+        "but the metric is stable: {a:.3} vs {b:.3}"
+    );
+}
+
+#[test]
+fn cluster_scaling_is_linear_in_the_chip_model() {
+    // The paper scales one simulated cluster by the cluster count; verify
+    // the sweep does exactly that for throughput.
+    use ntserver::core::{FrequencySweep, ServerConfig};
+    let server = ServerConfig::paper().build().expect("builds");
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let mut measurer = SimMeasurer::fast(profile.clone());
+    let cluster_uips = measurer.measure(800.0).uips;
+    let result = FrequencySweep::over(vec![800.0])
+        .run(&server, &mut SimMeasurer::fast(profile))
+        .expect("single-point sweep");
+    let chip_uips = result.points()[0].uips;
+    let ratio = chip_uips / cluster_uips;
+    assert!(
+        (ratio - 9.0).abs() < 0.2,
+        "chip UIPS should be 9x the cluster's, got {ratio:.2}"
+    );
+}

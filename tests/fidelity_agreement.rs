@@ -1,0 +1,36 @@
+//! Fast-vs-paper fidelity agreement: EXPERIMENTS.md reports results at the
+//! fast measurement windows and claims the paper's full SMARTS windows
+//! (100 K warm-up / 50 K measured cycles) move them by at most a ladder
+//! step. This test backs that claim for the headline quantity — the QoS
+//! floor — on Web Search (the full-window Data Serving variant runs for
+//! minutes and is exercised via `NTC_FIDELITY=paper` on the binaries).
+
+use ntserver::core::{FrequencySweep, ServerConfig, SimMeasurer};
+use ntserver::qos::QosCurve;
+use ntserver::sampling::SampleWindow;
+use ntserver::workloads::{CloudSuiteApp, WorkloadProfile};
+
+#[test]
+fn paper_windows_agree_with_fast_windows_on_the_qos_floor() {
+    let server = ServerConfig::paper().build().expect("paper config builds");
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+
+    let floor = |measurer: &mut SimMeasurer| {
+        let result = FrequencySweep::paper_ladder()
+            .run(&server, measurer)
+            .expect("ladder is reachable");
+        QosCurve::build(&profile, &result.uips_samples())
+            .min_qos_frequency()
+            .expect("qos satisfiable")
+    };
+
+    let fast = floor(&mut SimMeasurer::fast(profile.clone()));
+    let paper = floor(
+        &mut SimMeasurer::new(profile.clone()).with_window(SampleWindow::paper_default()),
+    );
+    println!("QoS floor: fast {fast:.0} MHz, paper windows {paper:.0} MHz");
+    assert!(
+        (fast - paper).abs() <= 100.0 + 1e-9,
+        "fidelities must agree within one 100 MHz ladder step: {fast} vs {paper}"
+    );
+}

@@ -1,0 +1,127 @@
+//! End-to-end reproduction of the paper's headline claims, driven by the
+//! real cluster simulator (fast windows) through the full stack:
+//! device model → simulator → power models → QoS → optima.
+
+use ntserver::core::{ConstrainedOptimum, FrequencySweep, ServerConfig, SimMeasurer};
+use ntserver::power::Scope;
+use ntserver::qos::QosCurve;
+use ntserver::tech::{BodyBias, CoreModel, Technology, TechnologyKind, Volts};
+use ntserver::workloads::{CloudSuiteApp, WorkloadProfile};
+
+fn sweep(profile: &WorkloadProfile) -> ntserver::core::SweepResult {
+    let server = ServerConfig::paper().build().expect("paper config builds");
+    let mut measurer = SimMeasurer::fast(profile.clone());
+    FrequencySweep::paper_ladder()
+        .run(&server, &mut measurer)
+        .expect("ladder is reachable")
+}
+
+#[test]
+fn claim_1_scale_out_apps_tolerate_200_to_500_mhz() {
+    for app in CloudSuiteApp::ALL {
+        let profile = WorkloadProfile::cloudsuite(app);
+        let result = sweep(&profile);
+        let curve = QosCurve::build(&profile, &result.uips_samples());
+        let floor = curve.min_qos_frequency().expect("qos is satisfiable");
+        assert!(
+            (100.0..=600.0).contains(&floor),
+            "{app}: QoS floor {floor} MHz outside the paper's 200-500 MHz window"
+        );
+        // The 2 GHz baseline must sit comfortably inside the budget.
+        let top = curve.points().last().expect("curve non-empty");
+        assert!(top.normalized_l99 < 0.5, "{app}: baseline too close to QoS");
+    }
+}
+
+#[test]
+fn claim_2_three_scope_optima_move_rightward() {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let result = sweep(&profile);
+    let cores = result.optimum(Scope::Cores).expect("has points").0;
+    let soc = result.optimum(Scope::Soc).expect("has points").0;
+    let server = result.optimum(Scope::Server).expect("has points").0;
+    assert!(
+        cores.mhz <= 200.0,
+        "cores-only optimum should hug the bottom, got {}",
+        cores.mhz
+    );
+    assert!(
+        (600.0..=1400.0).contains(&soc.mhz),
+        "SoC optimum should be about 1 GHz, got {}",
+        soc.mhz
+    );
+    assert!(
+        server.mhz >= soc.mhz,
+        "server optimum ({}) must not be left of the SoC optimum ({})",
+        server.mhz,
+        soc.mhz
+    );
+}
+
+#[test]
+fn claim_3_vm_degradation_bounds_match() {
+    let profile = WorkloadProfile::banking_low_mem(4.0);
+    let result = sweep(&profile);
+    let q4 = ConstrainedOptimum::new(&result, &profile);
+    let f4 = q4.qos_floor().expect("4x bound satisfiable");
+    let profile2 = WorkloadProfile::banking_low_mem(2.0);
+    let f2 = ConstrainedOptimum::new(&result, &profile2)
+        .qos_floor()
+        .expect("2x bound satisfiable");
+    assert!(
+        (400.0..=700.0).contains(&f4),
+        "4x bound admits ~500 MHz, got {f4}"
+    );
+    assert!(
+        (800.0..=1200.0).contains(&f2),
+        "2x bound admits ~1 GHz, got {f2}"
+    );
+}
+
+#[test]
+fn claim_4_high_mem_vms_outperform_low_mem() {
+    let lo = sweep(&WorkloadProfile::banking_low_mem(4.0));
+    let hi = sweep(&WorkloadProfile::banking_high_mem(4.0));
+    let f = 1000.0;
+    let lo_uips = lo.at(f).expect("point exists").uips;
+    let hi_uips = hi.at(f).expect("point exists").uips;
+    assert!(
+        hi_uips > lo_uips,
+        "paper: UIPS of VMs high-mem exceeds VMs low-mem ({hi_uips:.3e} vs {lo_uips:.3e})"
+    );
+}
+
+#[test]
+fn claim_5_fdsoi_strictly_beats_bulk_at_iso_voltage() {
+    let bulk = CoreModel::cortex_a57(Technology::preset(TechnologyKind::Bulk28));
+    let fdsoi = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28));
+    for mv in [700, 800, 900, 1000, 1100, 1200, 1300] {
+        let v = Volts(f64::from(mv) / 1000.0);
+        let fb = bulk.fmax(v, BodyBias::ZERO).expect("bulk functional");
+        let ff = fdsoi.fmax(v, BodyBias::ZERO).expect("fdsoi functional");
+        assert!(ff > fb, "fd-soi slower than bulk at {v}");
+    }
+    // And bulk is dead where FD-SOI still runs.
+    assert!(bulk.fmax(Volts(0.5), BodyBias::ZERO).is_err());
+    assert!(fdsoi.fmax(Volts(0.5), BodyBias::ZERO).is_ok());
+}
+
+#[test]
+fn claim_6_uncore_dominates_near_threshold_power() {
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
+    let result = sweep(&profile);
+    let bottom = &result.points()[0];
+    let fixed = bottom.power.uncore() + bottom.power.dram_background;
+    assert!(
+        fixed.0 / bottom.power.server().0 > 0.7,
+        "at 100 MHz the frequency-invariant components dominate: {:.1}/{:.1} W",
+        fixed.0,
+        bottom.power.server().0
+    );
+    let top = result.points().last().expect("non-empty");
+    assert!(
+        top.power.cores().0 / top.power.server().0 > 0.4,
+        "at 2 GHz the cores dominate: {}",
+        top.power
+    );
+}

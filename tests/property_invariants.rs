@@ -1,0 +1,166 @@
+//! Property-based tests over the workspace's core invariants.
+
+use ntserver::power::{CoreActivity, CorePowerModel, DramPowerModel, DramTraffic};
+use ntserver::sim::cache::{AccessOutcome, SetAssocArray};
+use ntserver::sim::config::{CacheConfig, DramTimingConfig};
+use ntserver::sim::dram::DramSystem;
+use ntserver::tech::{
+    BodyBias, CoreModel, Kelvin, MegaHertz, OperatingPoint, Technology, TechnologyKind, Volts,
+};
+use ntserver::workloads::ZipfSampler;
+use proptest::prelude::*;
+
+proptest! {
+    /// `vdd_min` really is the inverse of `fmax`: the returned voltage
+    /// sustains the frequency, and (off the SRAM floor) 10 mV less does not.
+    #[test]
+    fn vdd_min_inverts_fmax(mhz in 50.0f64..2200.0) {
+        let core = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28));
+        let v = core.vdd_min(MegaHertz(mhz), BodyBias::ZERO).unwrap();
+        let f_at_v = core.fmax(v, BodyBias::ZERO).unwrap();
+        prop_assert!(f_at_v.0 >= mhz * 0.999);
+        if v > core.vmin_functional() + Volts(0.01) {
+            let f_below = core.fmax(v - Volts(0.01), BodyBias::ZERO).unwrap();
+            prop_assert!(f_below.0 < mhz);
+        }
+    }
+
+    /// More forward bias never slows the core at fixed voltage.
+    #[test]
+    fn fbb_is_monotone_in_speed(
+        mv in 500u32..1300,
+        bias_a in 0.0f64..3.0,
+        bias_b in 0.0f64..3.0,
+    ) {
+        let core = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28));
+        let v = Volts(f64::from(mv) / 1000.0);
+        let (lo, hi) = if bias_a <= bias_b { (bias_a, bias_b) } else { (bias_b, bias_a) };
+        let f_lo = core.fmax(v, BodyBias::forward(Volts(lo)).unwrap()).unwrap();
+        let f_hi = core.fmax(v, BodyBias::forward(Volts(hi)).unwrap()).unwrap();
+        prop_assert!(f_hi >= f_lo);
+    }
+
+    /// Core power is positive, finite and monotone in frequency for any
+    /// legal operating condition (frequencies drawn within the die's
+    /// temperature-dependent reach).
+    #[test]
+    fn core_power_is_physical(
+        f_frac in 0.05f64..0.8,
+        activity in 0.05f64..1.0,
+        temp in 280.0f64..360.0,
+    ) {
+        let timing = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28))
+            .with_temperature(Kelvin(temp));
+        let fmax = timing.fmax_at_vmax(BodyBias::ZERO).unwrap();
+        let model = CorePowerModel::cortex_a57(timing).unwrap();
+        let act = CoreActivity::new(activity, 1.0);
+        let mhz = fmax.0 * f_frac;
+        let p1 = model.power_at(MegaHertz(mhz), BodyBias::ZERO, act).unwrap();
+        prop_assert!(p1.0.is_finite() && p1.0 > 0.0);
+        let p2 = model
+            .power_at(MegaHertz(mhz * 1.2), BodyBias::ZERO, act)
+            .unwrap();
+        prop_assert!(p2 >= p1);
+    }
+
+    /// DRAM power decomposes exactly into background + dynamic, and
+    /// dynamic power is linear in traffic.
+    #[test]
+    fn dram_power_decomposes(read in 0.0f64..50e9, write in 0.0f64..20e9) {
+        let dram = DramPowerModel::paper_server();
+        let t = DramTraffic::new(read, write);
+        let p = dram.power(t);
+        prop_assert!((p.0 - (dram.background_power().0 + dram.dynamic_power(t).0)).abs() < 1e-9);
+        let t2 = DramTraffic::new(read * 2.0, write * 2.0);
+        prop_assert!((dram.dynamic_power(t2).0 - 2.0 * dram.dynamic_power(t).0).abs() < 1e-9);
+    }
+
+    /// Cache arrays never exceed their capacity and a just-inserted line
+    /// always probes present.
+    #[test]
+    fn cache_capacity_invariant(addrs in prop::collection::vec(0u64..1u64<<20, 1..300)) {
+        let config = CacheConfig::new(8 * 1024, 4); // 32 sets x 4 ways
+        let mut cache: SetAssocArray<()> = SetAssocArray::new(config);
+        for addr in addrs {
+            let line = SetAssocArray::<()>::align(addr);
+            let _ = cache.access(line, false);
+            prop_assert!(cache.probe(line), "line just inserted must be present");
+            prop_assert!(cache.resident_lines() <= 128);
+        }
+    }
+
+    /// Evicted victims are real: a victim reported by an access was
+    /// previously resident and is gone afterwards.
+    #[test]
+    fn eviction_reports_are_accurate(addrs in prop::collection::vec(0u64..1u64<<16, 1..200)) {
+        let config = CacheConfig::new(2 * 1024, 2); // 16 sets x 2 ways
+        let mut cache: SetAssocArray<()> = SetAssocArray::new(config);
+        for addr in addrs {
+            let line = SetAssocArray::<()>::align(addr);
+            if let AccessOutcome::Miss { victim: Some(v) } = cache.access(line, false) {
+                prop_assert!(!cache.probe(v.line_addr), "victim must be gone");
+                prop_assert_ne!(v.line_addr, line);
+            }
+        }
+    }
+
+    /// Every DRAM read completes, after its arrival, with at least the
+    /// row-hit minimum latency, and statistics balance.
+    #[test]
+    fn dram_requests_complete_with_legal_latency(
+        addrs in prop::collection::vec(0u64..1u64<<28, 1..100),
+        base in 0u64..1_000_000u64,
+    ) {
+        let cfg = DramTimingConfig::ddr4_1600_paper();
+        let min_latency = cfg.burst_ps(); // data transfer alone
+        let mut sys = DramSystem::new(cfg);
+        let mut tickets = Vec::new();
+        for (i, addr) in addrs.iter().enumerate() {
+            let arrive = base + (i as u64) * 700;
+            tickets.push((sys.read(addr & !63, arrive), arrive));
+        }
+        sys.tick(u64::MAX / 2);
+        let done: std::collections::HashMap<_, _> =
+            sys.drain_completed().into_iter().collect();
+        for (t, arrive) in tickets {
+            let d = done.get(&t).copied().expect("every read completes");
+            prop_assert!(d >= arrive + min_latency);
+        }
+        prop_assert_eq!(sys.stats().reads, addrs.len() as u64);
+        prop_assert_eq!(sys.pending(), 0);
+    }
+
+    /// Zipf samples stay in range and skew toward the head for any n.
+    #[test]
+    fn zipf_is_in_range_and_skewed(n in 10u64..100_000, seed in 0u64..1000) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let z = ZipfSampler::ycsb_default(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut head = 0u32;
+        let draws = 500;
+        for _ in 0..draws {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            if r < n.div_ceil(10) {
+                head += 1;
+            }
+        }
+        // The top decile must receive far more than a tenth of the draws.
+        prop_assert!(head > draws / 5, "zipf head too light: {head}/{draws}");
+    }
+
+    /// Operating points round-trip through serde (the study serializes
+    /// sweeps to JSON for EXPERIMENTS.md).
+    #[test]
+    fn operating_points_serialize(mhz in 100.0f64..2000.0) {
+        let core = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28));
+        let op = OperatingPoint::at(&core, MegaHertz(mhz), BodyBias::ZERO).unwrap();
+        let json = serde_json::to_string(&op).unwrap();
+        let back: OperatingPoint = serde_json::from_str(&json).unwrap();
+        // Round-trips within text-float precision.
+        prop_assert!((back.frequency.0 - op.frequency.0).abs() < 1e-9 * op.frequency.0);
+        prop_assert!((back.vdd.0 - op.vdd.0).abs() < 1e-12);
+        prop_assert_eq!(back.bias, op.bias);
+    }
+}
