@@ -1,0 +1,39 @@
+//! Offline stand-in for the `crossbeam` scoped-thread entry points, mapped
+//! onto `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Divergence from real crossbeam: spawn closures take no `&Scope`
+//! argument (use `s.spawn(move || ...)`, not `s.spawn(|_| ...)`), and
+//! `scope` returns `Ok(..)` unconditionally — std's scope propagates child
+//! panics by panicking at the join point instead of returning `Err`. The
+//! workspace's call sites are written against this subset.
+
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before this returns.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; data.len()];
+        super::scope(|s| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                s.spawn(move || *slot = x * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

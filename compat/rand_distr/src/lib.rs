@@ -1,0 +1,88 @@
+//! Offline stand-in for `rand_distr` exposing the one distribution the
+//! workspace samples: [`LogNormal`] (Bitbrains VM-population synthesis).
+
+use rand::{Rng, RngCore};
+use std::marker::PhantomData;
+
+/// A distribution samplable with an [`RngCore`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// `sigma` was negative or non-finite.
+    BadSigma,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadSigma => f.write_str("log-normal sigma must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// ln X ~ Normal(mu, sigma).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    mu: f64,
+    sigma: f64,
+    _marker: PhantomData<F>,
+}
+
+impl LogNormal<f64> {
+    /// Builds the distribution; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error::BadSigma);
+        }
+        Ok(LogNormal {
+            mu,
+            sigma,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: two unit uniforms -> one standard normal.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn median_tracks_mu() {
+        // Median of LogNormal(mu, sigma) is e^mu.
+        let dist = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let expected = 1.0f64.exp();
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median} vs {expected}"
+        );
+    }
+}

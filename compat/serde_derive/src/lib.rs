@@ -1,0 +1,527 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim, written directly against `proc_macro::TokenStream` (no syn/quote in
+//! this environment).
+//!
+//! Supported shapes — the ones the workspace actually uses:
+//! - named-field structs (optionally generic over type parameters),
+//! - tuple structs (single-field newtypes serialize transparently,
+//!   wider tuples as arrays),
+//! - unit structs,
+//! - enums with unit variants (→ `"Variant"` strings), newtype variants
+//!   (→ `{"Variant": inner}`) and struct variants
+//!   (→ `{"Variant": {fields...}}`), matching serde's externally-tagged
+//!   JSON representation.
+//!
+//! Field/variant attributes (`#[serde(...)]`) are not supported and the
+//! workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim edition).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    let (impl_generics, ty_generics) = item.generics_for("::serde::Serialize");
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl{impl_generics} ::serde::Serialize for {}{ty_generics} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (shim edition).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = deserialize_body(&item);
+    let (impl_generics, ty_generics) = item.generics_for("::serde::Deserialize");
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{\n\
+             fn from_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("derive(Deserialize) generated invalid Rust")
+}
+
+// ------------------------------------------------------------- item model
+
+enum Shape {
+    /// `struct S { a: T, ... }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, ...);` — arity.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers, e.g. `["P"]` for `struct Way<P>`.
+    params: Vec<String>,
+    shape: Shape,
+}
+
+impl Item {
+    /// `(impl_generics, ty_generics)` — e.g. `("<P: Bound>", "<P>")`.
+    fn generics_for(&self, bound: &str) -> (String, String) {
+        if self.params.is_empty() {
+            return (String::new(), String::new());
+        }
+        let with_bounds: Vec<String> =
+            self.params.iter().map(|p| format!("{p}: {bound}")).collect();
+        (
+            format!("<{}>", with_bounds.join(", ")),
+            format!("<{}>", self.params.join(", ")),
+        )
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    pos += 1;
+
+    let params = parse_generics(&tokens, &mut pos);
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item { name, params, shape }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 2; // `#` + bracket group
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1; // `pub(crate)` etc.
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, ...>` if present, returning the parameter names.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *pos += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while depth > 0 {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+            }
+            Some(TokenTree::Ident(i)) if expecting_param && depth == 1 => {
+                params.push(i.to_string());
+                expecting_param = false;
+            }
+            Some(_) => {
+                // Bounds, defaults, lifetimes — irrelevant to the param list.
+                if expecting_param && depth == 1 {
+                    expecting_param = false;
+                }
+            }
+            None => panic!("unterminated generics"),
+        }
+        *pos += 1;
+    }
+    params
+}
+
+/// Field names from the inside of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        match &tokens[pos] {
+            TokenTree::Ident(i) => fields.push(i.to_string()),
+            other => panic!("expected field name, found {other}"),
+        }
+        pos += 1;
+        // Skip `: Type` up to the next top-level comma; `<`/`>` puncts in the
+        // type (e.g. `Vec<Way<P>>`) shield their inner commas.
+        let mut angle_depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple-struct / tuple-variant field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip any discriminant and the separating comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_body(item: &Item) -> String {
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Content::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Content::Seq(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vname}\"))"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_content(x0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Content::Seq(::std::vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Content::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join(",\n"))
+        }
+    }
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::Content::field(entries, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = content.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::from_content(content)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_content(seq.get({i}).ok_or_else(|| \
+                         ::serde::DeError::expected(\"element {i}\", \"{name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let seq = content.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0})",
+                        v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(inner)?))"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_content(\
+                                         seq.get({i}).ok_or_else(|| \
+                                         ::serde::DeError::expected(\
+                                         \"element {i}\", \"{name}::{vname}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let seq = inner.as_seq()\
+                                 .ok_or_else(|| ::serde::DeError::expected(\
+                                 \"array\", \"{name}::{vname}\"))?; \
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::Content::field(entries, \"{f}\"))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let entries = inner.as_map()\
+                                 .ok_or_else(|| ::serde::DeError::expected(\
+                                 \"object\", \"{name}::{vname}\"))?; \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let unit_match = if unit_arms.is_empty() {
+                String::from(
+                    "::serde::Content::Str(_) => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"data variant\", \"enum\")),",
+                )
+            } else {
+                format!(
+                    "::serde::Content::Str(s) => match s.as_str() {{\n{},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant '{{other}}' for {name}\")))\n}},",
+                    unit_arms.join(",\n")
+                )
+            };
+            let data_match = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     match tag.as_str() {{\n{},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant '{{other}}' for {name}\")))\n}}\n}},",
+                    data_arms.join(",\n")
+                )
+            };
+            format!(
+                "match content {{\n{unit_match}\n{data_match}\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"enum representation\", \"{name}\"))\n}}"
+            )
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for `serde_json` over the shim's [`serde::Content`]
+//! tree. Exposes the call surface the workspace uses: `to_string`,
+//! `to_string_pretty`, `from_str`, `json` errors, and [`Value`].
+
+use serde::{parse_json, write_json, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed JSON value (`serde::Content` under the hood), indexable with
+/// `value["key"]` and `value[0]` like the real crate.
+pub type Value = serde::Content;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    inner: DeError,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(inner: DeError) -> Self {
+        Error { inner }
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write_json(&value.to_content(), false))
+}
+
+/// Renders a value as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write_json(&value.to_content(), true))
+}
+
+/// Parses JSON text into any `Deserialize` type (including [`Value`]).
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let content = parse_json(input)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_content())
+}
+
+/// Converts a [`Value`] tree into a concrete type.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    Ok(T::from_content(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip_and_indexing() {
+        let v: Value = from_str(r#"{"series": [{"label": "a"}], "n": 2}"#).unwrap();
+        assert_eq!(v["series"][0]["label"], "a");
+        assert_eq!(v["n"].as_u64(), Some(2));
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs: Vec<(f64, f64)> = vec![(100.0, 1.5), (200.0, 2.25)];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&text).unwrap();
+        assert_eq!(xs, back);
+    }
+}
