@@ -170,9 +170,7 @@ mod tests {
 
     #[test]
     fn group_runs_bodies_and_counts_passes() {
-        let mut c = Criterion {
-            test_mode: false,
-        };
+        let mut c = Criterion { test_mode: false };
         let mut g = c.benchmark_group("g");
         g.sample_size(4);
         let mut calls = 0u64;

@@ -114,10 +114,10 @@ pub mod collection {
 
 /// Everything a `proptest!` test file needs in scope.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
-    pub use crate::{Strategy, TestRunner};
     /// Alias so call sites can write `prop::collection::vec(...)`.
     pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Strategy, TestRunner};
 }
 
 /// Declares deterministic property tests.

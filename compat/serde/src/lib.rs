@@ -288,7 +288,9 @@ impl Deserialize for f64 {
             // Real serde_json writes non-finite floats as null; accept the
             // same on the way back in.
             Content::Null => Ok(f64::NAN),
-            _ => content.as_f64().ok_or_else(|| DeError::expected("number", "f64")),
+            _ => content
+                .as_f64()
+                .ok_or_else(|| DeError::expected("number", "f64")),
         }
     }
 }
@@ -612,7 +614,10 @@ impl<'a> Parser<'a> {
             self.pos += lit.len();
             Ok(value)
         } else {
-            Err(DeError::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(DeError::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -723,8 +728,8 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 character.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| DeError::custom("invalid utf-8"))?;
+                    let s =
+                        std::str::from_utf8(rest).map_err(|_| DeError::custom("invalid utf-8"))?;
                     let c = s.chars().next().expect("non-empty checked above");
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -91,8 +91,11 @@ impl Item {
         if self.params.is_empty() {
             return (String::new(), String::new());
         }
-        let with_bounds: Vec<String> =
-            self.params.iter().map(|p| format!("{p}: {bound}")).collect();
+        let with_bounds: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect();
         (
             format!("<{}>", with_bounds.join(", ")),
             format!("<{}>", self.params.join(", ")),
@@ -142,7 +145,11 @@ fn parse_item(input: TokenStream) -> Item {
         other => panic!("cannot derive for `{other}` items"),
     };
 
-    Item { name, params, shape }
+    Item {
+        name,
+        params,
+        shape,
+    }
 }
 
 fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
@@ -315,20 +322,14 @@ fn serialize_body(item: &Item) -> String {
                     )
                 })
                 .collect();
-            format!(
-                "::serde::Content::Map(::std::vec![{}])",
-                entries.join(", ")
-            )
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
         }
         Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
             let entries: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
                 .collect();
-            format!(
-                "::serde::Content::Seq(::std::vec![{}])",
-                entries.join(", ")
-            )
+            format!("::serde::Content::Seq(::std::vec![{}])", entries.join(", "))
         }
         Shape::UnitStruct => "::serde::Content::Null".to_string(),
         Shape::Enum(variants) => {
@@ -348,8 +349,7 @@ fn serialize_body(item: &Item) -> String {
                              ::serde::Serialize::to_content(x0))])"
                         ),
                         VariantShape::Tuple(n) => {
-                            let binds: Vec<String> =
-                                (0..*n).map(|i| format!("x{i}")).collect();
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
                             let items: Vec<String> = (0..*n)
                                 .map(|i| format!("::serde::Serialize::to_content(x{i})"))
                                 .collect();
@@ -435,12 +435,7 @@ fn deserialize_body(item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|v| matches!(v.shape, VariantShape::Unit))
-                .map(|v| {
-                    format!(
-                        "\"{0}\" => ::std::result::Result::Ok({name}::{0})",
-                        v.name
-                    )
-                })
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0})", v.name))
                 .collect();
             let data_arms: Vec<String> = variants
                 .iter()

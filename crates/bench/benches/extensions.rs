@@ -33,9 +33,9 @@ fn bench_thermal(c: &mut Criterion) {
     let m = ThermalModel::server_air_cooled();
     g.bench_function("leakage_fixed_point", |b| {
         b.iter(|| {
-            black_box(m.steady_state(|t: Kelvin| {
-                Watts(80.0 + 8.0 * ((t.0 - 303.15) / 25.0).exp2())
-            }))
+            black_box(
+                m.steady_state(|t: Kelvin| Watts(80.0 + 8.0 * ((t.0 - 303.15) / 25.0).exp2())),
+            )
         })
     });
     g.finish();

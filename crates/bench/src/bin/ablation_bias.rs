@@ -23,13 +23,14 @@ fn main() {
     let mgr = BiasManager::new(&power, op);
     let fbb = BodyBias::forward(Volts(2.0)).expect("2 V fbb is legal");
     let (extra, slew) = mgr.boost_headroom(fbb).expect("boost query succeeds");
-    println!("boost: +{extra:.0} at fixed {:.3} via {fbb}, engaged in {slew:.0}", op.vdd);
+    println!(
+        "boost: +{extra:.0} at fixed {:.3} via {fbb}, engaged in {slew:.0}",
+        op.vdd
+    );
 
     // Sleep: RBB vs power gating on a 20% duty cycle with millisecond gaps
     // (conventional-well flavour, which supports RBB).
-    let timing = CoreModel::cortex_a57(Technology::preset(
-        TechnologyKind::FdSoi28ConventionalWell,
-    ));
+    let timing = CoreModel::cortex_a57(Technology::preset(TechnologyKind::FdSoi28ConventionalWell));
     let power = CorePowerModel::cortex_a57(timing).expect("preset calibrates");
     let op = OperatingPoint::at(power.timing(), MegaHertz(500.0), BodyBias::ZERO)
         .expect("500 MHz is reachable");

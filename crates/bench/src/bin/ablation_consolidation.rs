@@ -25,4 +25,5 @@ fn main() {
     );
     println!("\nexpectation: the 500 MHz / 4x class matches the 2 GHz / 1x class");
     println!("in capacity but at a fraction of the watts per VM.");
+    ntc_bench::save_shared_store();
 }

@@ -24,4 +24,5 @@ fn main() {
         "ablation_governor.json",
         &serde_json::to_string_pretty(&rows).expect("rows serialize"),
     );
+    ntc_bench::save_shared_store();
 }

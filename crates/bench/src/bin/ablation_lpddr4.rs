@@ -12,4 +12,5 @@ fn main() {
     ntc_bench::write_json("ablation_lpddr4.json", &fig.to_json());
     println!("expectation: LPDDR4 raises server efficiency everywhere and");
     println!("moves its optimum to a lower frequency than DDR4's.");
+    ntc_bench::save_shared_store();
 }

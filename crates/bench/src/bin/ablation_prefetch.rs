@@ -11,4 +11,5 @@ fn main() {
     ntc_bench::write_json("ablation_prefetch.json", &fig.to_json());
     println!("expectation: modest gains for the sequential stream at low");
     println!("degrees; aggressive degrees waste the bandwidth they need.");
+    ntc_bench::save_shared_store();
 }

@@ -12,4 +12,5 @@ fn main() {
     ntc_bench::write_json("ablation_uncore.json", &fig.to_json());
     println!("expectation: cutting LLC leakage raises efficiency most at the");
     println!("low-frequency end and shifts the server optimum leftward.");
+    ntc_bench::save_shared_store();
 }

@@ -22,4 +22,5 @@ fn main() {
     println!("\nvirtualized VMs, minimum frequency under degradation bounds:");
     println!("  4x bound: {f4:>6.0} MHz (paper: 500 MHz)");
     println!("  2x bound: {f2:>6.0} MHz (paper: 1000 MHz)");
+    ntc_bench::save_shared_store();
 }

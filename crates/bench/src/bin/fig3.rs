@@ -9,10 +9,14 @@ use ntc_bench::Fidelity;
 
 fn main() {
     let panels = ntc_bench::fig3_efficiency(Fidelity::from_env());
-    for (panel, name) in panels.iter().zip(["fig3a.json", "fig3b.json", "fig3c.json"]) {
+    for (panel, name) in panels
+        .iter()
+        .zip(["fig3a.json", "fig3b.json", "fig3c.json"])
+    {
         println!("{}", panel.to_table());
         ntc_bench::write_json(name, &panel.to_json());
     }
     println!("paper shape: cores peak at the lowest functional frequency;");
     println!("SoC optimum ~1 GHz; server optimum ~1-1.2 GHz.");
+    ntc_bench::save_shared_store();
 }

@@ -9,10 +9,14 @@ use ntc_bench::Fidelity;
 
 fn main() {
     let panels = ntc_bench::fig4_efficiency(Fidelity::from_env());
-    for (panel, name) in panels.iter().zip(["fig4a.json", "fig4b.json", "fig4c.json"]) {
+    for (panel, name) in panels
+        .iter()
+        .zip(["fig4a.json", "fig4b.json", "fig4c.json"])
+    {
         println!("{}", panel.to_table());
         ntc_bench::write_json(name, &panel.to_json());
     }
     println!("paper shape: high-mem VMs deliver higher UIPS than low-mem;");
     println!("server-scope optimum ~1 GHz.");
+    ntc_bench::save_shared_store();
 }

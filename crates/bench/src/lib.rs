@@ -19,8 +19,8 @@
 
 use ntc_core::report::{Figure, Series};
 use ntc_core::{
-    ConsolidationPlan, Consolidator, FrequencySweep, ServerConfig, ServerModel, SimMeasurer,
-    SweepResult,
+    ConsolidationPlan, Consolidator, FrequencySweep, MeasurementCache, MeasurementStore,
+    ServerConfig, ServerModel, SimMeasurer, SweepResult,
 };
 use ntc_power::{
     BiasOptimizer, CoreActivity, CorePowerModel, DramConfig, DramPowerModel, DramTechnology,
@@ -30,6 +30,7 @@ use ntc_qos::QosCurve;
 use ntc_sampling::SampleWindow;
 use ntc_tech::{BodyBias, CoreModel, MegaHertz, Technology, TechnologyKind};
 use ntc_workloads::{BitbrainsSynthesizer, CloudSuiteApp, WorkloadProfile};
+use std::sync::{Arc, OnceLock};
 
 /// Measurement fidelity for the simulator-backed figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,11 +44,32 @@ pub enum Fidelity {
 }
 
 impl Fidelity {
-    /// Reads `NTC_FIDELITY=paper` from the environment, defaulting to fast.
+    /// Reads `NTC_FIDELITY` from the environment: `paper` or `fast`
+    /// (the default when unset). An unrecognized value warns on stderr and
+    /// falls back to fast rather than silently running the wrong windows.
     pub fn from_env() -> Self {
-        match std::env::var("NTC_FIDELITY").as_deref() {
-            Ok("paper") => Fidelity::Paper,
-            _ => Fidelity::Fast,
+        match std::env::var("NTC_FIDELITY") {
+            Ok(value) => Self::parse(&value).unwrap_or_else(|err| {
+                eprintln!("warning: {err}; defaulting to fast fidelity");
+                Fidelity::Fast
+            }),
+            Err(_) => Fidelity::Fast,
+        }
+    }
+
+    /// Parses a fidelity name.
+    ///
+    /// # Errors
+    ///
+    /// Describes the accepted values when `value` is neither `fast` nor
+    /// `paper`.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "fast" => Ok(Fidelity::Fast),
+            "paper" => Ok(Fidelity::Paper),
+            other => Err(format!(
+                "unknown NTC_FIDELITY value {other:?} (expected \"fast\" or \"paper\")"
+            )),
         }
     }
 
@@ -73,11 +95,57 @@ pub fn paper_server() -> ServerModel {
         .expect("the paper configuration is valid")
 }
 
-/// Runs the 100 MHz–2 GHz sweep for one workload profile.
-pub fn sweep_profile(server: &ServerModel, profile: &WorkloadProfile, fidelity: Fidelity) -> SweepResult {
-    let mut measurer = fidelity.measurer(profile.clone());
+/// Where the shared store persists when `NTC_CACHE=1`.
+pub const CACHE_PATH: &str = "results/cache/measurements.json";
+
+/// The process-wide measurement store. Every figure and ablation routes
+/// its simulated sweeps through this one store, so e.g. Figure 3 reuses
+/// the CloudSuite ladders Figure 2 already simulated instead of
+/// re-running the cluster simulator.
+///
+/// In-memory by default; set `NTC_CACHE=1` to also load/save
+/// [`CACHE_PATH`] (see [`save_shared_store`]), which carries sweeps
+/// across process runs. The key fingerprints the measurement inputs
+/// (profile, window, seed, prefetch degree, frequency) but not the
+/// simulator itself — delete the file after changing `ntc-sim`.
+pub fn shared_store() -> Arc<MeasurementStore> {
+    static STORE: OnceLock<Arc<MeasurementStore>> = OnceLock::new();
+    STORE
+        .get_or_init(|| {
+            let persist = std::env::var("NTC_CACHE").is_ok_and(|v| v == "1");
+            Arc::new(if persist {
+                MeasurementStore::with_persistence(CACHE_PATH)
+            } else {
+                MeasurementStore::new()
+            })
+        })
+        .clone()
+}
+
+/// Writes the shared store back to [`CACHE_PATH`] (no-op unless
+/// `NTC_CACHE=1`) and reports its hit/miss counters. The binaries call
+/// this after emitting their artifacts.
+pub fn save_shared_store() {
+    let store = shared_store();
+    if let Err(err) = store.save() {
+        eprintln!("warning: could not save the measurement cache: {err}");
+    }
+    let (hits, misses) = (store.hits(), store.misses());
+    if hits + misses > 0 {
+        eprintln!("measurement cache: {hits} hits, {misses} misses");
+    }
+}
+
+/// Runs the 100 MHz–2 GHz sweep for one workload profile, memoizing the
+/// per-frequency cluster simulations in the [`shared_store`].
+pub fn sweep_profile(
+    server: &ServerModel,
+    profile: &WorkloadProfile,
+    fidelity: Fidelity,
+) -> SweepResult {
+    let measurer = MeasurementCache::shared(fidelity.measurer(profile.clone()), shared_store());
     FrequencySweep::paper_ladder()
-        .run(server, &mut measurer)
+        .run(server, &measurer)
         .expect("the FD-SOI ladder is fully reachable")
 }
 
@@ -181,17 +249,9 @@ pub fn efficiency_panels(
 ) -> [Figure; 3] {
     let server = paper_server();
     let mut panels = [
-        Figure::new(
-            format!("{id_prefix}a (cores)"),
-            "MHz",
-            "UIPS/W (cores)",
-        ),
+        Figure::new(format!("{id_prefix}a (cores)"), "MHz", "UIPS/W (cores)"),
         Figure::new(format!("{id_prefix}b (SoC)"), "MHz", "UIPS/W (SoC)"),
-        Figure::new(
-            format!("{id_prefix}c (server)"),
-            "MHz",
-            "UIPS/W (server)",
-        ),
+        Figure::new(format!("{id_prefix}c (server)"), "MHz", "UIPS/W (server)"),
     ];
     for profile in profiles {
         let sweep = sweep_profile(&server, profile, fidelity);
@@ -294,9 +354,7 @@ pub fn ablation_uncore(fidelity: Fidelity) -> Figure {
         ("drowsy LLC", LlcLeakageMode::Drowsy { residual: 0.25 }),
         (
             "half ways gated",
-            LlcLeakageMode::WayGated {
-                live_fraction: 0.5,
-            },
+            LlcLeakageMode::WayGated { live_fraction: 0.5 },
         ),
     ];
     for (label, mode) in modes {
@@ -345,9 +403,12 @@ pub fn ablation_prefetch(fidelity: Fidelity) -> Figure {
     let server = paper_server();
     let mut fig = Figure::new("Ablation E (prefetch)", "MHz", "UIPS/W (server)");
     for degree in [0u32, 1, 2, 4] {
-        let mut measurer = fidelity.measurer(profile.clone()).with_prefetch(degree);
+        let measurer = MeasurementCache::shared(
+            fidelity.measurer(profile.clone()).with_prefetch(degree),
+            shared_store(),
+        );
         let sweep = FrequencySweep::paper_ladder()
-            .run(&server, &mut measurer)
+            .run(&server, &measurer)
             .expect("ladder is reachable");
         let pts = sweep
             .efficiency()
@@ -431,7 +492,10 @@ mod tests {
         assert!(lens[1] < lens[2], "fbb extends beyond plain fd-soi");
         // FD-SOI+FBB reaches ~3.5 GHz.
         let fbb_max = vdd.series[2].points.last().unwrap().0;
-        assert!(fbb_max >= 3000.0, "fbb should reach beyond 3 GHz, got {fbb_max}");
+        assert!(
+            fbb_max >= 3000.0,
+            "fbb should reach beyond 3 GHz, got {fbb_max}"
+        );
         // At every shared frequency FD-SOI needs less voltage than bulk and
         // burns less power.
         for (b, f) in vdd.series[0].points.iter().zip(&vdd.series[1].points) {
@@ -440,6 +504,43 @@ mod tests {
         for (b, f) in power.series[0].points.iter().zip(&power.series[1].points) {
             assert!(f.1 < b.1, "fd-soi power below bulk at {} MHz", b.0);
         }
+    }
+
+    #[test]
+    fn unknown_fidelity_values_warn_and_default_to_fast() {
+        assert_eq!(Fidelity::parse("fast"), Ok(Fidelity::Fast));
+        assert_eq!(Fidelity::parse("paper"), Ok(Fidelity::Paper));
+        let err = Fidelity::parse("quick").unwrap_err();
+        assert!(err.contains("quick") && err.contains("fast") && err.contains("paper"));
+        std::env::set_var("NTC_FIDELITY", "quick");
+        assert_eq!(Fidelity::from_env(), Fidelity::Fast);
+        std::env::set_var("NTC_FIDELITY", "paper");
+        assert_eq!(Fidelity::from_env(), Fidelity::Paper);
+        std::env::remove_var("NTC_FIDELITY");
+        assert_eq!(Fidelity::from_env(), Fidelity::Fast);
+    }
+
+    #[test]
+    fn fig3_reuses_fig2_cloudsuite_sweeps() {
+        // The shared store must make the CloudSuite ladders free the
+        // second time around: Figure 2 and Figure 3 sweep the same four
+        // profiles, so fig3 after fig2 simulates nothing new.
+        let store = shared_store();
+        let _ = fig2_qos(Fidelity::Fast);
+        let misses_after_fig2 = store.misses();
+        let hits_after_fig2 = store.hits();
+        let _ = fig3_efficiency(Fidelity::Fast);
+        assert_eq!(
+            store.misses(),
+            misses_after_fig2,
+            "fig3 re-simulated points fig2 already measured"
+        );
+        assert!(
+            store.hits() >= hits_after_fig2 + 80,
+            "all four 20-point CloudSuite ladders should hit ({} -> {})",
+            hits_after_fig2,
+            store.hits()
+        );
     }
 
     #[test]

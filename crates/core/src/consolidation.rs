@@ -66,7 +66,10 @@ impl Consolidator {
     ///
     /// Panics on a zero-core or zero-memory server.
     pub fn new(cores_per_server: u32, memory_bytes: u64) -> Self {
-        assert!(cores_per_server > 0 && memory_bytes > 0, "degenerate server");
+        assert!(
+            cores_per_server > 0 && memory_bytes > 0,
+            "degenerate server"
+        );
         Consolidator {
             cores_per_server,
             memory_bytes,
@@ -154,8 +157,8 @@ mod tests {
 
     fn result() -> SweepResult {
         let server = ServerConfig::paper().build().unwrap();
-        let mut m = TableMeasurer::synthetic(3.2, 1.6);
-        FrequencySweep::paper_ladder().run(&server, &mut m).unwrap()
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        FrequencySweep::paper_ladder().run(&server, &m).unwrap()
     }
 
     fn population() -> Vec<ntc_workloads::VmRecord> {

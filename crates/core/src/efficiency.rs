@@ -104,8 +104,8 @@ mod tests {
 
     fn result() -> SweepResult {
         let server = ServerConfig::paper().build().unwrap();
-        let mut m = TableMeasurer::synthetic(3.2, 1.6);
-        FrequencySweep::paper_ladder().run(&server, &mut m).unwrap()
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        FrequencySweep::paper_ladder().run(&server, &m).unwrap()
     }
 
     #[test]

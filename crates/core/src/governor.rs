@@ -132,10 +132,7 @@ impl<'a> QosGovernor<'a> {
         let points = self.result.points();
         let top = points.last().expect("sweep is non-empty");
         let pick = |mhz: f64| -> GovernedEpoch {
-            let p = self
-                .result
-                .at(mhz)
-                .expect("decisions stay on the ladder");
+            let p = self.result.at(mhz).expect("decisions stay on the ladder");
             GovernedEpoch {
                 load,
                 mhz,
@@ -229,9 +226,12 @@ mod tests {
 
     fn setup() -> (SweepResult, WorkloadProfile) {
         let server = ServerConfig::paper().build().unwrap();
-        let mut m = TableMeasurer::synthetic(3.2, 1.6);
-        let result = FrequencySweep::paper_ladder().run(&server, &mut m).unwrap();
-        (result, WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch))
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        let result = FrequencySweep::paper_ladder().run(&server, &m).unwrap();
+        (
+            result,
+            WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch),
+        )
     }
 
     #[test]
@@ -259,8 +259,8 @@ mod tests {
         // load and low frequency the tail blows through the budget for a
         // tight-budget app like Data Serving.
         let server = ServerConfig::paper().build().unwrap();
-        let mut m = TableMeasurer::synthetic(3.2, 1.6);
-        let result = FrequencySweep::paper_ladder().run(&server, &mut m).unwrap();
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        let result = FrequencySweep::paper_ladder().run(&server, &m).unwrap();
         let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
         let gov = QosGovernor::new(&result, &profile);
         let trace = vec![0.5; 50];

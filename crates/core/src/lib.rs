@@ -25,15 +25,15 @@
 //! # Quickstart
 //!
 //! ```no_run
-//! use ntc_core::{FrequencySweep, ServerConfig, SimMeasurer};
+//! use ntc_core::{FrequencySweep, MeasurementCache, ServerConfig, SimMeasurer};
 //! use ntc_power::Scope;
 //! use ntc_workloads::{CloudSuiteApp, WorkloadProfile};
 //!
 //! let server = ServerConfig::paper().build().unwrap();
 //! let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
-//! let mut measurer = SimMeasurer::fast(profile);
+//! let measurer = MeasurementCache::new(SimMeasurer::fast(profile));
 //! let sweep = FrequencySweep::paper_ladder();
-//! let result = sweep.run(&server, &mut measurer).unwrap();
+//! let result = sweep.run(&server, &measurer).unwrap();
 //! let (best, _) = result.optimum(Scope::Server).unwrap();
 //! println!("server-scope optimum: {:.0} MHz", best.mhz);
 //! ```
@@ -57,7 +57,10 @@ pub use consolidation::{ConsolidationPlan, Consolidator};
 pub use efficiency::{EfficiencyPoint, SweepResult};
 pub use governor::{GovernorPolicy, GovernorReport, QosGovernor};
 pub use manager::{BiasManager, ManagedPhase, ManagerPolicy};
-pub use measure::{ClusterMeasurement, ClusterMeasurer, SimMeasurer, TableMeasurer};
+pub use measure::{
+    profile_fingerprint, ClusterMeasurement, ClusterMeasurer, MeasureError, MeasurementCache,
+    MeasurementKey, MeasurementStore, SimMeasurer, TableMeasurer,
+};
 pub use optimum::ConstrainedOptimum;
 pub use proportionality::{proportionality_score, UtilizationPoint};
 pub use sweep::{FrequencySweep, SweepError, SweepPoint};

@@ -15,8 +15,8 @@
 
 use ntc_power::{CoreActivity, CorePowerModel};
 use ntc_tech::{
-    BodyBias, Joules, MegaHertz, OperatingPoint, Picoseconds, Seconds, SleepMode, TechError,
-    Volts, Watts,
+    BodyBias, Joules, MegaHertz, OperatingPoint, Picoseconds, Seconds, SleepMode, TechError, Volts,
+    Watts,
 };
 use serde::{Deserialize, Serialize};
 
@@ -259,7 +259,10 @@ mod tests {
         let m = BiasManager::new(&c, op(&c, 500.0));
         let fbb = BodyBias::forward(Volts(2.0)).unwrap();
         let (extra, slew) = m.boost_headroom(fbb).unwrap();
-        assert!(extra.0 > 100.0, "fbb boost should add real headroom: {extra}");
+        assert!(
+            extra.0 > 100.0,
+            "fbb boost should add real headroom: {extra}"
+        );
         assert!(
             slew.as_seconds().0 < 2e-6,
             "bias slew is about a microsecond: {slew}"

@@ -4,13 +4,30 @@
 //! uncore/memory traffic rates. [`SimMeasurer`] obtains them by running the
 //! `ntc-sim` cluster under a workload profile with checkpoint-warmed caches
 //! and SMARTS-style warm-up/measure windows — the paper's methodology.
-//! [`TableMeasurer`] replays pre-computed curves (log-interpolated) for
-//! fast analytic studies and tests.
+//! [`TableMeasurer`] replays pre-computed curves (interpolated in
+//! log-frequency) for fast analytic studies and tests.
+//!
+//! Measurers are shared-state: [`ClusterMeasurer::measure`] takes `&self`,
+//! so one measurer can serve many sweep worker threads at once. Expensive
+//! simulation results are memoized by [`MeasurementCache`], which wraps any
+//! measurer and keys results by [`MeasurementKey`] — a content fingerprint
+//! of everything that determines the measurement (profile, frequency,
+//! window, seed, prefetch degree). Caches can share one
+//! [`MeasurementStore`] across measurers and persist it as JSON (the bench
+//! layer keeps it under `results/cache/`), so repeated sweeps across
+//! figures and across process runs skip the simulator entirely.
 
 use ntc_sampling::SampleWindow;
 use ntc_sim::{ClusterSim, SimConfig, SimStats};
 use ntc_workloads::{prewarm_cluster, ProfileStream, WorkloadProfile};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// What the sweep needs to know about one cluster at one frequency.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,10 +63,302 @@ impl ClusterMeasurement {
     }
 }
 
+/// A measurement failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MeasureError {
+    /// The requested frequency is non-positive or not finite.
+    InvalidFrequency {
+        /// The offending frequency (MHz).
+        mhz: f64,
+    },
+    /// The measurement backend failed.
+    Failed {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::InvalidFrequency { mhz } => {
+                write!(
+                    f,
+                    "cannot measure at {mhz} MHz: frequency must be positive and finite"
+                )
+            }
+            MeasureError::Failed { detail } => write!(f, "measurement failed: {detail}"),
+        }
+    }
+}
+
+impl Error for MeasureError {}
+
 /// Source of per-frequency cluster measurements.
+///
+/// `measure` takes `&self` so implementations can be shared across sweep
+/// worker threads; stateful backends must manage interior mutability
+/// themselves (see [`MeasurementCache`]).
 pub trait ClusterMeasurer {
     /// Measures the cluster at `mhz`.
-    fn measure(&mut self, mhz: f64) -> ClusterMeasurement;
+    ///
+    /// # Errors
+    ///
+    /// [`MeasureError::InvalidFrequency`] for non-positive or non-finite
+    /// frequencies; [`MeasureError::Failed`] when the backend cannot
+    /// produce a measurement.
+    fn measure(&self, mhz: f64) -> Result<ClusterMeasurement, MeasureError>;
+
+    /// The content key identifying `measure(mhz)`'s result, or `None` if
+    /// this measurer's results are too cheap or too ambiguous to cache
+    /// (the default). [`MeasurementCache`] consults this.
+    fn key(&self, mhz: f64) -> Option<MeasurementKey> {
+        let _ = mhz;
+        None
+    }
+}
+
+impl<M: ClusterMeasurer + ?Sized> ClusterMeasurer for &M {
+    fn measure(&self, mhz: f64) -> Result<ClusterMeasurement, MeasureError> {
+        (**self).measure(mhz)
+    }
+
+    fn key(&self, mhz: f64) -> Option<MeasurementKey> {
+        (**self).key(mhz)
+    }
+}
+
+fn check_frequency(mhz: f64) -> Result<(), MeasureError> {
+    if mhz.is_finite() && mhz > 0.0 {
+        Ok(())
+    } else {
+        Err(MeasureError::InvalidFrequency { mhz })
+    }
+}
+
+/// Identifies one simulated measurement by content: everything that
+/// determines the result, and nothing else. Two sweeps that agree on all
+/// fields will receive identical measurements, so their results are safe
+/// to share through a [`MeasurementStore`] — within a process and, via
+/// JSON persistence, across processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MeasurementKey {
+    /// FNV-1a fingerprint of the workload profile's canonical JSON.
+    pub profile: u64,
+    /// Frequency in milli-MHz (exact for any ladder step down to 1 kHz).
+    pub mhz_millis: u64,
+    /// Detailed warm-up cycles.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+    /// Stream seed.
+    pub seed: u64,
+    /// Next-line prefetch degree.
+    pub prefetch_degree: u32,
+}
+
+impl MeasurementKey {
+    /// Builds the key for a simulated measurement.
+    pub fn new(
+        profile: &WorkloadProfile,
+        mhz: f64,
+        window: SampleWindow,
+        seed: u64,
+        prefetch_degree: u32,
+    ) -> Self {
+        MeasurementKey {
+            profile: profile_fingerprint(profile),
+            mhz_millis: (mhz * 1000.0).round() as u64,
+            warmup_cycles: window.warmup_cycles,
+            measure_cycles: window.measure_cycles,
+            seed,
+            prefetch_degree,
+        }
+    }
+}
+
+/// Stable content fingerprint of a workload profile: FNV-1a 64 over its
+/// canonical (compact) JSON. Unlike `std::hash`, the result is identical
+/// across processes and builds, which persistence relies on.
+pub fn profile_fingerprint(profile: &WorkloadProfile) -> u64 {
+    let json = serde_json::to_string(profile).expect("profiles serialize infallibly");
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in json.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Shared, thread-safe memo of keyed measurements with hit/miss counters
+/// and optional JSON persistence. One store is typically shared by every
+/// figure in a process (wrapped in an [`Arc`]), so e.g. Figure 3 reuses
+/// the CloudSuite ladders Figure 2 already simulated.
+#[derive(Debug, Default)]
+pub struct MeasurementStore {
+    map: RwLock<HashMap<MeasurementKey, ClusterMeasurement>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    path: Option<PathBuf>,
+}
+
+impl MeasurementStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store that loads `path` now (if it exists and parses) and writes
+    /// back there on [`MeasurementStore::save`]. A missing or corrupt file
+    /// just means a cold start; it is never an error.
+    pub fn with_persistence(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let map = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| {
+                serde_json::from_str::<Vec<(MeasurementKey, ClusterMeasurement)>>(&text).ok()
+            })
+            .map(|entries| entries.into_iter().collect())
+            .unwrap_or_default();
+        MeasurementStore {
+            map: RwLock::new(map),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            path: Some(path),
+        }
+    }
+
+    /// Looks up a measurement, counting a hit or a miss.
+    pub fn lookup(&self, key: &MeasurementKey) -> Option<ClusterMeasurement> {
+        let found = self.map.read().get(key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Records a measurement.
+    pub fn insert(&self, key: MeasurementKey, measurement: ClusterMeasurement) {
+        self.map.write().insert(key, measurement);
+    }
+
+    /// Cache hits since construction (or [`MeasurementStore::reset_counters`]).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since construction (or [`MeasurementStore::reset_counters`]).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the hit/miss counters (the memo itself is kept).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of memoized measurements.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// The persistence file, if configured.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Writes the memo to the persistence file (no-op without one).
+    /// Entries are sorted by key so the file is byte-stable for a given
+    /// content set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (unwritable directory, full disk).
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut entries: Vec<(MeasurementKey, ClusterMeasurement)> =
+            self.map.read().iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        let json = serde_json::to_string_pretty(&entries).expect("measurements serialize");
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, json)
+    }
+}
+
+/// A wrapper measurer that memoizes its inner measurer's results in a
+/// [`MeasurementStore`]. Uncacheable measurers (those whose
+/// [`ClusterMeasurer::key`] is `None`, like [`TableMeasurer`]) pass
+/// through untouched, with no counter traffic.
+#[derive(Debug)]
+pub struct MeasurementCache<M> {
+    inner: M,
+    store: Arc<MeasurementStore>,
+}
+
+impl<M: ClusterMeasurer> MeasurementCache<M> {
+    /// Wraps `inner` with a fresh private store.
+    pub fn new(inner: M) -> Self {
+        MeasurementCache {
+            inner,
+            store: Arc::new(MeasurementStore::new()),
+        }
+    }
+
+    /// Wraps `inner` with a shared store (the cross-figure / cross-process
+    /// configuration).
+    pub fn shared(inner: M, store: Arc<MeasurementStore>) -> Self {
+        MeasurementCache { inner, store }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<MeasurementStore> {
+        &self.store
+    }
+
+    /// Cache hits recorded by the backing store.
+    pub fn hits(&self) -> u64 {
+        self.store.hits()
+    }
+
+    /// Cache misses recorded by the backing store.
+    pub fn misses(&self) -> u64 {
+        self.store.misses()
+    }
+
+    /// The wrapped measurer.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: ClusterMeasurer> ClusterMeasurer for MeasurementCache<M> {
+    fn measure(&self, mhz: f64) -> Result<ClusterMeasurement, MeasureError> {
+        let Some(key) = self.inner.key(mhz) else {
+            return self.inner.measure(mhz);
+        };
+        if let Some(cached) = self.store.lookup(&key) {
+            return Ok(cached);
+        }
+        let measurement = self.inner.measure(mhz)?;
+        self.store.insert(key, measurement);
+        Ok(measurement)
+    }
+
+    fn key(&self, mhz: f64) -> Option<MeasurementKey> {
+        self.inner.key(mhz)
+    }
 }
 
 /// Execution-driven measurement via the `ntc-sim` cluster simulator.
@@ -113,7 +422,8 @@ impl SimMeasurer {
 }
 
 impl ClusterMeasurer for SimMeasurer {
-    fn measure(&mut self, mhz: f64) -> ClusterMeasurement {
+    fn measure(&self, mhz: f64) -> Result<ClusterMeasurement, MeasureError> {
+        check_frequency(mhz)?;
         let seed = self.seed;
         let profile = self.profile.clone();
         let mut config = SimConfig::paper_cluster(mhz);
@@ -124,7 +434,17 @@ impl ClusterMeasurer for SimMeasurer {
         prewarm_cluster(&mut sim, &self.profile);
         sim.warm_up(self.window.warmup_cycles);
         let stats = sim.run_measured(self.window.measure_cycles);
-        ClusterMeasurement::from_stats(&stats)
+        Ok(ClusterMeasurement::from_stats(&stats))
+    }
+
+    fn key(&self, mhz: f64) -> Option<MeasurementKey> {
+        Some(MeasurementKey::new(
+            &self.profile,
+            mhz,
+            self.window,
+            self.seed,
+            self.prefetch_degree,
+        ))
     }
 }
 
@@ -181,7 +501,7 @@ impl TableMeasurer {
         TableMeasurer { points }
     }
 
-    fn lerp(a: &ClusterMeasurement, b: &ClusterMeasurement, t: f64) -> ClusterMeasurement {
+    fn blend(a: &ClusterMeasurement, b: &ClusterMeasurement, t: f64) -> ClusterMeasurement {
         let l = |x: f64, y: f64| x + (y - x) * t;
         ClusterMeasurement {
             mhz: l(a.mhz, b.mhz),
@@ -196,25 +516,29 @@ impl TableMeasurer {
 }
 
 impl ClusterMeasurer for TableMeasurer {
-    fn measure(&mut self, mhz: f64) -> ClusterMeasurement {
+    fn measure(&self, mhz: f64) -> Result<ClusterMeasurement, MeasureError> {
+        check_frequency(mhz)?;
         let pts = &self.points;
         if mhz <= pts[0].mhz {
             let mut m = pts[0];
             // Extrapolate throughput proportionally below the table.
             m.uips *= mhz / m.mhz;
             m.mhz = mhz;
-            return m;
+            return Ok(m);
         }
         if mhz >= pts[pts.len() - 1].mhz {
             let mut m = pts[pts.len() - 1];
             m.uips *= mhz / m.mhz;
             m.mhz = mhz;
-            return m;
+            return Ok(m);
         }
         let i = pts.partition_point(|p| p.mhz < mhz);
         let (a, b) = (&pts[i - 1], &pts[i]);
-        let t = (mhz - a.mhz) / (b.mhz - a.mhz);
-        Self::lerp(a, b, t)
+        // Geometric (log-frequency) interpolation: frequency ladders are
+        // ratio-spaced, so equal ratios — not equal differences — should
+        // land midway between table nodes.
+        let t = (mhz.ln() - a.mhz.ln()) / (b.mhz.ln() - a.mhz.ln());
+        Ok(Self::blend(a, b, t))
     }
 }
 
@@ -226,8 +550,8 @@ mod tests {
     #[test]
     fn sim_measurer_produces_consistent_rates() {
         let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
-        let mut m = SimMeasurer::fast(p);
-        let x = m.measure(1000.0);
+        let m = SimMeasurer::fast(p);
+        let x = m.measure(1000.0).unwrap();
         assert!(x.uips > 0.0);
         assert!((x.uips / (x.uipc * 1000.0 * 1e6) - 1.0).abs() < 1e-9);
         assert!(x.llc_accesses_per_sec > 0.0);
@@ -236,34 +560,154 @@ mod tests {
     #[test]
     fn sim_measurer_shows_the_uipc_frequency_effect() {
         let p = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
-        let mut m = SimMeasurer::fast(p);
-        let hi = m.measure(2000.0);
-        let lo = m.measure(200.0);
+        let m = SimMeasurer::fast(p);
+        let hi = m.measure(2000.0).unwrap();
+        let lo = m.measure(200.0).unwrap();
         assert!(lo.uipc > hi.uipc, "UIPC rises as the clock slows");
         assert!(hi.uips > lo.uips, "UIPS still grows with frequency");
     }
 
     #[test]
+    fn measurers_reject_unphysical_frequencies() {
+        let t = TableMeasurer::synthetic(3.0, 1.5);
+        for mhz in [0.0, -100.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                t.measure(mhz),
+                Err(MeasureError::InvalidFrequency { .. })
+            ));
+        }
+    }
+
+    #[test]
     fn table_measurer_interpolates_and_extrapolates() {
-        let mut t = TableMeasurer::synthetic(3.0, 1.5);
-        let m500 = t.measure(500.0);
-        let m550 = t.measure(550.0);
-        let m600 = t.measure(600.0);
+        let t = TableMeasurer::synthetic(3.0, 1.5);
+        let m500 = t.measure(500.0).unwrap();
+        let m550 = t.measure(550.0).unwrap();
+        let m600 = t.measure(600.0).unwrap();
         assert!(m500.uips < m550.uips && m550.uips < m600.uips);
-        let m50 = t.measure(50.0);
+        let m50 = t.measure(50.0).unwrap();
         assert!(m50.uips < m500.uips && m50.uips > 0.0);
     }
 
     #[test]
+    fn interpolation_is_geometric_in_frequency() {
+        // Nodes at 100 and 400 MHz; 200 MHz is their geometric midpoint
+        // (t = ln2 / ln4 = 0.5), so every field lands halfway. Linear
+        // interpolation in mhz would give t = 1/3 instead.
+        let node = |mhz: f64, uipc: f64| ClusterMeasurement {
+            mhz,
+            uips: uipc * mhz * 1e6,
+            uipc,
+            llc_accesses_per_sec: uipc,
+            xbar_flits_per_sec: uipc,
+            dram_read_bps: uipc,
+            dram_write_bps: uipc,
+        };
+        let t = TableMeasurer::new(vec![node(100.0, 1.0), node(400.0, 3.0)]);
+        let mid = t.measure(200.0).unwrap();
+        assert!((mid.uipc - 2.0).abs() < 1e-12, "got {}", mid.uipc);
+        assert!((mid.dram_read_bps - 2.0).abs() < 1e-12);
+        // Table nodes themselves are returned exactly (t = 0 and t = 1).
+        assert!((t.measure(400.0).unwrap().uipc - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn synthetic_curve_hits_its_anchors() {
-        let mut t = TableMeasurer::synthetic(3.0, 1.5);
-        assert!((t.measure(100.0).uipc - 3.0).abs() < 1e-6);
-        assert!((t.measure(2000.0).uipc - 1.5).abs() < 1e-6);
+        let t = TableMeasurer::synthetic(3.0, 1.5);
+        assert!((t.measure(100.0).unwrap().uipc - 3.0).abs() < 1e-6);
+        assert!((t.measure(2000.0).unwrap().uipc - 1.5).abs() < 1e-6);
     }
 
     #[test]
     #[should_panic(expected = "must not increase")]
     fn synthetic_rejects_rising_uipc() {
         let _ = TableMeasurer::synthetic(1.0, 2.0);
+    }
+
+    #[test]
+    fn cache_hits_after_first_measurement() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let cached = MeasurementCache::new(SimMeasurer::fast(p));
+        let a = cached.measure(500.0).unwrap();
+        assert_eq!((cached.hits(), cached.misses()), (0, 1));
+        let b = cached.measure(500.0).unwrap();
+        assert_eq!((cached.hits(), cached.misses()), (1, 1));
+        assert_eq!(a, b);
+        // A different frequency is a different key.
+        let _ = cached.measure(600.0).unwrap();
+        assert_eq!((cached.hits(), cached.misses()), (1, 2));
+    }
+
+    #[test]
+    fn cache_keys_distinguish_measurement_inputs() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let base = SimMeasurer::fast(p.clone());
+        let k = |m: &SimMeasurer| m.key(1000.0).unwrap();
+        assert_eq!(k(&base), k(&SimMeasurer::fast(p.clone())));
+        assert_ne!(k(&base), k(&SimMeasurer::fast(p.clone()).with_seed(7)));
+        assert_ne!(k(&base), k(&SimMeasurer::fast(p.clone()).with_prefetch(2)));
+        assert_ne!(k(&base), k(&SimMeasurer::new(p.clone())));
+        let other = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
+        assert_ne!(k(&base), k(&SimMeasurer::fast(other)));
+        assert_ne!(base.key(1000.0), base.key(1000.001));
+    }
+
+    #[test]
+    fn table_measurers_bypass_the_cache() {
+        let cached = MeasurementCache::new(TableMeasurer::synthetic(3.0, 1.5));
+        assert!(cached.key(500.0).is_none());
+        let _ = cached.measure(500.0).unwrap();
+        let _ = cached.measure(500.0).unwrap();
+        assert_eq!((cached.hits(), cached.misses()), (0, 0));
+        assert!(cached.store().is_empty());
+    }
+
+    #[test]
+    fn store_persists_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("ntc-cache-test-{}", std::process::id()));
+        let path = dir.join("measurements.json");
+        let _ = std::fs::remove_file(&path);
+
+        let store = MeasurementStore::with_persistence(&path);
+        let key = MeasurementKey::new(
+            &WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch),
+            700.0,
+            SampleWindow::paper_default(),
+            0,
+            0,
+        );
+        let m = TableMeasurer::synthetic(3.0, 1.5).measure(700.0).unwrap();
+        store.insert(key, m);
+        store.save().unwrap();
+
+        let reloaded = MeasurementStore::with_persistence(&path);
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.lookup(&key), Some(m));
+        assert_eq!(reloaded.hits(), 1);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn corrupt_persistence_files_mean_a_cold_start() {
+        let dir = std::env::temp_dir().join(format!("ntc-cache-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("measurements.json");
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        let store = MeasurementStore::with_persistence(&path);
+        assert!(store.is_empty());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn profile_fingerprint_is_content_keyed() {
+        let a = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let b = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        assert_eq!(profile_fingerprint(&a), profile_fingerprint(&b));
+        let mut c = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        c.hot_fraction *= 0.99;
+        assert_ne!(profile_fingerprint(&a), profile_fingerprint(&c));
     }
 }

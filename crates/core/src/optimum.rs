@@ -81,8 +81,8 @@ mod tests {
 
     fn result() -> SweepResult {
         let server = ServerConfig::paper().build().unwrap();
-        let mut m = TableMeasurer::synthetic(3.2, 1.6);
-        FrequencySweep::paper_ladder().run(&server, &mut m).unwrap()
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        FrequencySweep::paper_ladder().run(&server, &m).unwrap()
     }
 
     #[test]
@@ -103,8 +103,8 @@ mod tests {
         // CPU-bound VMs: UIPC nearly flat in frequency, so degradation
         // tracks the frequency ratio.
         let server = ServerConfig::paper().build().unwrap();
-        let mut m = TableMeasurer::synthetic(2.15, 2.0);
-        let r = FrequencySweep::paper_ladder().run(&server, &mut m).unwrap();
+        let m = TableMeasurer::synthetic(2.15, 2.0);
+        let r = FrequencySweep::paper_ladder().run(&server, &m).unwrap();
         let p4 = WorkloadProfile::banking_low_mem(4.0);
         let p2 = WorkloadProfile::banking_low_mem(2.0);
         let f4 = ConstrainedOptimum::new(&r, &p4).qos_floor().unwrap();

@@ -105,7 +105,7 @@ mod tests {
             BodyBias::ZERO,
         )
         .unwrap();
-        let m = TableMeasurer::synthetic(3.2, 1.6).measure(1000.0);
+        let m = TableMeasurer::synthetic(3.2, 1.6).measure(1000.0).unwrap();
         (server, op, m)
     }
 
@@ -127,7 +127,10 @@ mod tests {
             score < 0.6,
             "uncore + DRAM background must spoil proportionality, got {score:.2}"
         );
-        assert!(idle > 15.0, "idle floor comes from LLC+IO+DRAM: {idle:.1} W");
+        assert!(
+            idle > 15.0,
+            "idle floor comes from LLC+IO+DRAM: {idle:.1} W"
+        );
     }
 
     #[test]

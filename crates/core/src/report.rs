@@ -72,7 +72,11 @@ impl Figure {
     /// series.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "== {} : {} vs {} ==", self.id, self.y_label, self.x_label);
+        let _ = writeln!(
+            out,
+            "== {} : {} vs {} ==",
+            self.id, self.y_label, self.x_label
+        );
         let _ = write!(out, "{:>12}", self.x_label);
         for s in &self.series {
             let _ = write!(out, " {:>16}", truncate(&s.label, 16));
@@ -127,9 +131,7 @@ fn truncate(s: &str, n: usize) -> &str {
 /// of Figure 3/4), labelled by the workload.
 pub fn efficiency_series(label: &str, result: &SweepResult) -> [Series; 3] {
     let eff: Vec<EfficiencyPoint> = result.efficiency();
-    let mk = |f: fn(&EfficiencyPoint) -> f64| {
-        eff.iter().map(|e| (e.mhz, f(e))).collect::<Vec<_>>()
-    };
+    let mk = |f: fn(&EfficiencyPoint) -> f64| eff.iter().map(|e| (e.mhz, f(e))).collect::<Vec<_>>();
     [
         Series::new(label.to_owned(), mk(|e| e.cores)),
         Series::new(label.to_owned(), mk(|e| e.soc)),

@@ -4,15 +4,22 @@
 //! measure the cluster's throughput and traffic, scale to the full chip,
 //! and assemble the per-component power breakdown. The result feeds the
 //! three-scope efficiency analysis of Figures 3 and 4.
+//!
+//! Ladder points are independent, so [`FrequencySweep::run`] fans the
+//! measurements out over scoped worker threads and reassembles the points
+//! in ladder order — results are bit-identical to [`FrequencySweep::run_serial`]
+//! regardless of thread timing.
 
 use crate::config::ServerModel;
 use crate::efficiency::SweepResult;
-use crate::measure::{ClusterMeasurement, ClusterMeasurer};
+use crate::measure::{ClusterMeasurement, ClusterMeasurer, MeasureError};
 use ntc_power::{CoreActivity, DramTraffic, PowerBreakdown};
 use ntc_tech::{BodyBias, MegaHertz, OperatingPoint, TechError};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One evaluated frequency point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,6 +49,13 @@ pub enum SweepError {
         /// The underlying error.
         source: TechError,
     },
+    /// A measurement failure at a specific frequency.
+    Measure {
+        /// The frequency being measured.
+        mhz: f64,
+        /// The underlying error.
+        source: MeasureError,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -51,6 +65,9 @@ impl fmt::Display for SweepError {
             SweepError::Tech { mhz, source } => {
                 write!(f, "technology model failed at {mhz} MHz: {source}")
             }
+            SweepError::Measure { mhz, source } => {
+                write!(f, "measurement failed at {mhz} MHz: {source}")
+            }
         }
     }
 }
@@ -59,6 +76,7 @@ impl Error for SweepError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SweepError::Tech { source, .. } => Some(source),
+            SweepError::Measure { source, .. } => Some(source),
             SweepError::NoReachablePoints => None,
         }
     }
@@ -122,33 +140,106 @@ impl FrequencySweep {
     /// power breakdown. Unreachable frequencies (beyond the rated voltage
     /// or below the SRAM floor) are skipped, mirroring the silicon.
     ///
+    /// Measurements fan out over scoped worker threads (one per available
+    /// core, capped by the ladder length); points are collected back in
+    /// ladder order, so the result is identical to
+    /// [`FrequencySweep::run_serial`] for any deterministic measurer.
+    ///
     /// # Errors
     ///
     /// Returns [`SweepError::NoReachablePoints`] if nothing on the ladder
-    /// was functional, or a [`SweepError::Tech`] for unexpected model
-    /// failures.
-    pub fn run<M: ClusterMeasurer>(
+    /// was functional, [`SweepError::Tech`] for unexpected model failures,
+    /// or [`SweepError::Measure`] if the measurer failed (the lowest
+    /// failing ladder frequency is reported).
+    pub fn run<M: ClusterMeasurer + Sync>(
         &self,
         server: &ServerModel,
-        measurer: &mut M,
+        measurer: &M,
     ) -> Result<SweepResult, SweepError> {
-        let mut points = Vec::with_capacity(self.frequencies.len());
-        for &mhz in &self.frequencies {
-            let op = match OperatingPoint::at(
-                server.core_power().timing(),
-                MegaHertz(mhz),
-                self.bias,
-            ) {
-                Ok(op) => op,
-                Err(TechError::FrequencyUnreachable { .. })
-                | Err(TechError::FrequencyTooLow { .. }) => continue,
-                Err(source) => return Err(SweepError::Tech { mhz, source }),
-            };
-            let cluster = measurer.measure(mhz);
+        let ops = self.reachable_ops(server)?;
+        let workers = worker_count(ops.len());
+        if workers <= 1 {
+            return self.finish(server, measurer, ops);
+        }
+
+        // Work-stealing fan-out: each worker pulls the next unclaimed
+        // ladder index, so slow points (low frequencies simulate more
+        // wall-clock per cycle) don't serialize behind a static split.
+        let next = AtomicUsize::new(0);
+        let measured: Mutex<Vec<(usize, Result<ClusterMeasurement, MeasureError>)>> =
+            Mutex::new(Vec::with_capacity(ops.len()));
+        crossbeam::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(mhz, _)) = ops.get(i) else { break };
+                    let result = measurer.measure(mhz);
+                    measured.lock().push((i, result));
+                });
+            }
+        })
+        .expect("sweep worker threads");
+
+        let mut measured = measured.into_inner();
+        measured.sort_unstable_by_key(|&(i, _)| i);
+        let mut points = Vec::with_capacity(ops.len());
+        for (i, result) in measured {
+            let (mhz, op) = ops[i];
+            let cluster = result.map_err(|source| SweepError::Measure { mhz, source })?;
             points.push(self.evaluate(server, op, cluster));
         }
-        if points.is_empty() {
+        Ok(SweepResult::new(points))
+    }
+
+    /// Runs the sweep on the calling thread only. Same contract and same
+    /// result as [`FrequencySweep::run`]; useful as a determinism baseline
+    /// and for measurers that are not [`Sync`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`FrequencySweep::run`].
+    pub fn run_serial<M: ClusterMeasurer>(
+        &self,
+        server: &ServerModel,
+        measurer: &M,
+    ) -> Result<SweepResult, SweepError> {
+        let ops = self.reachable_ops(server)?;
+        self.finish(server, measurer, ops)
+    }
+
+    /// Resolves the DVFS operating point for every reachable ladder
+    /// frequency, preserving ladder order.
+    fn reachable_ops(
+        &self,
+        server: &ServerModel,
+    ) -> Result<Vec<(f64, OperatingPoint)>, SweepError> {
+        let mut ops = Vec::with_capacity(self.frequencies.len());
+        for &mhz in &self.frequencies {
+            match OperatingPoint::at(server.core_power().timing(), MegaHertz(mhz), self.bias) {
+                Ok(op) => ops.push((mhz, op)),
+                Err(TechError::FrequencyUnreachable { .. })
+                | Err(TechError::FrequencyTooLow { .. }) => {}
+                Err(source) => return Err(SweepError::Tech { mhz, source }),
+            }
+        }
+        if ops.is_empty() {
             return Err(SweepError::NoReachablePoints);
+        }
+        Ok(ops)
+    }
+
+    fn finish<M: ClusterMeasurer>(
+        &self,
+        server: &ServerModel,
+        measurer: &M,
+        ops: Vec<(f64, OperatingPoint)>,
+    ) -> Result<SweepResult, SweepError> {
+        let mut points = Vec::with_capacity(ops.len());
+        for (mhz, op) in ops {
+            let cluster = measurer
+                .measure(mhz)
+                .map_err(|source| SweepError::Measure { mhz, source })?;
+            points.push(self.evaluate(server, op, cluster));
         }
         Ok(SweepResult::new(points))
     }
@@ -167,8 +258,7 @@ impl FrequencySweep {
         // Chip-level traffic: every cluster contributes; aggregate DRAM
         // bandwidth saturates at the channels' peak.
         let peak = server.dram().config().peak_bandwidth();
-        let total_traffic =
-            (cluster.dram_read_bps + cluster.dram_write_bps) * n_clusters;
+        let total_traffic = (cluster.dram_read_bps + cluster.dram_write_bps) * n_clusters;
         let scale = if total_traffic > peak {
             peak / total_traffic
         } else {
@@ -203,6 +293,14 @@ impl FrequencySweep {
     }
 }
 
+/// Worker threads for a ladder of `jobs` points: one per available core
+/// (at least two, so the parallel path is exercised even on constrained
+/// machines), never more than there are points.
+fn worker_count(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    jobs.min(cores.max(2))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,10 +314,8 @@ mod tests {
     }
 
     fn run_synthetic() -> SweepResult {
-        let mut m = TableMeasurer::synthetic(3.2, 1.6);
-        FrequencySweep::paper_ladder()
-            .run(&server(), &mut m)
-            .unwrap()
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        FrequencySweep::paper_ladder().run(&server(), &m).unwrap()
     }
 
     #[test]
@@ -306,12 +402,11 @@ mod tests {
     #[test]
     fn fixed_fbb_sweep_uses_lower_voltages() {
         let server = server();
-        let mut m1 = TableMeasurer::synthetic(3.2, 1.6);
-        let mut m2 = TableMeasurer::synthetic(3.2, 1.6);
-        let plain = FrequencySweep::paper_ladder().run(&server, &mut m1).unwrap();
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        let plain = FrequencySweep::paper_ladder().run(&server, &m).unwrap();
         let fbb = FrequencySweep::paper_ladder()
             .with_bias(BodyBias::forward(Volts(1.0)).unwrap())
-            .run(&server, &mut m2)
+            .run(&server, &m)
             .unwrap();
         for (a, b) in plain.points().iter().zip(fbb.points()) {
             assert!(b.op.vdd < a.op.vdd, "fbb lowers vdd at {} MHz", a.mhz);
@@ -323,19 +418,56 @@ mod tests {
         let mut cfg = ServerConfig::paper();
         cfg.technology = ntc_tech::TechnologyKind::Bulk28;
         let server = cfg.build().unwrap();
-        let mut m = TableMeasurer::synthetic(3.2, 1.6);
-        let r = FrequencySweep::paper_ladder().run(&server, &mut m).unwrap();
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        let r = FrequencySweep::paper_ladder().run(&server, &m).unwrap();
         assert!(r.points().len() < 20, "bulk cannot cover the full ladder");
         // Bulk's SRAM floor (0.7 V) also prunes the very bottom.
         assert!(r.points()[0].op.vdd >= Volts(0.69));
     }
 
     #[test]
+    fn parallel_run_matches_serial_exactly() {
+        let server = server();
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        let sweep = FrequencySweep::paper_ladder();
+        let parallel = sweep.run(&server, &m).unwrap();
+        let serial = sweep.run_serial(&server, &m).unwrap();
+        assert_eq!(parallel.points().len(), serial.points().len());
+        for (p, s) in parallel.points().iter().zip(serial.points()) {
+            assert_eq!(p, s, "parallel and serial diverge at {} MHz", s.mhz);
+        }
+    }
+
+    #[test]
+    fn measurement_errors_report_the_lowest_failing_frequency() {
+        struct FailsAbove(f64);
+        impl ClusterMeasurer for FailsAbove {
+            fn measure(&self, mhz: f64) -> Result<ClusterMeasurement, MeasureError> {
+                if mhz > self.0 {
+                    Err(MeasureError::Failed {
+                        detail: format!("no data beyond {} MHz", self.0),
+                    })
+                } else {
+                    TableMeasurer::synthetic(3.2, 1.6).measure(mhz)
+                }
+            }
+        }
+        let server = server();
+        let err = FrequencySweep::paper_ladder()
+            .run(&server, &FailsAbove(450.0))
+            .unwrap_err();
+        match err {
+            SweepError::Measure { mhz, .. } => assert!((mhz - 500.0).abs() < 1e-9),
+            other => panic!("expected a Measure error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn dram_saturation_caps_uips() {
         // A measurer with absurd DRAM traffic must saturate at peak BW.
         let server = server();
-        let mut base = TableMeasurer::synthetic(3.2, 1.6);
-        let mut m = base.measure(2000.0);
+        let base = TableMeasurer::synthetic(3.2, 1.6);
+        let mut m = base.measure(2000.0).unwrap();
         m.dram_read_bps = 1e12;
         let sweep = FrequencySweep::paper_ladder();
         let op = OperatingPoint::at(

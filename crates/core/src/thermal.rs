@@ -39,7 +39,7 @@ pub struct ThermalPoint {
 
 /// The sweep points whose *nominal* server power fits a budget, in ladder
 /// order. The paper's 100 W chip budget is `server.config().power_budget`.
-pub fn budget_feasible<'a>(result: &'a SweepResult, budget: Watts) -> Vec<&'a SweepPoint> {
+pub fn budget_feasible(result: &SweepResult, budget: Watts) -> Vec<&SweepPoint> {
     result
         .points()
         .iter()
@@ -97,8 +97,8 @@ mod tests {
 
     fn setup() -> (ServerModel, SweepResult) {
         let server = ServerConfig::paper().build().unwrap();
-        let mut m = TableMeasurer::synthetic(3.2, 1.6);
-        let result = FrequencySweep::paper_ladder().run(&server, &mut m).unwrap();
+        let m = TableMeasurer::synthetic(3.2, 1.6);
+        let result = FrequencySweep::paper_ladder().run(&server, &m).unwrap();
         (server, result)
     }
 

@@ -86,7 +86,7 @@ impl<'a> BiasOptimizer<'a> {
         for i in 0..=steps {
             let b = (i as f64 * self.grid_step).min(max_fbb);
             if let Some(p) = self.try_point(f, b) {
-                if best.as_ref().map_or(true, |(_, bp)| p.power < bp.power) {
+                if best.as_ref().is_none_or(|(_, bp)| p.power < bp.power) {
                     best = Some((b, p));
                 }
             }

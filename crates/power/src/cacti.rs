@@ -169,8 +169,9 @@ impl CactiModel {
     /// access energy derived from the geometry).
     pub fn to_llc_model(&self) -> LlcPowerModel {
         let mb = self.size_bytes as f64 / (1024.0 * 1024.0);
-        LlcPowerModel::new(mb)
-            .with_slice_power(Watts(self.leakage_power().0 / mb / crate::llc::SLICE_LEAKAGE_FRACTION))
+        LlcPowerModel::new(mb).with_slice_power(Watts(
+            self.leakage_power().0 / mb / crate::llc::SLICE_LEAKAGE_FRACTION,
+        ))
     }
 }
 

@@ -9,8 +9,8 @@
 //! power comes from the calibrated [`ntc_tech::LeakageModel`].
 
 use ntc_tech::{
-    BodyBias, CoreModel, Joules, Kelvin, LeakageModel, MegaHertz, OperatingPoint, TechError,
-    Volts, Watts,
+    BodyBias, CoreModel, Joules, Kelvin, LeakageModel, MegaHertz, OperatingPoint, TechError, Volts,
+    Watts,
 };
 use serde::{Deserialize, Serialize};
 
@@ -98,8 +98,7 @@ impl CorePowerModel {
         let tech = timing.technology().clone();
         let vmax = tech.vdd_max();
         let fmax = timing.fmax(vmax, BodyBias::ZERO)?;
-        let dyn_nominal =
-            A57_CEFF_FARADS * vmax.0 * vmax.0 * fmax.as_hz() * A57_DEFAULT_ACTIVITY;
+        let dyn_nominal = A57_CEFF_FARADS * vmax.0 * vmax.0 * fmax.as_hz() * A57_DEFAULT_ACTIVITY;
         let leakage = LeakageModel::calibrated_default(
             tech,
             vmax,
@@ -197,7 +196,8 @@ impl CorePowerModel {
     /// Leakage power of a core parked in reverse-body-bias sleep at the
     /// SRAM retention voltage (state retained, not executing).
     pub fn sleep_power(&self, retention_vdd: Volts, sleep_bias: BodyBias) -> Watts {
-        self.leakage.power(retention_vdd, sleep_bias, self.temperature)
+        self.leakage
+            .power(retention_vdd, sleep_bias, self.temperature)
     }
 }
 

@@ -85,10 +85,7 @@ impl DeliveryStage {
     /// The output power at which efficiency peaks: `P* = P_rated ·
     /// sqrt(fixed / (k · P_rated))`.
     pub fn peak_efficiency_load(&self) -> Watts {
-        Watts(
-            self.rated.0
-                * (self.fixed_loss.0 / (self.resistive_coeff * self.rated.0)).sqrt(),
-        )
+        Watts(self.rated.0 * (self.fixed_loss.0 / (self.resistive_coeff * self.rated.0)).sqrt())
     }
 }
 

@@ -20,8 +20,8 @@
 //! the "FD-SOI+FBB" curve of Figure 1.
 
 pub mod bias_opt;
-pub mod cacti;
 pub mod breakdown;
+pub mod cacti;
 pub mod core;
 pub mod delivery;
 pub mod dram;
@@ -32,9 +32,9 @@ pub mod xbar;
 
 pub use crate::core::{CoreActivity, CorePowerModel};
 pub use bias_opt::{BiasOptimizer, OptimalPoint};
+pub use breakdown::{PowerBreakdown, Scope};
 pub use cacti::{CactiModel, CactiTech};
 pub use delivery::{CoolingModel, DeliveryChain, DeliveryStage};
-pub use breakdown::{PowerBreakdown, Scope};
 pub use dram::{DramConfig, DramPowerModel, DramTechnology, DramTraffic};
 pub use energy::EnergyAccount;
 pub use io::{IoPeripheral, IoPowerModel};

@@ -24,9 +24,10 @@ pub const SLICE_LEAKAGE_FRACTION: f64 = 0.80;
 pub const ACCESS_ENERGY: NanoJoules = NanoJoules(0.45);
 
 /// Leakage-state of the array, for the energy-proportionality ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum LlcLeakageMode {
     /// Fully powered: nominal leakage.
+    #[default]
     Nominal,
     /// Drowsy: retention voltage on idle lines; leakage scaled by the given
     /// factor (typical ≈ 0.25), wake costs one extra cycle per access.
@@ -49,12 +50,6 @@ impl LlcLeakageMode {
             LlcLeakageMode::Drowsy { residual } => residual.clamp(0.0, 1.0),
             LlcLeakageMode::WayGated { live_fraction } => live_fraction.clamp(0.0, 1.0),
         }
-    }
-}
-
-impl Default for LlcLeakageMode {
-    fn default() -> Self {
-        LlcLeakageMode::Nominal
     }
 }
 

@@ -46,9 +46,7 @@ impl DegradationModel {
     /// Panics if the profile carries a tail-latency QoS instead.
     pub fn meets(&self, profile: &WorkloadProfile, uips: f64) -> bool {
         match profile.qos {
-            QosTarget::BatchDegradation { max_slowdown } => {
-                self.degradation(uips) <= max_slowdown
-            }
+            QosTarget::BatchDegradation { max_slowdown } => self.degradation(uips) <= max_slowdown,
             QosTarget::TailLatency { .. } => {
                 panic!("degradation bounds apply to virtualized workloads only")
             }

@@ -23,7 +23,9 @@ pub mod scaling;
 pub mod tail;
 
 pub use degradation::DegradationModel;
-pub use queue_sim::{simulate as simulate_queue, QueueSimConfig, QueueSimResult, ServiceDistribution};
+pub use queue_sim::{
+    simulate as simulate_queue, QueueSimConfig, QueueSimResult, ServiceDistribution,
+};
 pub use requests::RequestModel;
 pub use scaling::{LatencyScaler, QosCurve, QosPoint};
 pub use tail::Mm1TailModel;

@@ -122,13 +122,10 @@ pub struct QueueSimResult {
 pub fn simulate(config: QueueSimConfig) -> QueueSimResult {
     config.validate();
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x51E_E5E);
-    let arrival_rate =
-        config.utilization * f64::from(config.servers) / config.mean_service_ms;
+    let arrival_rate = config.utilization * f64::from(config.servers) / config.mean_service_ms;
 
     // Server free times (min-heap over f64 bits; times are non-negative).
-    let mut free: BinaryHeap<Reverse<u64>> = (0..config.servers)
-        .map(|_| Reverse(0u64))
-        .collect();
+    let mut free: BinaryHeap<Reverse<u64>> = (0..config.servers).map(|_| Reverse(0u64)).collect();
     let to_bits = |t: f64| (t * 1e6) as u64; // ns resolution on a ms scale
     let from_bits = |b: u64| b as f64 / 1e6;
 

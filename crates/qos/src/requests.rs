@@ -98,8 +98,7 @@ mod tests {
             let reproduced = m.baseline_l99_ms();
             let target = p.baseline_l99_ms().unwrap();
             assert!(
-                (reproduced - target).abs() / target < 0.05
-                    || m.overhead_ms == 0.0,
+                (reproduced - target).abs() / target < 0.05 || m.overhead_ms == 0.0,
                 "{app}: {reproduced:.2} vs {target:.2}"
             );
         }

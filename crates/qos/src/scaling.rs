@@ -139,9 +139,7 @@ impl QosCurve {
             .iter()
             .filter(|p| p.meets_qos())
             .map(|p| p.mhz)
-            .fold(None, |acc, m| {
-                Some(acc.map_or(m, |a: f64| a.min(m)))
-            })
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.min(m))))
     }
 
     /// Whether every point at or above `mhz` meets QoS.
@@ -174,7 +172,10 @@ mod tests {
         let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
         let curve = QosCurve::build(&p, &web_search_samples());
         let top = curve.points().last().unwrap();
-        assert!((top.normalized_l99 - 0.15).abs() < 1e-9, "baseline = 15% of budget");
+        assert!(
+            (top.normalized_l99 - 0.15).abs() < 1e-9,
+            "baseline = 15% of budget"
+        );
     }
 
     #[test]

@@ -33,6 +33,4 @@ pub mod stats;
 
 pub use paired::{MatchedPair, PairedEstimate};
 pub use smarts::{SampleWindow, SmartsConfig, SmartsEstimate, SmartsSampler};
-pub use stats::{
-    required_samples, ConfidenceInterval, SampleStats, CONFIDENCE_95, CONFIDENCE_99,
-};
+pub use stats::{required_samples, ConfidenceInterval, SampleStats, CONFIDENCE_95, CONFIDENCE_99};

@@ -56,7 +56,10 @@ impl MatchedPair {
     /// Panics if either observation is non-finite, or non-positive when the
     /// other is (ratios require positive metrics).
     pub fn push(&mut self, a: f64, b: f64) {
-        assert!(a.is_finite() && b.is_finite(), "observations must be finite");
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "observations must be finite"
+        );
         assert!(a > 0.0 && b > 0.0, "paired metrics must be positive");
         self.a.push(a);
         self.b.push(b);

@@ -72,7 +72,10 @@ impl SmartsConfig {
     pub fn validate(&self) {
         assert!(self.window.measure_cycles > 0, "empty measurement window");
         assert!(self.min_samples >= 2, "need at least two samples");
-        assert!(self.max_samples >= self.min_samples, "inverted sample bounds");
+        assert!(
+            self.max_samples >= self.min_samples,
+            "inverted sample bounds"
+        );
         assert!(self.target_rel_error > 0.0, "target error must be positive");
     }
 }

@@ -131,16 +131,13 @@ impl<P: Default + Copy> SetAssocArray<P> {
         self.misses += 1;
         // Miss: pick an invalid way, else the LRU way.
         let ways = &mut self.lines[range];
-        let victim_idx = ways
-            .iter()
-            .position(|w| !w.valid)
-            .unwrap_or_else(|| {
-                ways.iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
-                    .map(|(i, _)| i)
-                    .expect("associativity is at least 1")
-            });
+        let victim_idx = ways.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            ways.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("associativity is at least 1")
+        });
         let w = &mut ways[victim_idx];
         let victim = if w.valid {
             Some(EvictedLine {

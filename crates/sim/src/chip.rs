@@ -48,7 +48,9 @@ impl<S: InstructionStream> ChipSim<S> {
         let dram: SharedDram = Rc::new(RefCell::new(DramSystem::new(config.dram)));
         let clusters = (0..clusters)
             .map(|cl| ChipCluster {
-                cores: (0..config.cores).map(|i| Core::new(i, config.core)).collect(),
+                cores: (0..config.cores)
+                    .map(|i| Core::new(i, config.core))
+                    .collect(),
                 streams: (0..config.cores).map(|i| make_stream(cl, i)).collect(),
                 mem: MemorySystem::with_shared_dram(&config, Rc::clone(&dram), cl),
             })
@@ -112,8 +114,7 @@ impl<S: InstructionStream> ChipSim<S> {
                 cl.mem.tick(now + period);
                 for inv in cl.mem.drain_invalidations() {
                     for c in 0..cl.cores.len() {
-                        if inv.cores & (1 << c) != 0 && cl.cores[c].invalidate_l1d(inv.line_addr)
-                        {
+                        if inv.cores & (1 << c) != 0 && cl.cores[c].invalidate_l1d(inv.line_addr) {
                             cl.mem.writeback(c as u32, inv.line_addr, now + period);
                         }
                     }
@@ -183,11 +184,7 @@ mod tests {
         // same four channels.
         let per_cluster_uipc = |clusters: u32| {
             let mut chip = ChipSim::new(SimConfig::paper_cluster(2000.0), clusters, |cl, c| {
-                StrideStream::new(
-                    64,
-                    512 << 20,
-                    0.25 + 0.01 * f64::from(cl * 4 + c),
-                )
+                StrideStream::new(64, 512 << 20, 0.25 + 0.01 * f64::from(cl * 4 + c))
             });
             chip.run(2_000);
             let s = chip.run_measured(12_000);

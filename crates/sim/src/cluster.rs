@@ -25,7 +25,9 @@ impl<S: InstructionStream> ClusterSim<S> {
     /// Builds a cluster; `make_stream(core_id)` supplies each core's
     /// workload.
     pub fn new(config: SimConfig, mut make_stream: impl FnMut(u32) -> S) -> Self {
-        let cores = (0..config.cores).map(|i| Core::new(i, config.core)).collect();
+        let cores = (0..config.cores)
+            .map(|i| Core::new(i, config.core))
+            .collect();
         let streams = (0..config.cores).map(&mut make_stream).collect();
         ClusterSim {
             mem: MemorySystem::new(&config),

@@ -178,19 +178,13 @@ impl Core {
         }
     }
 
-    fn complete_memory(
-        &mut self,
-        mem: &mut MemorySystem,
-        cycle: u64,
-        now_ps: u64,
-        period_ps: u64,
-    ) {
+    fn complete_memory(&mut self, mem: &mut MemorySystem, cycle: u64, now_ps: u64, period_ps: u64) {
         for e in self.rob.iter_mut() {
             if let Stage::Memory { ticket } = e.stage {
                 if let Some(done_ps) = mem.poll(ticket, now_ps) {
                     // Convert to core cycles (round up to the next edge).
                     let extra = done_ps.saturating_sub(now_ps);
-                    let done_cycle = cycle + extra.div_ceil(period_ps).max(0) + 1;
+                    let done_cycle = cycle + extra.div_ceil(period_ps) + 1;
                     e.stage = Stage::Done {
                         done_cycle: done_cycle.max(cycle),
                     };
@@ -325,8 +319,7 @@ impl Core {
                             // bandwidth and an MSHR if available.
                             if self.outstanding_data < mshrs {
                                 self.outstanding_data += 1;
-                                let t =
-                                    mem.submit(core_id, line, MemRequestKind::Store, now_ps);
+                                let t = mem.submit(core_id, line, MemRequestKind::Store, now_ps);
                                 self.pending_stores.push(t);
                             }
                             Stage::Executing {
@@ -528,7 +521,11 @@ mod tests {
             }
         }
         let s = run(&mut HotLoads(0), 3000);
-        assert!(s.ipc() > 2.0, "L1-resident loads are cheap, got {}", s.ipc());
+        assert!(
+            s.ipc() > 2.0,
+            "L1-resident loads are cheap, got {}",
+            s.ipc()
+        );
         assert!(s.l1d_misses <= 16);
     }
 
@@ -604,6 +601,9 @@ mod tests {
         let s = run(&mut Mixed(0), 2000);
         assert!(s.os_instrs > 0);
         let frac = s.os_instrs as f64 / (s.user_instrs + s.os_instrs) as f64;
-        assert!((frac - 0.2).abs() < 0.02, "OS fraction should be ~20%, got {frac}");
+        assert!(
+            (frac - 0.2).abs() < 0.02,
+            "OS fraction should be ~20%, got {frac}"
+        );
     }
 }

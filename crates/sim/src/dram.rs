@@ -72,7 +72,7 @@ impl DramStats {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct Bank {
     open_row: Option<u64>,
     /// Earliest time the next column command (RD/WR) may issue.
@@ -82,17 +82,6 @@ struct Bank {
     pre_ready: u64,
     /// Earliest time an activate may issue (tRP after precharge).
     act_ready: u64,
-}
-
-impl Default for Bank {
-    fn default() -> Self {
-        Bank {
-            open_row: None,
-            cas_ready: 0,
-            pre_ready: 0,
-            act_ready: 0,
-        }
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -426,8 +415,7 @@ mod tests {
         let t = sys.read(0, 0);
         let done = complete_one(&mut sys, t);
         let cfg = DramTimingConfig::ddr4_1600_paper();
-        let expect =
-            (u64::from(cfg.trcd) + u64::from(cfg.cl)) * cfg.tck_ps + cfg.burst_ps();
+        let expect = (u64::from(cfg.trcd) + u64::from(cfg.cl)) * cfg.tck_ps + cfg.burst_ps();
         assert_eq!(done, expect, "ACT+RCD+CL+burst");
     }
 

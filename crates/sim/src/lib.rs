@@ -1,3 +1,7 @@
+// `is_multiple_of` stabilized after this workspace's MSRV (1.75); the
+// manual `% == 0` form stays until the MSRV moves.
+#![allow(clippy::manual_is_multiple_of)]
+
 //! Cycle-level multicore cluster simulator — the study's Flexus substitute.
 //!
 //! The paper (Sec. IV) measures one quantity from its full-system simulator:

@@ -22,7 +22,9 @@ fn encode_op(op: OpClass) -> u8 {
         OpClass::IntAlu => 0,
         OpClass::IntLong => 1,
         OpClass::Fp => 2,
-        OpClass::Branch { mispredicted: false } => 3,
+        OpClass::Branch {
+            mispredicted: false,
+        } => 3,
         OpClass::Branch { mispredicted: true } => 4,
         OpClass::Load => 5,
         OpClass::Store => 6,
@@ -34,7 +36,9 @@ fn decode_op(byte: u8) -> Option<OpClass> {
         0 => OpClass::IntAlu,
         1 => OpClass::IntLong,
         2 => OpClass::Fp,
-        3 => OpClass::Branch { mispredicted: false },
+        3 => OpClass::Branch {
+            mispredicted: false,
+        },
         4 => OpClass::Branch { mispredicted: true },
         5 => OpClass::Load,
         6 => OpClass::Store,

@@ -135,10 +135,7 @@ mod tests {
         let fbb = BodyBias::forward(Volts(1.3)).unwrap();
         let from = op(500.0, BodyBias::ZERO);
         // Same voltage, same frequency, new bias.
-        let to = OperatingPoint {
-            bias: fbb,
-            ..from
-        };
+        let to = OperatingPoint { bias: fbb, ..from };
         let t = m.transition(from, to);
         assert!(!t.stalls, "boost engages without halting the core");
         let us = t.duration_seconds().0 * 1e6;

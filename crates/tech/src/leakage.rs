@@ -161,8 +161,7 @@ mod tests {
     use crate::technology::TechnologyKind;
 
     fn model(kind: TechnologyKind) -> LeakageModel {
-        LeakageModel::calibrated_default(Technology::preset(kind), Volts(1.3), Watts(0.15))
-            .unwrap()
+        LeakageModel::calibrated_default(Technology::preset(kind), Volts(1.3), Watts(0.15)).unwrap()
     }
 
     #[test]
@@ -237,6 +236,9 @@ mod tests {
     #[test]
     fn zero_voltage_means_zero_leakage() {
         let m = model(TechnologyKind::FdSoi28);
-        assert_eq!(m.power(Volts(0.0), BodyBias::ZERO, Kelvin(300.0)), Watts::ZERO);
+        assert_eq!(
+            m.power(Volts(0.0), BodyBias::ZERO, Kelvin(300.0)),
+            Watts::ZERO
+        );
     }
 }

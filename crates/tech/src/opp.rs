@@ -43,11 +43,7 @@ impl OperatingPoint {
 
 impl fmt::Display for OperatingPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:.0} @ {:.3} ({})",
-            self.frequency, self.vdd, self.bias
-        )
+        write!(f, "{:.0} @ {:.3} ({})", self.frequency, self.vdd, self.bias)
     }
 }
 

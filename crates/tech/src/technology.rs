@@ -269,7 +269,10 @@ mod tests {
         assert!(fdsoi.check_bias(fbb2).is_ok());
         assert!(fdsoi.check_bias(rbb2).is_err(), "flip-well has no rbb");
         assert!(rvt.check_bias(rbb2).is_ok());
-        assert!(rvt.check_bias(fbb2).is_err(), "conventional-well has no fbb");
+        assert!(
+            rvt.check_bias(fbb2).is_err(),
+            "conventional-well has no fbb"
+        );
     }
 
     #[test]

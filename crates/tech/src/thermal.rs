@@ -69,11 +69,7 @@ impl ThermalModel {
     ///
     /// Returns [`TechError::InvalidParameter`] for a non-positive thermal
     /// resistance or a junction limit at/below ambient.
-    pub fn new(
-        r_theta: f64,
-        ambient: Kelvin,
-        t_junction_max: Kelvin,
-    ) -> Result<Self, TechError> {
+    pub fn new(r_theta: f64, ambient: Kelvin, t_junction_max: Kelvin) -> Result<Self, TechError> {
         if !r_theta.is_finite() || r_theta <= 0.0 {
             return Err(TechError::InvalidParameter {
                 name: "r_theta",

@@ -160,8 +160,11 @@ mod tests {
         let m = VariationModel::preset(TechnologyKind::Bulk28, 1);
         let pop = m.population(20_000);
         let mean: f64 = pop.iter().map(|s| s.delta_vth.0).sum::<f64>() / pop.len() as f64;
-        let var: f64 =
-            pop.iter().map(|s| (s.delta_vth.0 - mean).powi(2)).sum::<f64>() / pop.len() as f64;
+        let var: f64 = pop
+            .iter()
+            .map(|s| (s.delta_vth.0 - mean).powi(2))
+            .sum::<f64>()
+            / pop.len() as f64;
         let sigma = var.sqrt();
         assert!(mean.abs() < 0.002, "mean should be near zero, got {mean}");
         assert!(

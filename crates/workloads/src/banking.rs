@@ -200,8 +200,14 @@ mod tests {
         let hi = BankingWorkload::high_mem();
         let lo_fp = lo.footprint_bytes() as f64 / (100u64 << 20) as f64;
         let hi_fp = hi.footprint_bytes() as f64 / (700u64 << 20) as f64;
-        assert!(lo_fp > 0.9 && lo_fp <= 1.0, "low-mem sized to 100 MB: {lo_fp}");
-        assert!(hi_fp > 0.9 && hi_fp <= 1.0, "high-mem sized to 700 MB: {hi_fp}");
+        assert!(
+            lo_fp > 0.9 && lo_fp <= 1.0,
+            "low-mem sized to 100 MB: {lo_fp}"
+        );
+        assert!(
+            hi_fp > 0.9 && hi_fp <= 1.0,
+            "high-mem sized to 700 MB: {hi_fp}"
+        );
         assert!(hi.n > lo.n);
     }
 

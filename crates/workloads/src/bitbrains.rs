@@ -142,10 +142,12 @@ impl BitbrainsSynthesizer {
                 low_mem_fraction: 0.0,
             };
         }
-        let mean_cpu =
-            population.iter().map(|v| v.cpu_utilization).sum::<f64>() / count as f64;
-        let mean_memory =
-            population.iter().map(|v| v.memory_bytes as f64).sum::<f64>() / count as f64;
+        let mean_cpu = population.iter().map(|v| v.cpu_utilization).sum::<f64>() / count as f64;
+        let mean_memory = population
+            .iter()
+            .map(|v| v.memory_bytes as f64)
+            .sum::<f64>()
+            / count as f64;
         let low = population
             .iter()
             .filter(|v| v.class() == VmClass::LowMem)

@@ -136,10 +136,7 @@ mod tests {
         let mut d = DiurnalLoad::interactive_service(5);
         d.spike_probability = 0.2;
         let trace = d.trace(24.0, 500);
-        let spiky = trace
-            .windows(2)
-            .filter(|w| w[1] > w[0] * 1.4)
-            .count();
+        let spiky = trace.windows(2).filter(|w| w[1] > w[0] * 1.4).count();
         assert!(spiky > 10, "spikes should be visible, got {spiky}");
     }
 

@@ -9,7 +9,7 @@
 
 use crate::profile::WorkloadProfile;
 use crate::stream::{
-    COLD_CODE_BASE, HOT_BYTES, HOT_CODE_BASE, HOT_CODE_LINES, ProfileStream, WARM_BASE,
+    ProfileStream, COLD_CODE_BASE, HOT_BYTES, HOT_CODE_BASE, HOT_CODE_LINES, WARM_BASE,
 };
 use ntc_sim::cluster::ClusterSim;
 use ntc_sim::InstructionStream;
@@ -40,10 +40,7 @@ pub fn prewarm_cluster<S: InstructionStream>(sim: &mut ClusterSim<S>, profile: &
     );
 
     // Warm data: LLC-resident, shared.
-    sim.prewarm_llc(
-        (0..profile.warm_bytes / 64).map(|i| WARM_BASE + i * 64),
-        0,
-    );
+    sim.prewarm_llc((0..profile.warm_bytes / 64).map(|i| WARM_BASE + i * 64), 0);
 }
 
 #[cfg(test)]

@@ -158,7 +158,8 @@ impl InstructionStream for ProfileStream {
             self.os_left -= 1;
             false
         } else {
-            let p = self.profile.os_fraction / OS_BURST as f64
+            let p = self.profile.os_fraction
+                / OS_BURST as f64
                 / (1.0 - self.profile.os_fraction).max(1e-9);
             if self.profile.os_fraction > 0.0 && self.rng.gen_bool(p.min(1.0)) {
                 self.os_left = OS_BURST - 1;
@@ -253,7 +254,10 @@ mod tests {
             .filter(|i| i.addr >= HOT_DATA_BASE && i.addr < HOT_DATA_BASE + 64 * HOT_BYTES)
             .count() as f64;
         let frac = hot / mem.len() as f64;
-        assert!((frac - expected).abs() < 0.02, "hot share {frac} vs {expected}");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "hot share {frac} vs {expected}"
+        );
     }
 
     #[test]

@@ -226,9 +226,7 @@ mod tests {
         let z = ZipfSampler::ycsb_default(1_000_000);
         let mut rng = SmallRng::seed_from_u64(1);
         let n = 100_000;
-        let top = (0..n)
-            .filter(|_| z.sample(&mut rng) < 100)
-            .count();
+        let top = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
         // Under theta=.99 over 1M keys, the top-100 keys draw a large share.
         let share = top as f64 / n as f64;
         assert!(

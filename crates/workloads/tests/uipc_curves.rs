@@ -96,5 +96,9 @@ fn banking_stream_variant_runs_too() {
     });
     sim.warm_up(2_000);
     let s = sim.run_measured(8_000);
-    assert!(s.uipc() > 0.5, "blocked GEMM should run well, got {}", s.uipc());
+    assert!(
+        s.uipc() > 0.5,
+        "blocked GEMM should run well, got {}",
+        s.uipc()
+    );
 }

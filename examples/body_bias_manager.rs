@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         _ => {
             let lvt = Technology::preset(TechnologyKind::FdSoi28);
             let lvt_power = CorePowerModel::cortex_a57(CoreModel::cortex_a57(lvt))?;
-            let lvt_op =
-                OperatingPoint::at(lvt_power.timing(), MegaHertz(500.0), BodyBias::ZERO)?;
+            let lvt_op = OperatingPoint::at(lvt_power.timing(), MegaHertz(500.0), BodyBias::ZERO)?;
             let lvt_mgr = BiasManager::new(&lvt_power, lvt_op);
             let (extra, slew) = lvt_mgr.boost_headroom(BodyBias::forward(Volts(2.0))?)?;
             println!(
@@ -57,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ntimeline: 200 x (1 ms busy + 4 ms idle), one core:");
     for (name, policy) in [
         ("clock gating", ManagerPolicy::ClockGateOnly),
-        ("RBB sleep (-3 V)", ManagerPolicy::RbbSleep { bias_volts: 3.0 }),
+        (
+            "RBB sleep (-3 V)",
+            ManagerPolicy::RbbSleep { bias_volts: 3.0 },
+        ),
         ("power gating", ManagerPolicy::PowerGate),
     ] {
         let account = manager.run(&timeline, policy)?;

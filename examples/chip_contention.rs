@@ -16,7 +16,10 @@ use ntserver::workloads::{prewarm_cluster, CloudSuiteApp, ProfileStream, Workloa
 fn main() {
     let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
     println!("Data Serving, 9 clusters x 4 cores sharing 4x DDR4-1600:\n");
-    println!("{:>8} {:>14} {:>14} {:>8}", "MHz", "chip GUIPS", "9x model", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "MHz", "chip GUIPS", "9x model", "ratio"
+    );
     for mhz in [200.0, 400.0, 800.0, 1200.0, 1600.0, 2000.0] {
         let real = chip_uips(&profile, mhz) / 1e9;
         let scaled = cluster_uips(&profile, mhz) * 9.0 / 1e9;
@@ -38,14 +41,22 @@ fn chip_uips(profile: &WorkloadProfile, mhz: f64) -> f64 {
         for core in 0..4 {
             let hot = ProfileStream::hot_base_for(u64::from(core));
             chip.prewarm_data(cl, core, (0..HOT_BYTES / 64).map(|i| hot + i * 64));
-            chip.prewarm_code(cl, core, (0..HOT_CODE_LINES).map(|i| HOT_CODE_BASE + i * 64));
+            chip.prewarm_code(
+                cl,
+                core,
+                (0..HOT_CODE_LINES).map(|i| HOT_CODE_BASE + i * 64),
+            );
         }
         chip.prewarm_llc(
             cl,
             (0..profile.code_bytes / 64).map(|i| COLD_CODE_BASE + i * 64),
             0b1111,
         );
-        chip.prewarm_llc(cl, (0..profile.warm_bytes / 64).map(|i| WARM_BASE + i * 64), 0);
+        chip.prewarm_llc(
+            cl,
+            (0..profile.warm_bytes / 64).map(|i| WARM_BASE + i * 64),
+            0,
+        );
     }
     chip.run(10_000);
     chip.run_measured(10_000).uips()

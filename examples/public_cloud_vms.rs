@@ -32,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Sweep the banking workload and find the degradation floors.
     let server = ServerConfig::paper().build()?;
     let profile = WorkloadProfile::banking_low_mem(4.0);
-    let mut measurer = SimMeasurer::fast(profile.clone());
-    let result = FrequencySweep::paper_ladder().run(&server, &mut measurer)?;
+    let measurer = SimMeasurer::fast(profile.clone());
+    let result = FrequencySweep::paper_ladder().run(&server, &measurer)?;
     let samples = result.uips_samples();
     let base = samples.last().expect("sweep is non-empty").1;
     let model = DegradationModel::new(base);

@@ -14,8 +14,8 @@ use ntserver::workloads::{CloudSuiteApp, DiurnalLoad, WorkloadProfile};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = ServerConfig::paper().build()?;
     let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
-    let mut measurer = SimMeasurer::fast(profile.clone());
-    let result = FrequencySweep::paper_ladder().run(&server, &mut measurer)?;
+    let measurer = SimMeasurer::fast(profile.clone());
+    let result = FrequencySweep::paper_ladder().run(&server, &measurer)?;
     let governor = QosGovernor::new(&result, &profile);
 
     // 24 hours in 5-minute epochs.

@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep 100 MHz – 2 GHz running Web Search on the cluster simulator.
     let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
-    let mut measurer = SimMeasurer::fast(profile.clone());
-    let result = FrequencySweep::paper_ladder().run(&server, &mut measurer)?;
+    let measurer = SimMeasurer::fast(profile.clone());
+    let result = FrequencySweep::paper_ladder().run(&server, &measurer)?;
 
     // Unconstrained efficiency optima at the paper's three scopes.
     for scope in Scope::ALL {

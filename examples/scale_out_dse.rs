@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for app in CloudSuiteApp::ALL {
         let profile = WorkloadProfile::cloudsuite(app);
-        let mut measurer = SimMeasurer::fast(profile.clone());
-        let result = FrequencySweep::paper_ladder().run(&server, &mut measurer)?;
+        let measurer = SimMeasurer::fast(profile.clone());
+        let result = FrequencySweep::paper_ladder().run(&server, &measurer)?;
 
         let curve = QosCurve::build(&profile, &result.uips_samples());
         let floor = curve.min_qos_frequency().unwrap_or(f64::NAN);

@@ -21,7 +21,11 @@ fn chip_uips(profile: &WorkloadProfile, clusters: u32, mhz: f64) -> f64 {
         for core in 0..4 {
             let hot = ProfileStream::hot_base_for(u64::from(core));
             chip.prewarm_data(cl, core, (0..HOT_BYTES / 64).map(|i| hot + i * 64));
-            chip.prewarm_code(cl, core, (0..HOT_CODE_LINES).map(|i| HOT_CODE_BASE + i * 64));
+            chip.prewarm_code(
+                cl,
+                core,
+                (0..HOT_CODE_LINES).map(|i| HOT_CODE_BASE + i * 64),
+            );
         }
         chip.prewarm_llc(
             cl,

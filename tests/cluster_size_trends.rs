@@ -15,7 +15,9 @@ fn uipc_at(cores: u32, mhz: f64, profile: &WorkloadProfile) -> f64 {
     let mut config = SimConfig::paper_cluster(mhz);
     config.cores = cores;
     let p = profile.clone();
-    let mut sim = ClusterSim::new(config, |core| ProfileStream::new(p.clone(), u64::from(core)));
+    let mut sim = ClusterSim::new(config, |core| {
+        ProfileStream::new(p.clone(), u64::from(core))
+    });
     prewarm_cluster(&mut sim, profile);
     sim.warm_up(8_000);
     sim.run_measured(16_000).uipc()

@@ -20,7 +20,10 @@ fn websearch_uipc_with_intruders(intruders: u32) -> f64 {
         |core| -> Box<dyn InstructionStream> {
             if core < intruders {
                 // A memory-pounding batch co-runner.
-                Box::new(BankingStream::new(BankingWorkload::high_mem(), u64::from(core)))
+                Box::new(BankingStream::new(
+                    BankingWorkload::high_mem(),
+                    u64::from(core),
+                ))
             } else {
                 Box::new(ProfileStream::new(p.clone(), u64::from(core)))
             }

@@ -10,8 +10,8 @@ use ntserver::workloads::{prewarm_cluster, CloudSuiteApp, ProfileStream, Workloa
 #[test]
 fn simulator_traffic_feeds_dram_power_sensibly() {
     let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::MediaStreaming);
-    let mut measurer = SimMeasurer::fast(profile);
-    let m = measurer.measure(2000.0);
+    let measurer = SimMeasurer::fast(profile);
+    let m = measurer.measure(2000.0).unwrap();
     // Streaming at 2 GHz must produce real DRAM bandwidth...
     assert!(
         m.dram_read_bps > 100.0e6,
@@ -22,15 +22,18 @@ fn simulator_traffic_feeds_dram_power_sensibly() {
     let dram = DramPowerModel::paper_server();
     let traffic = DramTraffic::new(m.dram_read_bps * 9.0, m.dram_write_bps * 9.0);
     let p = dram.dynamic_power(traffic);
-    assert!(p.0 > 0.0 && p.0 < 40.0, "dram dynamic power {p} out of range");
+    assert!(
+        p.0 > 0.0 && p.0 < 40.0,
+        "dram dynamic power {p} out of range"
+    );
     assert!(dram.utilization(traffic) < 1.5);
 }
 
 #[test]
 fn measurement_rates_are_internally_consistent() {
     let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
-    let mut measurer = SimMeasurer::fast(profile);
-    let m: ClusterMeasurement = measurer.measure(1000.0);
+    let measurer = SimMeasurer::fast(profile);
+    let m: ClusterMeasurement = measurer.measure(1000.0).unwrap();
     // UIPS = UIPC × f.
     assert!((m.uips - m.uipc * 1000.0 * 1e6).abs() < 1.0);
     // The LLC cannot see more traffic than the crossbar carried.
@@ -51,10 +54,9 @@ fn smarts_sampler_converges_on_real_simulator_windows() {
     let sampler = SmartsSampler::new(cfg);
     let estimate = sampler.run(|k| {
         let p = profile.clone();
-        let mut sim = ClusterSim::new(
-            SimConfig::paper_cluster(1000.0).with_seed(k),
-            |core| ProfileStream::new(p.clone(), k * 64 + u64::from(core)),
-        );
+        let mut sim = ClusterSim::new(SimConfig::paper_cluster(1000.0).with_seed(k), |core| {
+            ProfileStream::new(p.clone(), k * 64 + u64::from(core))
+        });
         prewarm_cluster(&mut sim, &profile);
         sim.warm_up(8_000);
         sim.run_measured(8_000).uipc()
@@ -70,8 +72,8 @@ fn smarts_sampler_converges_on_real_simulator_windows() {
 fn seeds_change_samples_but_not_conclusions() {
     let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
     let uipc = |seed: u64| {
-        let mut m = SimMeasurer::fast(profile.clone()).with_seed(seed);
-        m.measure(500.0).uipc
+        let m = SimMeasurer::fast(profile.clone()).with_seed(seed);
+        m.measure(500.0).unwrap().uipc
     };
     let a = uipc(1);
     let b = uipc(2);
@@ -89,10 +91,10 @@ fn cluster_scaling_is_linear_in_the_chip_model() {
     use ntserver::core::{FrequencySweep, ServerConfig};
     let server = ServerConfig::paper().build().expect("builds");
     let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
-    let mut measurer = SimMeasurer::fast(profile.clone());
-    let cluster_uips = measurer.measure(800.0).uips;
+    let measurer = SimMeasurer::fast(profile.clone());
+    let cluster_uips = measurer.measure(800.0).unwrap().uips;
     let result = FrequencySweep::over(vec![800.0])
-        .run(&server, &mut SimMeasurer::fast(profile))
+        .run(&server, &SimMeasurer::fast(profile))
         .expect("single-point sweep");
     let chip_uips = result.points()[0].uips;
     let ratio = chip_uips / cluster_uips;

@@ -15,7 +15,7 @@ fn paper_windows_agree_with_fast_windows_on_the_qos_floor() {
     let server = ServerConfig::paper().build().expect("paper config builds");
     let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
 
-    let floor = |measurer: &mut SimMeasurer| {
+    let floor = |measurer: &SimMeasurer| {
         let result = FrequencySweep::paper_ladder()
             .run(&server, measurer)
             .expect("ladder is reachable");
@@ -24,10 +24,9 @@ fn paper_windows_agree_with_fast_windows_on_the_qos_floor() {
             .expect("qos satisfiable")
     };
 
-    let fast = floor(&mut SimMeasurer::fast(profile.clone()));
-    let paper = floor(
-        &mut SimMeasurer::new(profile.clone()).with_window(SampleWindow::paper_default()),
-    );
+    let fast = floor(&SimMeasurer::fast(profile.clone()));
+    let paper =
+        floor(&SimMeasurer::new(profile.clone()).with_window(SampleWindow::paper_default()));
     println!("QoS floor: fast {fast:.0} MHz, paper windows {paper:.0} MHz");
     assert!(
         (fast - paper).abs() <= 100.0 + 1e-9,

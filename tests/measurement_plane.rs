@@ -1,0 +1,98 @@
+//! Determinism and caching guarantees of the measurement plane: the
+//! parallel sweep must be byte-identical to the serial one for a fixed
+//! seed, and a cache-served sweep must equal the cold sweep that filled
+//! the cache.
+
+use ntserver::core::{
+    ClusterMeasurement, ClusterMeasurer, FrequencySweep, MeasureError, MeasurementCache,
+    MeasurementKey, ServerConfig, SimMeasurer,
+};
+use ntserver::workloads::{CloudSuiteApp, WorkloadProfile};
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+/// Delegating measurer that records which threads called it.
+struct ThreadTracker {
+    inner: SimMeasurer,
+    threads: Mutex<HashSet<ThreadId>>,
+}
+
+impl ThreadTracker {
+    fn new(inner: SimMeasurer) -> Self {
+        ThreadTracker {
+            inner,
+            threads: Mutex::new(HashSet::new()),
+        }
+    }
+}
+
+impl ClusterMeasurer for ThreadTracker {
+    fn measure(&self, mhz: f64) -> Result<ClusterMeasurement, MeasureError> {
+        self.threads
+            .lock()
+            .unwrap()
+            .insert(std::thread::current().id());
+        self.inner.measure(mhz)
+    }
+
+    fn key(&self, mhz: f64) -> Option<MeasurementKey> {
+        self.inner.key(mhz)
+    }
+}
+
+fn to_json(points: &[ntserver::core::SweepPoint]) -> String {
+    serde_json::to_string(&points.to_vec()).expect("sweep points serialize")
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let server = ServerConfig::paper().build().expect("paper config builds");
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let measurer = ThreadTracker::new(SimMeasurer::fast(profile).with_seed(7));
+    let sweep = FrequencySweep::paper_ladder();
+
+    let parallel = sweep.run(&server, &measurer).expect("ladder is reachable");
+    let workers = measurer.threads.lock().unwrap().len();
+    let serial = sweep
+        .run_serial(&server, &measurer)
+        .expect("ladder is reachable");
+
+    assert_eq!(parallel.points().len(), 20, "full FD-SOI ladder");
+    assert!(
+        workers >= 2,
+        "the paper ladder should fan out over at least two workers, used {workers}"
+    );
+    assert_eq!(
+        to_json(parallel.points()),
+        to_json(serial.points()),
+        "parallel and serial sweeps must serialize byte-identically"
+    );
+}
+
+#[test]
+fn cache_served_sweep_equals_the_cold_sweep() {
+    let server = ServerConfig::paper().build().expect("paper config builds");
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::DataServing);
+    let cached = MeasurementCache::new(SimMeasurer::fast(profile));
+    let sweep = FrequencySweep::paper_ladder();
+
+    let cold = sweep.run(&server, &cached).expect("ladder is reachable");
+    assert_eq!(
+        (cached.hits(), cached.misses()),
+        (0, 20),
+        "a cold cache simulates every ladder point exactly once"
+    );
+
+    let warm = sweep.run(&server, &cached).expect("ladder is reachable");
+    assert_eq!(
+        (cached.hits(), cached.misses()),
+        (20, 20),
+        "the warm sweep must be served entirely from the cache"
+    );
+    assert_eq!(
+        to_json(cold.points()),
+        to_json(warm.points()),
+        "cache-served points must serialize byte-identically to cold ones"
+    );
+}

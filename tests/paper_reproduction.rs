@@ -10,9 +10,9 @@ use ntserver::workloads::{CloudSuiteApp, WorkloadProfile};
 
 fn sweep(profile: &WorkloadProfile) -> ntserver::core::SweepResult {
     let server = ServerConfig::paper().build().expect("paper config builds");
-    let mut measurer = SimMeasurer::fast(profile.clone());
+    let measurer = SimMeasurer::fast(profile.clone());
     FrequencySweep::paper_ladder()
-        .run(&server, &mut measurer)
+        .run(&server, &measurer)
         .expect("ladder is reachable")
 }
 
