@@ -145,7 +145,10 @@ pub fn simulate(config: QueueSimConfig) -> QueueSimResult {
             sojourns.push(finish - now);
         }
     }
-    sojourns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    // total_cmp: a degenerate run (e.g. zero utilization → infinite
+    // inter-arrival gaps → NaN sojourns) must not panic mid-sort; NaNs
+    // order after every finite time under the IEEE total order.
+    sojourns.sort_by(f64::total_cmp);
     let pick = |p: f64| sojourns[((sojourns.len() - 1) as f64 * p) as usize];
     QueueSimResult {
         mean_ms: sojourns.iter().sum::<f64>() / sojourns.len() as f64,
@@ -257,6 +260,19 @@ mod tests {
         let r = simulate(QueueSimConfig::near_zero_contention(1.0));
         assert!(r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms);
         assert!(r.mean_ms > 0.0);
+        assert_eq!(r.requests, 40_000);
+    }
+
+    #[test]
+    fn degenerate_zero_utilization_run_does_not_panic() {
+        // ρ = 0 passes validation but makes the arrival rate zero, so
+        // inter-arrival gaps are infinite and sojourns come out NaN. The
+        // NaN-safe sort must carry the run to completion instead of
+        // panicking inside `partial_cmp`.
+        let r = simulate(QueueSimConfig {
+            utilization: 0.0,
+            ..QueueSimConfig::near_zero_contention(1.0)
+        });
         assert_eq!(r.requests, 40_000);
     }
 

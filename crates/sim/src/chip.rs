@@ -12,7 +12,9 @@
 use crate::config::SimConfig;
 use crate::core::Core;
 use crate::dram::DramSystem;
+use crate::engine::{self, Lane};
 use crate::instr::InstructionStream;
+use crate::llc::{Invalidation, SharerMask};
 use crate::memsys::{MemorySystem, SharedDram};
 use crate::stats::SimStats;
 use std::cell::RefCell;
@@ -30,6 +32,9 @@ pub struct ChipSim<S> {
     clusters: Vec<ChipCluster<S>>,
     dram: SharedDram,
     cycle: u64,
+    cycle_skip: bool,
+    skipped_cycles: u64,
+    inv_buf: Vec<Invalidation>,
 }
 
 impl<S: InstructionStream> ChipSim<S> {
@@ -38,13 +43,15 @@ impl<S: InstructionStream> ChipSim<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `clusters` is zero.
+    /// Panics if `clusters` is zero or the configuration is structurally
+    /// invalid (see [`SimConfig::validate`]).
     pub fn new(
         config: SimConfig,
         clusters: u32,
         mut make_stream: impl FnMut(u32, u32) -> S,
     ) -> Self {
         assert!(clusters > 0, "a chip needs at least one cluster");
+        config.validate();
         let dram: SharedDram = Rc::new(RefCell::new(DramSystem::new(config.dram)));
         let clusters = (0..clusters)
             .map(|cl| ChipCluster {
@@ -60,7 +67,17 @@ impl<S: InstructionStream> ChipSim<S> {
             clusters,
             dram,
             cycle: 0,
+            cycle_skip: true,
+            skipped_cycles: 0,
+            inv_buf: Vec::new(),
         }
+    }
+
+    /// Enables or disables the stall-aware cycle-skip fast path (on by
+    /// default). Statistics are bit-identical either way; disabling forces
+    /// the naive per-cycle reference loop.
+    pub fn set_cycle_skip(&mut self, enabled: bool) {
+        self.cycle_skip = enabled;
     }
 
     /// The configuration in effect.
@@ -71,6 +88,12 @@ impl<S: InstructionStream> ChipSim<S> {
     /// Number of clusters on the chip.
     pub fn clusters(&self) -> usize {
         self.clusters.len()
+    }
+
+    /// Cycles the fast path jumped over without ticking — a diagnostic
+    /// for how much the stall-aware skip engages on a workload.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Installs data lines into one cluster-core's L1-D and that cluster's
@@ -93,7 +116,12 @@ impl<S: InstructionStream> ChipSim<S> {
     }
 
     /// Installs shared lines into one cluster's LLC.
-    pub fn prewarm_llc(&mut self, cluster: u32, lines: impl IntoIterator<Item = u64>, sharers: u8) {
+    pub fn prewarm_llc(
+        &mut self,
+        cluster: u32,
+        lines: impl IntoIterator<Item = u64>,
+        sharers: SharerMask,
+    ) {
         let cl = &mut self.clusters[cluster as usize];
         for line in lines {
             cl.mem.install_llc(line, sharers);
@@ -105,23 +133,23 @@ impl<S: InstructionStream> ChipSim<S> {
     pub fn run(&mut self, cycles: u64) -> SimStats {
         let period = self.config.core_period_ps();
         let end = self.cycle + cycles;
-        while self.cycle < end {
-            let now = self.cycle * period;
-            for cl in &mut self.clusters {
-                for (core, stream) in cl.cores.iter_mut().zip(cl.streams.iter_mut()) {
-                    core.tick(stream, &mut cl.mem, self.cycle, now, period);
-                }
-                cl.mem.tick(now + period);
-                for inv in cl.mem.drain_invalidations() {
-                    for c in 0..cl.cores.len() {
-                        if inv.cores & (1 << c) != 0 && cl.cores[c].invalidate_l1d(inv.line_addr) {
-                            cl.mem.writeback(c as u32, inv.line_addr, now + period);
-                        }
-                    }
-                }
-            }
-            self.cycle += 1;
-        }
+        let mut lanes: Vec<Lane<'_, S>> = self
+            .clusters
+            .iter_mut()
+            .map(|cl| Lane {
+                cores: &mut cl.cores,
+                streams: &mut cl.streams,
+                mem: &mut cl.mem,
+            })
+            .collect();
+        self.skipped_cycles += engine::run_lanes(
+            &mut lanes,
+            &mut self.inv_buf,
+            &mut self.cycle,
+            end,
+            period,
+            self.cycle_skip,
+        );
         self.stats()
     }
 

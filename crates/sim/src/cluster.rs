@@ -7,7 +7,9 @@
 
 use crate::config::SimConfig;
 use crate::core::Core;
+use crate::engine::{self, Lane};
 use crate::instr::InstructionStream;
+use crate::llc::{Invalidation, SharerMask};
 use crate::memsys::MemorySystem;
 use crate::stats::SimStats;
 
@@ -19,12 +21,21 @@ pub struct ClusterSim<S> {
     streams: Vec<S>,
     mem: MemorySystem,
     cycle: u64,
+    cycle_skip: bool,
+    skipped_cycles: u64,
+    inv_buf: Vec<Invalidation>,
 }
 
 impl<S: InstructionStream> ClusterSim<S> {
     /// Builds a cluster; `make_stream(core_id)` supplies each core's
     /// workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid (see
+    /// [`SimConfig::validate`]).
     pub fn new(config: SimConfig, mut make_stream: impl FnMut(u32) -> S) -> Self {
+        config.validate();
         let cores = (0..config.cores)
             .map(|i| Core::new(i, config.core))
             .collect();
@@ -35,7 +46,18 @@ impl<S: InstructionStream> ClusterSim<S> {
             cores,
             streams,
             cycle: 0,
+            cycle_skip: true,
+            skipped_cycles: 0,
+            inv_buf: Vec::new(),
         }
+    }
+
+    /// Enables or disables the stall-aware cycle-skip fast path (on by
+    /// default). Disabling it forces the naive per-cycle loop — the
+    /// reference the differential tests compare against; statistics are
+    /// bit-identical either way.
+    pub fn set_cycle_skip(&mut self, enabled: bool) {
+        self.cycle_skip = enabled;
     }
 
     /// The configuration in effect.
@@ -46,6 +68,12 @@ impl<S: InstructionStream> ClusterSim<S> {
     /// Cycles simulated so far.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Cycles the fast path jumped over without ticking — a diagnostic
+    /// for how much the stall-aware skip engages on a workload.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Installs data lines into one core's L1-D and the shared LLC —
@@ -67,7 +95,7 @@ impl<S: InstructionStream> ClusterSim<S> {
     }
 
     /// Installs shared lines into the LLC only (warm data too big for L1s).
-    pub fn prewarm_llc(&mut self, lines: impl IntoIterator<Item = u64>, sharers: u8) {
+    pub fn prewarm_llc(&mut self, lines: impl IntoIterator<Item = u64>, sharers: SharerMask) {
         for line in lines {
             self.mem.install_llc(line, sharers);
         }
@@ -77,26 +105,19 @@ impl<S: InstructionStream> ClusterSim<S> {
     pub fn run(&mut self, cycles: u64) -> SimStats {
         let period = self.config.core_period_ps();
         let end = self.cycle + cycles;
-        while self.cycle < end {
-            let now = self.cycle * period;
-            for (core, stream) in self.cores.iter_mut().zip(self.streams.iter_mut()) {
-                core.tick(stream, &mut self.mem, self.cycle, now, period);
-            }
-            // Let the uncore catch up to the end of this cycle.
-            self.mem.tick(now + period);
-            // Apply coherence invalidations to L1s.
-            for inv in self.mem.drain_invalidations() {
-                for c in 0..self.cores.len() {
-                    if inv.cores & (1 << c) != 0 {
-                        let dirty = self.cores[c].invalidate_l1d(inv.line_addr);
-                        if dirty {
-                            self.mem.writeback(c as u32, inv.line_addr, now + period);
-                        }
-                    }
-                }
-            }
-            self.cycle += 1;
-        }
+        let mut lane = Lane {
+            cores: &mut self.cores,
+            streams: &mut self.streams,
+            mem: &mut self.mem,
+        };
+        self.skipped_cycles += engine::run_lanes(
+            std::slice::from_mut(&mut lane),
+            &mut self.inv_buf,
+            &mut self.cycle,
+            end,
+            period,
+            self.cycle_skip,
+        );
         self.stats()
     }
 

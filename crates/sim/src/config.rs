@@ -260,6 +260,10 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// Largest supported cluster: one bit per core in
+    /// [`crate::llc::SharerMask`].
+    pub const MAX_CORES: u32 = 32;
+
     /// The paper's simulated unit: a 4-core Cortex-A57 cluster with a 4 MB
     /// LLC over a crossbar and 4 channels of DDR4-1600, at the given core
     /// frequency.
@@ -287,6 +291,22 @@ impl SimConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Checks structural invariants the simulators rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds [`Self::MAX_CORES`] (the
+    /// sharer-mask width): `1 << core` on the directory mask would
+    /// otherwise overflow silently in release builds.
+    pub fn validate(&self) {
+        assert!(
+            self.cores >= 1 && self.cores <= Self::MAX_CORES,
+            "cluster must have 1..={} cores, got {}",
+            Self::MAX_CORES,
+            self.cores
+        );
     }
 
     /// Core clock period in picoseconds.
@@ -340,5 +360,30 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn rejects_bad_frequency() {
         let _ = SimConfig::paper_cluster(-1.0);
+    }
+
+    #[test]
+    fn validate_accepts_supported_core_counts() {
+        let mut c = SimConfig::paper_cluster(1000.0);
+        for cores in [1, 4, 8, 16, SimConfig::MAX_CORES] {
+            c.cores = cores;
+            c.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cores")]
+    fn validate_rejects_oversized_cluster() {
+        let mut c = SimConfig::paper_cluster(1000.0);
+        c.cores = SimConfig::MAX_CORES + 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cores")]
+    fn validate_rejects_empty_cluster() {
+        let mut c = SimConfig::paper_cluster(1000.0);
+        c.cores = 0;
+        c.validate();
     }
 }

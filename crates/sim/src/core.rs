@@ -56,8 +56,6 @@ pub struct Core {
     rob: std::collections::VecDeque<RobEntry>,
     /// Sequence number of the next fetched instruction.
     next_seq: u64,
-    /// Completion cycles of recently committed producers (seq -> cycle).
-    committed_ready: std::collections::HashMap<u64, u64>,
     /// Fetch is stalled until this cycle (branch redirect).
     fetch_stall_until: u64,
     /// Fetch is blocked on this instruction-fetch miss.
@@ -84,7 +82,6 @@ impl Core {
             l1d: SetAssocArray::new(cfg.l1d),
             rob: std::collections::VecDeque::with_capacity(cfg.rob_entries as usize),
             next_seq: 0,
-            committed_ready: std::collections::HashMap::new(),
             fetch_stall_until: 0,
             ifetch_miss: None,
             redirect_on: None,
@@ -161,15 +158,6 @@ impl Core {
                         } else {
                             self.stats.os_instrs += 1;
                         }
-                        // Keep the completion time visible for dependents
-                        // still in the window.
-                        self.committed_ready.insert(e.seq, done_cycle);
-                        // Bound the map: entries older than the window depth
-                        // can no longer be referenced.
-                        if self.committed_ready.len() > 4 * self.cfg.rob_entries as usize {
-                            let horizon = e.seq.saturating_sub(u64::from(self.cfg.rob_entries));
-                            self.committed_ready.retain(|&s, _| s >= horizon);
-                        }
                     }
                     _ => break,
                 },
@@ -206,22 +194,171 @@ impl Core {
         }
     }
 
-    fn producer_ready(&self, dep_seq: u64, cycle: u64) -> Option<u64> {
-        // Committed producers are ready at their recorded completion.
-        if let Some(&c) = self.committed_ready.get(&dep_seq) {
-            return Some(c.min(cycle));
+    /// A cheap progress fingerprint: the sum of the monotonic work
+    /// counters plus the MSHR occupancy (which drops when a fill is
+    /// consumed). Equal fingerprints around a tick mean the tick made no
+    /// visible progress; the engine uses that to decide when probing for
+    /// a cycle skip is worth the cost. The fingerprint is a heuristic
+    /// only — a change it fails to see costs a wasted probe (which then
+    /// reports the core active), never correctness.
+    /// Data misses currently in flight (MSHR occupancy). The engine uses a
+    /// rise across a tick as a stall hint: a core that just launched a
+    /// miss is likely about to block on it.
+    pub(crate) fn in_flight_data(&self) -> u32 {
+        self.outstanding_data
+    }
+
+    pub(crate) fn activity_signature(&self) -> u64 {
+        let s = &self.stats;
+        s.user_instrs
+            + s.os_instrs
+            + s.dispatched
+            + s.l1d_accesses
+            + s.l1d_writebacks
+            + s.l1i_misses
+            + s.branch_redirects
+            + u64::from(self.outstanding_data)
+    }
+
+    /// Probes whether this core can do anything at `cycle`, and if not,
+    /// when it next can.
+    ///
+    /// Returns `None` if the core is **active**: some pipeline stage would
+    /// change architectural or timing state this cycle (commit, a memory
+    /// fill becoming pollable, an issueable instruction, dispatch).
+    /// Returns `Some(c)` with `c > cycle` if every tick strictly before `c`
+    /// is a no-op apart from the per-tick statistics that
+    /// [`Core::skip_to`] compensates (`stats.cycles`, and
+    /// `rob_full_cycles` while fetch is unblocked with a full window).
+    /// Events the uncore owns (requests still waiting on DRAM scheduling)
+    /// are *not* counted here — the caller must bound the skip by
+    /// [`MemorySystem::next_fill_wake_ps`].
+    ///
+    /// `Some(u64::MAX)` means no core-side event is scheduled at all.
+    pub(crate) fn quiescent_until(
+        &self,
+        mem: &MemorySystem,
+        cycle: u64,
+        period_ps: u64,
+    ) -> Option<u64> {
+        // First core cycle at which `mem.poll(t, cycle * period)` succeeds.
+        let poll_cycle = |t: MemTicket| mem.ticket_done_ps(t).map(|done| done.div_ceil(period_ps));
+        let mut next = u64::MAX;
+        let rob_full = self.rob.len() >= self.cfg.rob_entries as usize;
+
+        // Fetch: an unblocked front end with window space dispatches every
+        // cycle. (Unblocked with a full window only increments
+        // `rob_full_cycles`, which `skip_to` batch-applies.)
+        if self.ifetch_miss.is_none() && self.redirect_on.is_none() && !rob_full {
+            if cycle >= self.fetch_stall_until {
+                return None;
+            }
+            next = next.min(self.fetch_stall_until);
         }
-        // Otherwise the producer must be in the window.
-        for e in &self.rob {
-            if e.seq == dep_seq {
-                return match e.stage {
-                    Stage::Done { done_cycle } if done_cycle <= cycle => Some(done_cycle),
-                    _ => None,
-                };
+
+        // An I-fetch fill restarts the front end when it becomes pollable.
+        if let Some(t) = self.ifetch_miss {
+            match poll_cycle(t) {
+                Some(c) if c <= cycle => return None,
+                Some(c) => next = next.min(c),
+                None => {} // still queued in DRAM: uncore bound applies
             }
         }
-        // Not found at all: older than tracking horizon — long retired.
-        Some(0)
+
+        for (idx, e) in self.rob.iter().enumerate() {
+            match e.stage {
+                Stage::Done { done_cycle } => {
+                    // Only the head commits; a non-head Done entry is inert
+                    // (consumers track it through the Waiting arm below).
+                    if idx == 0 {
+                        if done_cycle <= cycle {
+                            return None;
+                        }
+                        next = next.min(done_cycle);
+                    }
+                }
+                Stage::Executing { done_cycle } => {
+                    // Completes (and wakes dependents) at `done_cycle`.
+                    if done_cycle <= cycle {
+                        return None;
+                    }
+                    next = next.min(done_cycle);
+                }
+                Stage::Memory { ticket } => match poll_cycle(ticket) {
+                    Some(c) if c <= cycle => return None,
+                    Some(c) => next = next.min(c),
+                    None => {} // still queued in DRAM: uncore bound applies
+                },
+                Stage::Waiting => {
+                    // Mirrors `producer_ready`: a ready producer means this
+                    // entry issues now (or stays issue-eligible), so the
+                    // core is active.
+                    let d = e.dep_seq?;
+                    // Not in the window means committed, hence ready.
+                    let p = self.rob_entry(d)?;
+                    // Producer still in flight schedules the wake-up via
+                    // its own arm above (or the uncore bound).
+                    if let Stage::Done { done_cycle } = p.stage {
+                        if done_cycle <= cycle {
+                            return None;
+                        }
+                        next = next.min(done_cycle);
+                    }
+                }
+            }
+        }
+
+        // Background store fills release MSHRs when polled.
+        for &t in &self.pending_stores {
+            match poll_cycle(t) {
+                Some(c) if c <= cycle => return None,
+                Some(c) => next = next.min(c),
+                None => {}
+            }
+        }
+
+        Some(next)
+    }
+
+    /// Jumps the core's clock from `from` to `to` without ticking,
+    /// applying exactly the statistics the skipped ticks would have:
+    /// `stats.cycles` lands where the naive loop would leave it, and
+    /// `rob_full_cycles` accrues for every skipped cycle on which an
+    /// unblocked fetch would have found the window full. Only legal when
+    /// [`Core::quiescent_until`] returned `Some(c)` with `to <= c`.
+    pub(crate) fn skip_to(&mut self, from: u64, to: u64) {
+        if self.ifetch_miss.is_none()
+            && self.redirect_on.is_none()
+            && self.rob.len() >= self.cfg.rob_entries as usize
+        {
+            let start = from.max(self.fetch_stall_until);
+            if to > start {
+                self.stats.rob_full_cycles += to - start;
+            }
+        }
+        self.stats.cycles = to;
+    }
+
+    /// Finds an in-window entry by sequence number in O(1): the ROB holds
+    /// contiguous sequence numbers (fetch pushes `next_seq` increments,
+    /// commit pops the front), so `seq` indexes directly.
+    fn rob_entry(&self, seq: u64) -> Option<&RobEntry> {
+        let front = self.rob.front()?.seq;
+        let idx = seq.checked_sub(front)?;
+        let e = self.rob.get(idx as usize)?;
+        debug_assert_eq!(e.seq, seq, "ROB sequence numbers must be contiguous");
+        Some(e)
+    }
+
+    fn producer_ready(&self, dep_seq: u64, cycle: u64) -> bool {
+        // A producer still in the window is ready once it is Done; one no
+        // longer in the window has committed (sequence numbers are
+        // contiguous and dependencies always point backwards), so it is
+        // ready by definition.
+        match self.rob_entry(dep_seq) {
+            Some(e) => matches!(e.stage, Stage::Done { done_cycle } if done_cycle <= cycle),
+            None => true,
+        }
     }
 
     fn issue(&mut self, mem: &mut MemorySystem, cycle: u64, now_ps: u64) {
@@ -246,7 +383,7 @@ impl Core {
             }
             // Operand check.
             if let Some(d) = dep_seq {
-                if self.producer_ready(d, cycle).is_none() {
+                if !self.producer_ready(d, cycle) {
                     continue;
                 }
             }

@@ -149,6 +149,12 @@ pub struct DramSystem {
     next_seq: u64,
     completed: std::collections::HashMap<u32, Vec<(DramTicket, u64)>>,
     stats: DramStats,
+    /// Memoized [`DramSystem::next_issue_ps`] (`None` = recompute). The
+    /// bound is a pure function of the queues and bank/rank/bus state, so
+    /// it stays valid until a command is enqueued or issued.
+    next_issue_cache: std::cell::Cell<Option<Option<u64>>>,
+    /// Memoized [`DramSystem::next_read_completion_ps`], same lifecycle.
+    read_completion_cache: std::cell::Cell<Option<Option<u64>>>,
 }
 
 impl DramSystem {
@@ -162,6 +168,8 @@ impl DramSystem {
             next_seq: 0,
             completed: std::collections::HashMap::new(),
             stats: DramStats::default(),
+            next_issue_cache: std::cell::Cell::new(None),
+            read_completion_cache: std::cell::Cell::new(None),
         }
     }
 
@@ -223,6 +231,8 @@ impl DramSystem {
         write: bool,
         arrive: u64,
     ) {
+        self.next_issue_cache.set(None);
+        self.read_completion_cache.set(None);
         let ch = self.map(line_addr).channel as usize;
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -254,6 +264,92 @@ impl DramSystem {
     /// Aggregate statistics.
     pub fn stats(&self) -> DramStats {
         self.stats
+    }
+
+    /// Earliest time any queued command could issue, or `None` when every
+    /// channel queue is empty.
+    ///
+    /// This is the uncore's next-event bound for the cycle-skip fast path:
+    /// a [`DramSystem::tick`] with `until_ps` at or before this time is a
+    /// no-op (no command's window opens), and bank/rank/bus state only
+    /// changes when a command issues — so every skipped tick up to this
+    /// bound would have observed exactly the state used to compute it.
+    /// Issuing a command never makes another queued command's start
+    /// *earlier* (bank, rank and bus constraints are all monotonic), so
+    /// the bound also floors every issue that happens after it.
+    pub fn next_issue_ps(&self) -> Option<u64> {
+        if let Some(cached) = self.next_issue_cache.get() {
+            return cached;
+        }
+        let mut next: Option<u64> = None;
+        for chan in &self.channels {
+            for p in &chan.queue {
+                let start = self.earliest_start(chan, self.map(p.line_addr), p);
+                next = Some(next.map_or(start, |n| n.min(start)));
+            }
+        }
+        self.next_issue_cache.set(Some(next));
+        next
+    }
+
+    /// A lower bound on the earliest completion (data off the pins) of any
+    /// *currently queued read*, or `None` when no reads are queued.
+    ///
+    /// For each read the bound walks the exact command path it would take
+    /// if issued first, against current bank/bus state — row hit pays
+    /// `CL + burst`, a closed bank adds `tRCD`, a conflict adds
+    /// `tRP + tRCD` — and every ingredient (CAS/precharge/activate
+    /// readiness, the tFAW/tRRD windows, bus occupancy) only moves *later*
+    /// as other commands issue, so the path time is a true floor. Two
+    /// cross-command effects could make a read finish *earlier* than its
+    /// own path:
+    ///
+    /// * another queued **read** opens the row first — then our read's
+    ///   burst serializes after that read's, whose own bound is already in
+    ///   the minimum;
+    /// * a queued **write** to the same bank and row opens it first —
+    ///   then the read still pays at least the write's activate
+    ///   (`≥` the write's earliest start) plus `tRCD + CL + burst`, which
+    ///   the bound takes instead for hazarded reads.
+    ///
+    /// Writes themselves complete no core-visible event, so they do not
+    /// otherwise appear in the bound.
+    pub fn next_read_completion_ps(&self) -> Option<u64> {
+        if let Some(cached) = self.read_completion_cache.get() {
+            return cached;
+        }
+        let tck = self.cfg.tck_ps;
+        let cl = u64::from(self.cfg.cl) * tck;
+        let trcd = u64::from(self.cfg.trcd) * tck;
+        let trp = u64::from(self.cfg.trp) * tck;
+        let burst = self.cfg.burst_ps();
+        let mut next: Option<u64> = None;
+        for chan in &self.channels {
+            for p in chan.queue.iter().filter(|p| !p.write) {
+                let addr = self.map(p.line_addr);
+                let bank = &chan.banks[addr.bank as usize];
+                let start = self.earliest_start(chan, addr, p);
+                let own = match bank.open_row {
+                    Some(row) if row == addr.row => start + cl,
+                    Some(_) => start + trp + trcd + cl,
+                    None => start + trcd + cl,
+                };
+                let mut est = chan.bus_free.max(own) + burst;
+                if !matches!(bank.open_row, Some(row) if row == addr.row) {
+                    // A same-bank/same-row write could open our row first.
+                    for w in chan.queue.iter().filter(|w| w.write) {
+                        let waddr = self.map(w.line_addr);
+                        if waddr.bank == addr.bank && waddr.row == addr.row {
+                            let wstart = self.earliest_start(chan, waddr, w);
+                            est = est.min(chan.bus_free.max(wstart + trcd + cl) + burst);
+                        }
+                    }
+                }
+                next = Some(next.map_or(est, |n| n.min(est)));
+            }
+        }
+        self.read_completion_cache.set(Some(next));
+        next
     }
 
     /// Advances every channel's scheduler up to `until_ps`, issuing all
@@ -326,6 +422,8 @@ impl DramSystem {
     }
 
     fn issue(&mut self, ch: usize, p: Pending, start: u64) {
+        self.next_issue_cache.set(None);
+        self.read_completion_cache.set(None);
         let cfg = self.cfg;
         let tck = cfg.tck_ps;
         let addr = self.map(p.line_addr);
@@ -524,6 +622,24 @@ mod tests {
         sys.tick(u64::MAX / 2);
         assert_eq!(sys.pending(), 0);
         assert_eq!(sys.stats().reads, 32);
+    }
+
+    #[test]
+    fn next_issue_bound_tracks_enqueues_and_issues() {
+        let mut sys = system();
+        assert_eq!(sys.next_issue_ps(), None);
+        let _ = sys.read(0, 1_000);
+        assert_eq!(
+            sys.next_issue_ps(),
+            Some(1_000),
+            "cold bank: the command can start as soon as it arrives"
+        );
+        // The memoized bound must refresh once the command issues.
+        sys.tick(u64::MAX / 2);
+        assert_eq!(sys.next_issue_ps(), None);
+        let _ = sys.read(0, 5_000_000);
+        let s = sys.next_issue_ps().expect("queued again");
+        assert!(s >= 5_000_000);
     }
 
     #[test]

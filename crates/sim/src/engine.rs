@@ -1,0 +1,228 @@
+//! The shared simulation hot loop, with the stall-aware cycle-skip fast
+//! path.
+//!
+//! [`ClusterSim::run`](crate::ClusterSim::run) and
+//! [`ChipSim::run`](crate::ChipSim::run) used to carry two copies of the
+//! same per-cycle loop (tick every core, advance the uncore, apply
+//! coherence invalidations). Both now delegate to [`run_lanes`], so the
+//! loop — and its fast path — exist in exactly one place.
+//!
+//! # The cycle-skip fast path
+//!
+//! Scale-out workloads at low frequency spend most cycles with every ROB
+//! blocked on outstanding DRAM misses; ticking each of those cycles does
+//! nothing but burn host time. Before each cycle, the engine probes every
+//! core ([`Core::quiescent_until`]) and the uncore
+//! ([`MemorySystem::next_issue_ps`]). A skip from the current cycle to a
+//! target cycle is legal only when *all* of the following hold, which the
+//! probe establishes:
+//!
+//! * every core is quiescent — no commit, issue, dispatch, or pollable
+//!   memory fill strictly before the target (ready-to-issue instructions,
+//!   including MSHR-blocked ones, count as activity);
+//! * no coherence invalidations are pending delivery to L1s;
+//! * no queued DRAM command's *fill* can be polled before the target
+//!   ([`MemorySystem::next_fill_wake_ps`]: earliest possible issue plus
+//!   the minimum read turnaround). Commands may still *issue* inside the
+//!   window — the skip replays the uncore's per-cycle `tick` boundaries
+//!   (or elides them when provably no-ops), so the DRAM scheduler makes
+//!   exactly the decisions it would have made naively.
+//!
+//! The skipped core ticks would then be no-ops except for two per-tick
+//! statistics — `stats.cycles` and `rob_full_cycles` — which
+//! [`Core::skip_to`] batch-applies. The result is **bit-identical**
+//! `SimStats` between the fast path and the naive loop; a differential
+//! test (`tests/cycle_skip.rs`) enforces this across compute-bound,
+//! memory-bound and mixed streams at several frequencies.
+//!
+//! Probing costs an O(window) scan per core, so the engine only probes
+//! when the previous tick made no visible progress (a cheap counter
+//! fingerprint) or launched a new data miss (MSHR occupancy rose — the
+//! core is likely about to block on the fill); active stretches pay
+//! nothing for the fast path.
+
+use crate::core::Core;
+use crate::instr::InstructionStream;
+use crate::llc::Invalidation;
+use crate::memsys::MemorySystem;
+
+/// One cluster's mutable view for the shared loop: its cores, their
+/// instruction streams, and the cluster's private uncore (which may share
+/// a DRAM system with other lanes).
+pub(crate) struct Lane<'a, S> {
+    pub cores: &'a mut [Core],
+    pub streams: &'a mut [S],
+    pub mem: &'a mut MemorySystem,
+}
+
+/// Advances all lanes from `*cycle` to `end` on a common core clock.
+///
+/// With `cycle_skip` enabled, quiescent stretches are jumped in one step;
+/// otherwise every cycle is ticked naively (the reference behaviour the
+/// differential tests compare against). Returns the number of cycles
+/// skipped (never ticked).
+pub(crate) fn run_lanes<S: InstructionStream>(
+    lanes: &mut [Lane<'_, S>],
+    inv_buf: &mut Vec<Invalidation>,
+    cycle: &mut u64,
+    end: u64,
+    period_ps: u64,
+    cycle_skip: bool,
+) -> u64 {
+    let mut skipped = 0;
+    // Probe on entry (a run window may open mid-stall), then after any
+    // tick that made no visible progress (an idle tick marks the start of
+    // a stall stretch), or that launched a new data miss (the core that
+    // issued it is likely about to block on the fill). A tick that did
+    // ordinary work almost always means the next cycle does work too, so
+    // probing it would be pure overhead. Wrong hints only waste one cheap
+    // probe — legality is established by the probe itself, never here.
+    let mut probe = cycle_skip;
+    let (mut sig, mut mshrs) = if cycle_skip {
+        (activity_signature(lanes), in_flight_data(lanes))
+    } else {
+        (0, 0)
+    };
+    while *cycle < end {
+        if probe {
+            if let Some(target) = next_event_cycle(lanes, *cycle, period_ps) {
+                let target = target.min(end);
+                if target > *cycle {
+                    skip(lanes, *cycle, target, period_ps);
+                    skipped += target - *cycle;
+                    *cycle = target;
+                    // An event is due at `target`: tick it directly.
+                    probe = false;
+                    continue;
+                }
+            }
+        }
+        let now = *cycle * period_ps;
+        for lane in lanes.iter_mut() {
+            tick_lane(lane, inv_buf, *cycle, now, period_ps);
+        }
+        *cycle += 1;
+        if cycle_skip {
+            let (sig2, mshrs2) = (activity_signature(lanes), in_flight_data(lanes));
+            probe = sig2 == sig || mshrs2 > mshrs;
+            sig = sig2;
+            mshrs = mshrs2;
+        }
+    }
+    skipped
+}
+
+/// Total data misses in flight across all lanes (summed MSHR occupancy).
+fn in_flight_data<S>(lanes: &[Lane<'_, S>]) -> u64 {
+    let mut n = 0u64;
+    for lane in lanes.iter() {
+        for core in lane.cores.iter() {
+            n += u64::from(core.in_flight_data());
+        }
+    }
+    n
+}
+
+/// The lanes' combined progress fingerprint (see
+/// [`Core::activity_signature`]). Uncore counters are deliberately left
+/// out: DRAM commands issuing while every core is stalled are exactly the
+/// regime the fast path wants to probe (and skip across), not treat as
+/// activity.
+fn activity_signature<S>(lanes: &[Lane<'_, S>]) -> u64 {
+    let mut sig = 0u64;
+    for lane in lanes.iter() {
+        for core in lane.cores.iter() {
+            sig = sig.wrapping_add(core.activity_signature());
+        }
+    }
+    sig
+}
+
+/// Applies a legal skip from `from` to `to`: cores jump via
+/// [`Core::skip_to`]; the uncore — which, unlike the cores, may have
+/// commands issuing inside the window — still sees every per-cycle
+/// `tick` boundary it would have seen naively, so its FR-FCFS decisions
+/// (and hence all completion times) are identical to the naive loop's.
+/// When no queued command can issue inside the window the replay is
+/// elided entirely: every skipped `tick` would be a no-op, and the resume
+/// tick's window covers them.
+fn skip<S: InstructionStream>(lanes: &mut [Lane<'_, S>], from: u64, to: u64, period_ps: u64) {
+    for lane in lanes.iter_mut() {
+        for core in lane.cores.iter_mut() {
+            core.skip_to(from, to);
+        }
+    }
+    let until = to * period_ps;
+    if lanes
+        .iter()
+        .any(|l| l.mem.next_issue_ps().is_some_and(|s| s < until))
+    {
+        for c in from..to {
+            let t = (c + 1) * period_ps;
+            for lane in lanes.iter_mut() {
+                lane.mem.tick(t);
+            }
+        }
+    }
+}
+
+/// One naive cycle for one lane: tick the cores, let the uncore catch up
+/// to the end of the cycle, then apply coherence invalidations to L1s
+/// (posting write-backs for dirty copies). `inv_buf` is reused across
+/// cycles so the drain never allocates in steady state.
+fn tick_lane<S: InstructionStream>(
+    lane: &mut Lane<'_, S>,
+    inv_buf: &mut Vec<Invalidation>,
+    cycle: u64,
+    now: u64,
+    period_ps: u64,
+) {
+    for (core, stream) in lane.cores.iter_mut().zip(lane.streams.iter_mut()) {
+        core.tick(stream, lane.mem, cycle, now, period_ps);
+    }
+    lane.mem.tick(now + period_ps);
+    lane.mem.drain_invalidations_into(inv_buf);
+    for inv in inv_buf.drain(..) {
+        for c in 0..lane.cores.len() {
+            if inv.cores & (1 << c as u32) != 0 && lane.cores[c].invalidate_l1d(inv.line_addr) {
+                lane.mem.writeback(c as u32, inv.line_addr, now + period_ps);
+            }
+        }
+    }
+}
+
+/// The earliest cycle at which *any* lane has work, or `None` if some
+/// lane is active right now (or nothing is scheduled at all — never skip
+/// blindly to the horizon).
+fn next_event_cycle<S: InstructionStream>(
+    lanes: &[Lane<'_, S>],
+    cycle: u64,
+    period_ps: u64,
+) -> Option<u64> {
+    let mut next = u64::MAX;
+    for lane in lanes.iter() {
+        // Queued invalidations are applied at the end of every naive tick.
+        if lane.mem.has_pending_invalidations() {
+            return None;
+        }
+        for core in lane.cores.iter() {
+            next = next.min(core.quiescent_until(lane.mem, cycle, period_ps)?);
+        }
+        // Queued DRAM commands may issue inside a skipped window (the
+        // skip replays the uncore's cycle boundaries), but no fill can be
+        // *polled* before the fill-wake bound; the first cycle whose poll
+        // could see it caps the skip.
+        if let Some(wake_ps) = lane.mem.next_fill_wake_ps() {
+            let c = wake_ps.div_ceil(period_ps);
+            if c <= cycle {
+                return None;
+            }
+            next = next.min(c);
+        }
+    }
+    if next == u64::MAX {
+        None
+    } else {
+        Some(next)
+    }
+}

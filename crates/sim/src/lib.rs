@@ -55,6 +55,7 @@ pub mod cluster;
 pub mod config;
 pub mod core;
 pub mod dram;
+mod engine;
 pub mod instr;
 pub mod llc;
 pub mod memsys;

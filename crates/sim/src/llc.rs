@@ -15,8 +15,13 @@ use crate::cache::{AccessOutcome, EvictedLine, SetAssocArray};
 use crate::config::LlcConfig;
 use serde::{Deserialize, Serialize};
 
-/// Bitmask of cores sharing a line (bit per core, up to 8 cores/cluster).
-pub type SharerMask = u8;
+/// Bitmask of cores sharing a line (bit per core, up to
+/// [`crate::config::SimConfig::MAX_CORES`] cores per cluster).
+///
+/// Widened from `u8`: `SimConfig.cores` is a `u32`, and `1 << core` on a
+/// `u8` mask silently wrapped (release) or panicked (debug) for clusters
+/// of eight cores or more.
+pub type SharerMask = u32;
 
 /// Statistics of the shared LLC.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -210,6 +215,18 @@ impl SharedLlc {
     /// Drains invalidations the cluster must apply to L1s.
     pub fn drain_invalidations(&mut self) -> Vec<Invalidation> {
         std::mem::take(&mut self.pending_invalidations)
+    }
+
+    /// Drains invalidations into a caller-owned buffer, keeping both
+    /// allocations alive — the simulator hot loop calls this every cycle
+    /// and must not allocate when nothing is pending.
+    pub fn drain_invalidations_into(&mut self, buf: &mut Vec<Invalidation>) {
+        buf.append(&mut self.pending_invalidations);
+    }
+
+    /// Whether any coherence invalidations are queued for delivery.
+    pub fn has_pending_invalidations(&self) -> bool {
+        !self.pending_invalidations.is_empty()
     }
 
     /// Statistics so far.

@@ -10,7 +10,7 @@
 use crate::cache::SetAssocArray;
 use crate::config::SimConfig;
 use crate::dram::{DramStats, DramSystem, DramTicket};
-use crate::llc::{Invalidation, LlcStats, SharedLlc};
+use crate::llc::{Invalidation, LlcStats, SharedLlc, SharerMask};
 use crate::xbar::Crossbar;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -177,7 +177,7 @@ impl MemorySystem {
     }
 
     /// Installs a line in the LLC without timing (checkpoint warming).
-    pub fn install_llc(&mut self, line_addr: u64, sharers: u8) {
+    pub fn install_llc(&mut self, line_addr: u64, sharers: SharerMask) {
         self.llc
             .install(SetAssocArray::<()>::align(line_addr), sharers);
     }
@@ -221,9 +221,58 @@ impl MemorySystem {
         }
     }
 
+    /// Peeks a ticket's completion time without retiring it: `Some(done_ps)`
+    /// once the fill's arrival time is known (the time may still be in the
+    /// future), `None` while the request waits on DRAM scheduling.
+    ///
+    /// This is the cycle-skip probe's view of a ticket; unlike
+    /// [`MemorySystem::poll`] it never mutates state.
+    pub fn ticket_done_ps(&self, ticket: MemTicket) -> Option<u64> {
+        match self.requests.get(&ticket) {
+            Some(Request {
+                state: ReqState::Done(d),
+            }) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Earliest time DRAM could issue any queued command, or `None` when
+    /// the queues are empty (see [`DramSystem::next_issue_ps`]).
+    pub fn next_issue_ps(&self) -> Option<u64> {
+        self.dram.borrow().next_issue_ps()
+    }
+
+    /// Earliest time any *currently queued* DRAM read's fill could be
+    /// back at a core: the DRAM completion bound
+    /// ([`DramSystem::next_read_completion_ps`]) plus the crossbar return
+    /// hop. `None` when no reads are queued — pending writes alone never
+    /// wake a core.
+    ///
+    /// No fill can be polled before this time, so the cycle-skip fast
+    /// path may jump up to this bound even across DRAM command issues,
+    /// provided the skip replays the uncore's per-cycle
+    /// [`MemorySystem::tick`] boundaries.
+    pub fn next_fill_wake_ps(&self) -> Option<u64> {
+        self.dram
+            .borrow()
+            .next_read_completion_ps()
+            .map(|d| d + self.xbar_return_ps)
+    }
+
+    /// Whether coherence invalidations are queued for the cluster to apply.
+    pub fn has_pending_invalidations(&self) -> bool {
+        self.llc.has_pending_invalidations()
+    }
+
     /// Invalidations the cluster must apply to core L1s.
     pub fn drain_invalidations(&mut self) -> Vec<Invalidation> {
         self.llc.drain_invalidations()
+    }
+
+    /// Drains invalidations into a caller-owned buffer — the hot loop's
+    /// allocation-free variant of [`MemorySystem::drain_invalidations`].
+    pub fn drain_invalidations_into(&mut self, buf: &mut Vec<Invalidation>) {
+        self.llc.drain_invalidations_into(buf);
     }
 
     /// LLC statistics.

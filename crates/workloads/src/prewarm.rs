@@ -12,6 +12,7 @@ use crate::stream::{
     ProfileStream, COLD_CODE_BASE, HOT_BYTES, HOT_CODE_BASE, HOT_CODE_LINES, WARM_BASE,
 };
 use ntc_sim::cluster::ClusterSim;
+use ntc_sim::llc::SharerMask;
 use ntc_sim::InstructionStream;
 
 /// Installs a profile's cache-resident state into a cluster:
@@ -24,7 +25,11 @@ use ntc_sim::InstructionStream;
 /// Cold data stays cold — that is the traffic under study.
 pub fn prewarm_cluster<S: InstructionStream>(sim: &mut ClusterSim<S>, profile: &WorkloadProfile) {
     let cores = sim.config().cores;
-    let all_cores: u8 = ((1u16 << cores) - 1) as u8;
+    let all_cores: SharerMask = if cores >= SharerMask::BITS {
+        SharerMask::MAX
+    } else {
+        (1 << cores) - 1
+    };
 
     for core in 0..cores {
         let hot_base = ProfileStream::hot_base_for(u64::from(core));
