@@ -1,0 +1,93 @@
+//! Quick wall-clock probe of the simulator's uncore-heavy kernels —
+//! the same workloads as the `simulator_kernels` Criterion bench, timed
+//! with one `Instant` per kernel so a change's effect is visible in
+//! seconds rather than a full Criterion run. Not a benchmark of record;
+//! `BENCH_sim.json` numbers come from Criterion.
+
+use ntc_sim::config::DramTimingConfig;
+use ntc_sim::dram::DramSystem;
+use ntc_sim::{ChipSim, ClusterSim, SimConfig};
+use ntc_workloads::{prewarm_cluster, CloudSuiteApp, ProfileStream, WorkloadProfile};
+use std::time::Instant;
+
+fn main() {
+    // FR-FCFS scheduler under a deep random read queue.
+    let t = Instant::now();
+    let mut sys = DramSystem::new(DramTimingConfig::ddr4_1600_paper());
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for i in 0..10_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        sys.read((x % (1 << 30)) & !63, i * 500);
+        if i % 64 == 63 {
+            sys.tick(i * 500);
+        }
+    }
+    sys.tick(u64::MAX / 2);
+    println!(
+        "fr_fcfs_random_10k_reads: {:>8.2} ms  (reads={})",
+        t.elapsed().as_secs_f64() * 1e3,
+        sys.stats().reads
+    );
+
+    // Mixed read/write at ChipSim-like queue depth.
+    let t = Instant::now();
+    let mut sys = DramSystem::new(DramTimingConfig::ddr4_1600_paper());
+    let mut x = 0xD1B54A32D192ED03u64;
+    for i in 0..10_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let addr = (x % (1 << 30)) & !63;
+        if x.is_multiple_of(4) {
+            sys.write(addr, i * 500);
+        } else {
+            sys.read(addr, i * 500);
+        }
+        if i % 64 == 63 {
+            sys.tick(i * 500);
+        }
+    }
+    sys.tick(u64::MAX / 2);
+    println!(
+        "deep_queue_mixed_10k:     {:>8.2} ms  (reads={} writes={})",
+        t.elapsed().as_secs_f64() * 1e3,
+        sys.stats().reads,
+        sys.stats().writes
+    );
+
+    // CloudSuite cluster kernels (the `cluster_sim` bench group).
+    for app in [CloudSuiteApp::WebSearch, CloudSuiteApp::DataServing] {
+        let profile = WorkloadProfile::cloudsuite(app);
+        let t = Instant::now();
+        let p = profile.clone();
+        let mut sim = ClusterSim::new(SimConfig::paper_cluster(1000.0), |core| {
+            ProfileStream::new(p.clone(), u64::from(core))
+        });
+        prewarm_cluster(&mut sim, &profile);
+        let s = sim.run(20_000);
+        println!(
+            "cluster_sim {app:>12}:  {:>8.2} ms  (uipc={:.3})",
+            t.elapsed().as_secs_f64() * 1e3,
+            s.uipc()
+        );
+    }
+
+    // 9-cluster chip, mixed traffic: the deep-queue engine-side regime.
+    let t = Instant::now();
+    let mut chip = ChipSim::new(SimConfig::paper_cluster(1000.0), 9, |cl, c| {
+        ntc_sim::streams::RandomAccessStream::new(
+            256 << 20,
+            0.30,
+            6,
+            u64::from(cl) * 4 + u64::from(c),
+        )
+    });
+    let s = chip.run(4_000);
+    println!(
+        "chip_sim 9cl random:      {:>8.2} ms  (uipc={:.3})",
+        t.elapsed().as_secs_f64() * 1e3,
+        s.uipc()
+    );
+}

@@ -128,9 +128,21 @@ impl<S: InstructionStream> ChipSim<S> {
         }
     }
 
-    /// Runs `cycles` core cycles on every cluster and returns cumulative
-    /// chip statistics.
-    pub fn run(&mut self, cycles: u64) -> SimStats {
+    /// Routes the shared DRAM system's scheduling through the
+    /// scan-everything reference FR-FCFS oracle instead of the indexed
+    /// scheduler. Statistics are bit-identical either way; the
+    /// differential tests rely on that.
+    pub fn set_reference_dram_scheduler(&mut self, reference: bool) {
+        self.dram.borrow_mut().set_reference_scheduler(reference);
+    }
+
+    /// Deepest any shared-DRAM channel queue has been since construction.
+    pub fn dram_queue_high_water(&self) -> usize {
+        self.dram.borrow().queue_depth_high_water()
+    }
+
+    /// Advances every cluster by `cycles` core cycles.
+    fn advance(&mut self, cycles: u64) {
         let period = self.config.core_period_ps();
         let end = self.cycle + cycles;
         let mut lanes: Vec<Lane<'_, S>> = self
@@ -150,14 +162,54 @@ impl<S: InstructionStream> ChipSim<S> {
             period,
             self.cycle_skip,
         );
+    }
+
+    /// Runs `cycles` core cycles on every cluster and returns cumulative
+    /// chip statistics.
+    pub fn run(&mut self, cycles: u64) -> SimStats {
+        self.advance(cycles);
         self.stats()
     }
 
-    /// Runs a measurement window, returning that window's deltas.
+    /// Runs a measurement window, returning that window's deltas. As in
+    /// [`crate::ClusterSim::run_measured`], one snapshot is taken before
+    /// the window and the deltas come straight off the live counters.
     pub fn run_measured(&mut self, cycles: u64) -> SimStats {
         let before = self.stats();
-        let after = self.run(cycles);
-        crate::cluster::diff_stats(&before, &after)
+        self.advance(cycles);
+        SimStats {
+            cores: self
+                .clusters
+                .iter()
+                .flat_map(|cl| cl.cores.iter())
+                .zip(before.cores.iter())
+                .map(|(c, b)| c.stats().delta_since(b))
+                .collect(),
+            llc: self.llc_stats().delta_since(&before.llc),
+            dram: self.dram.borrow().stats().delta_since(&before.dram),
+            xbar_transfers: self.xbar_transfers() - before.xbar_transfers,
+            core_mhz: self.config.core_mhz,
+            cycles: self.cycle - before.cycles,
+            wall_ps: (self.cycle - before.cycles) * self.config.core_period_ps(),
+        }
+    }
+
+    /// Chip-wide LLC counters summed across the clusters' private LLCs.
+    fn llc_stats(&self) -> crate::llc::LlcStats {
+        let mut llc = crate::llc::LlcStats::default();
+        for cl in &self.clusters {
+            let s = cl.mem.llc_stats();
+            llc.hits += s.hits;
+            llc.misses += s.misses;
+            llc.writebacks += s.writebacks;
+            llc.invalidations += s.invalidations;
+        }
+        llc
+    }
+
+    /// Crossbar transfers summed across clusters.
+    fn xbar_transfers(&self) -> u64 {
+        self.clusters.iter().map(|cl| cl.mem.xbar_transfers()).sum()
     }
 
     /// Cumulative chip statistics: all cores across all clusters, with the
@@ -168,21 +220,11 @@ impl<S: InstructionStream> ChipSim<S> {
             .iter()
             .flat_map(|cl| cl.cores.iter().map(|c| c.stats().clone()))
             .collect();
-        let mut llc = crate::llc::LlcStats::default();
-        let mut xbar = 0;
-        for cl in &self.clusters {
-            let s = cl.mem.llc_stats();
-            llc.hits += s.hits;
-            llc.misses += s.misses;
-            llc.writebacks += s.writebacks;
-            llc.invalidations += s.invalidations;
-            xbar += cl.mem.xbar_transfers();
-        }
         SimStats {
             cores,
-            llc,
+            llc: self.llc_stats(),
             dram: self.dram.borrow().stats(),
-            xbar_transfers: xbar,
+            xbar_transfers: self.xbar_transfers(),
             core_mhz: self.config.core_mhz,
             cycles: self.cycle,
             wall_ps: self.cycle * self.config.core_period_ps(),

@@ -101,8 +101,21 @@ impl<S: InstructionStream> ClusterSim<S> {
         }
     }
 
-    /// Runs `cycles` core cycles and returns cumulative statistics.
-    pub fn run(&mut self, cycles: u64) -> SimStats {
+    /// Routes DRAM scheduling through the scan-everything reference
+    /// FR-FCFS oracle instead of the indexed scheduler. Statistics are
+    /// bit-identical either way; the differential tests rely on that.
+    pub fn set_reference_dram_scheduler(&mut self, reference: bool) {
+        self.mem.set_reference_dram_scheduler(reference);
+    }
+
+    /// Deepest any DRAM channel queue has been since construction — a
+    /// diagnostic for sizing the scheduler's index structures.
+    pub fn dram_queue_high_water(&self) -> usize {
+        self.mem.dram_queue_high_water()
+    }
+
+    /// Advances the simulation by `cycles` core cycles.
+    fn advance(&mut self, cycles: u64) {
         let period = self.config.core_period_ps();
         let end = self.cycle + cycles;
         let mut lane = Lane {
@@ -118,22 +131,44 @@ impl<S: InstructionStream> ClusterSim<S> {
             period,
             self.cycle_skip,
         );
+    }
+
+    /// Runs `cycles` core cycles and returns cumulative statistics.
+    pub fn run(&mut self, cycles: u64) -> SimStats {
+        self.advance(cycles);
         self.stats()
     }
 
     /// Runs a warm-up window (caches and predictors fill; counters keep
     /// accumulating — callers measure via [`ClusterSim::run_measured`]).
     pub fn warm_up(&mut self, cycles: u64) {
-        let _ = self.run(cycles);
+        self.advance(cycles);
     }
 
     /// Runs a measurement window and returns statistics for *that window
     /// only* (deltas against the pre-window counters) — the
     /// warm-then-measure discipline of the SMARTS methodology.
+    ///
+    /// One snapshot is taken before the window; the deltas are computed
+    /// straight off the live counters afterwards, rather than cloning the
+    /// full cumulative statistics a second time and subtracting.
     pub fn run_measured(&mut self, cycles: u64) -> SimStats {
         let before = self.stats();
-        let after = self.run(cycles);
-        diff_stats(&before, &after)
+        self.advance(cycles);
+        SimStats {
+            cores: self
+                .cores
+                .iter()
+                .zip(before.cores.iter())
+                .map(|(c, b)| c.stats().delta_since(b))
+                .collect(),
+            llc: self.mem.llc_stats().delta_since(&before.llc),
+            dram: self.mem.dram_stats().delta_since(&before.dram),
+            xbar_transfers: self.mem.xbar_transfers() - before.xbar_transfers,
+            core_mhz: self.config.core_mhz,
+            cycles: self.cycle - before.cycles,
+            wall_ps: (self.cycle - before.cycles) * self.config.core_period_ps(),
+        }
     }
 
     /// Cumulative statistics since construction.
@@ -147,49 +182,6 @@ impl<S: InstructionStream> ClusterSim<S> {
             cycles: self.cycle,
             wall_ps: self.cycle * self.config.core_period_ps(),
         }
-    }
-}
-
-pub(crate) fn diff_stats(before: &SimStats, after: &SimStats) -> SimStats {
-    use crate::dram::DramStats;
-    use crate::llc::LlcStats;
-    use crate::stats::CoreStats;
-
-    let cores = after
-        .cores
-        .iter()
-        .zip(before.cores.iter())
-        .map(|(a, b)| CoreStats {
-            user_instrs: a.user_instrs - b.user_instrs,
-            os_instrs: a.os_instrs - b.os_instrs,
-            cycles: a.cycles - b.cycles,
-            dispatched: a.dispatched - b.dispatched,
-            l1d_accesses: a.l1d_accesses - b.l1d_accesses,
-            l1d_misses: a.l1d_misses - b.l1d_misses,
-            l1d_writebacks: a.l1d_writebacks - b.l1d_writebacks,
-            l1i_misses: a.l1i_misses - b.l1i_misses,
-            branch_redirects: a.branch_redirects - b.branch_redirects,
-            rob_full_cycles: a.rob_full_cycles - b.rob_full_cycles,
-        })
-        .collect();
-    SimStats {
-        cores,
-        llc: LlcStats {
-            hits: after.llc.hits - before.llc.hits,
-            misses: after.llc.misses - before.llc.misses,
-            writebacks: after.llc.writebacks - before.llc.writebacks,
-            invalidations: after.llc.invalidations - before.llc.invalidations,
-        },
-        dram: DramStats {
-            reads: after.dram.reads - before.dram.reads,
-            writes: after.dram.writes - before.dram.writes,
-            row_hits: after.dram.row_hits - before.dram.row_hits,
-            row_misses: after.dram.row_misses - before.dram.row_misses,
-        },
-        xbar_transfers: after.xbar_transfers - before.xbar_transfers,
-        core_mhz: after.core_mhz,
-        cycles: after.cycles - before.cycles,
-        wall_ps: after.wall_ps - before.wall_ps,
     }
 }
 

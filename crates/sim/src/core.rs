@@ -20,15 +20,26 @@
 use crate::bpred::{BranchPredictor, SyntheticBranchBehaviour};
 use crate::cache::{AccessOutcome, SetAssocArray};
 use crate::config::CoreConfig;
+use crate::fxhash::FxHashMap;
 use crate::instr::{InstructionStream, OpClass};
 use crate::memsys::{MemRequestKind, MemTicket, MemorySystem};
 use crate::stats::CoreStats;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Stage {
     /// Waiting for operands (producer sequence number, if any).
     Waiting,
     /// Executing; completes at the given core cycle.
+    ///
+    /// The stage is **not** rewritten to [`Stage::Done`] when `done_cycle`
+    /// passes — that transition used to cost a full window scan per cycle.
+    /// Consumers treat `Executing { done_cycle }` with `done_cycle` in the
+    /// past exactly as the scan would have left it: ready as a producer
+    /// from `done_cycle`, committable from `done_cycle + 1` (the scan ran
+    /// one stage after commit, so the old explicit transition landed
+    /// between the two).
     Executing { done_cycle: u64 },
     /// Waiting for a memory fill.
     Memory { ticket: MemTicket },
@@ -64,6 +75,27 @@ pub struct Core {
     redirect_on: Option<u64>,
     /// Outstanding data misses (MSHR occupancy).
     outstanding_data: u32,
+    /// Sequence numbers of ROB entries in [`Stage::Memory`], so completion
+    /// polling touches only in-flight loads instead of scanning the window.
+    in_flight_loads: Vec<u64>,
+    /// Issue-eligible [`Stage::Waiting`] entries (producer ready or no
+    /// dependency), by sequence number. Popping this heap in order
+    /// reproduces the old full-window scan's seq-order walk over exactly
+    /// the entries whose operand check would pass.
+    ready: BinaryHeap<Reverse<u64>>,
+    /// Entries whose producer's completion cycle is known but still ahead:
+    /// `(producer done_cycle, seq)`, drained into `ready` as cycles pass.
+    future: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Dependents of producers whose completion cycle is not yet known
+    /// (producer still `Waiting` or in `Memory`): producer seq → waiting
+    /// consumer seqs. Moved to `future` when the producer's completion
+    /// cycle materialises.
+    wake: FxHashMap<u64, Vec<u64>>,
+    /// Recycled wake lists (allocation-free steady state).
+    wake_pool: Vec<Vec<u64>>,
+    /// Reused buffer for issue-eligible entries that must retry next cycle
+    /// (MSHR-full loads).
+    retry_buf: Vec<u64>,
     /// Background store (read-for-ownership) fills in flight.
     pending_stores: Vec<MemTicket>,
     /// Optional learning branch predictor (with its synthetic ground
@@ -86,6 +118,12 @@ impl Core {
             ifetch_miss: None,
             redirect_on: None,
             outstanding_data: 0,
+            in_flight_loads: Vec::new(),
+            ready: BinaryHeap::new(),
+            future: BinaryHeap::new(),
+            wake: FxHashMap::default(),
+            wake_pool: Vec::new(),
+            retry_buf: Vec::new(),
             pending_stores: Vec::new(),
             bpred: cfg
                 .branch_predictor
@@ -150,39 +188,58 @@ impl Core {
     fn commit(&mut self, cycle: u64) {
         for _ in 0..self.cfg.width {
             match self.rob.front() {
-                Some(e) => match e.stage {
-                    Stage::Done { done_cycle } if done_cycle <= cycle => {
-                        let e = self.rob.pop_front().expect("front exists");
-                        if e.is_user {
-                            self.stats.user_instrs += 1;
-                        } else {
-                            self.stats.os_instrs += 1;
-                        }
+                Some(e) => {
+                    // `Executing` commits one cycle after its `Done`
+                    // equivalent: the old per-cycle scan rewrote it to
+                    // `Done` *after* commit ran, so commit first saw the
+                    // result a cycle past `done_cycle`.
+                    let committable = match e.stage {
+                        Stage::Done { done_cycle } => done_cycle <= cycle,
+                        Stage::Executing { done_cycle } => done_cycle < cycle,
+                        _ => false,
+                    };
+                    if !committable {
+                        break;
                     }
-                    _ => break,
-                },
+                    let e = self.rob.pop_front().expect("front exists");
+                    if e.is_user {
+                        self.stats.user_instrs += 1;
+                    } else {
+                        self.stats.os_instrs += 1;
+                    }
+                }
                 None => break,
             }
         }
     }
 
     fn complete_memory(&mut self, mem: &mut MemorySystem, cycle: u64, now_ps: u64, period_ps: u64) {
-        for e in self.rob.iter_mut() {
-            if let Stage::Memory { ticket } = e.stage {
-                if let Some(done_ps) = mem.poll(ticket, now_ps) {
-                    // Convert to core cycles (round up to the next edge).
-                    let extra = done_ps.saturating_sub(now_ps);
-                    let done_cycle = cycle + extra.div_ceil(period_ps) + 1;
-                    e.stage = Stage::Done {
-                        done_cycle: done_cycle.max(cycle),
-                    };
-                    self.outstanding_data = self.outstanding_data.saturating_sub(1);
+        // Poll only the loads actually in flight (no window scan; stale
+        // `Executing` stages are interpreted lazily — see [`Stage`]).
+        if !self.in_flight_loads.is_empty() {
+            let mut loads = std::mem::take(&mut self.in_flight_loads);
+            loads.retain(|&seq| {
+                let Some(idx) = self.rob_index(seq) else {
+                    return false;
+                };
+                let e = &mut self.rob[idx];
+                let Stage::Memory { ticket } = e.stage else {
+                    return false;
+                };
+                match mem.poll(ticket, now_ps) {
+                    Some(done_ps) => {
+                        // Convert to core cycles (round up to the next edge).
+                        let extra = done_ps.saturating_sub(now_ps);
+                        let done_cycle = (cycle + extra.div_ceil(period_ps) + 1).max(cycle);
+                        e.stage = Stage::Done { done_cycle };
+                        self.outstanding_data = self.outstanding_data.saturating_sub(1);
+                        self.wake_dependents(seq, done_cycle);
+                        false
+                    }
+                    None => true,
                 }
-            } else if let Stage::Executing { done_cycle } = e.stage {
-                if done_cycle <= cycle {
-                    e.stage = Stage::Done { done_cycle };
-                }
-            }
+            });
+            self.in_flight_loads = loads;
         }
         // Restart fetch after an I-miss fill.
         if let Some(t) = self.ifetch_miss {
@@ -278,11 +335,15 @@ impl Core {
                     }
                 }
                 Stage::Executing { done_cycle } => {
-                    // Completes (and wakes dependents) at `done_cycle`.
-                    if done_cycle <= cycle {
+                    // Completes (and wakes dependents) at `done_cycle`; a
+                    // lazily un-rewritten stage past its completion is
+                    // inert unless it sits at the head (where commit pops
+                    // it one cycle after `done_cycle` — see `commit`).
+                    if done_cycle > cycle {
+                        next = next.min(done_cycle);
+                    } else if idx == 0 || done_cycle == cycle {
                         return None;
                     }
-                    next = next.min(done_cycle);
                 }
                 Stage::Memory { ticket } => match poll_cycle(ticket) {
                     Some(c) if c <= cycle => return None,
@@ -296,9 +357,9 @@ impl Core {
                     let d = e.dep_seq?;
                     // Not in the window means committed, hence ready.
                     let p = self.rob_entry(d)?;
-                    // Producer still in flight schedules the wake-up via
-                    // its own arm above (or the uncore bound).
-                    if let Stage::Done { done_cycle } = p.stage {
+                    // A producer still waiting on memory schedules the
+                    // wake-up via its own arm above (or the uncore bound).
+                    if let Stage::Done { done_cycle } | Stage::Executing { done_cycle } = p.stage {
                         if done_cycle <= cycle {
                             return None;
                         }
@@ -350,18 +411,49 @@ impl Core {
         Some(e)
     }
 
-    fn producer_ready(&self, dep_seq: u64, cycle: u64) -> bool {
-        // A producer still in the window is ready once it is Done; one no
-        // longer in the window has committed (sequence numbers are
-        // contiguous and dependencies always point backwards), so it is
-        // ready by definition.
-        match self.rob_entry(dep_seq) {
-            Some(e) => matches!(e.stage, Stage::Done { done_cycle } if done_cycle <= cycle),
-            None => true,
+    /// Index of an in-window entry by sequence number (see
+    /// [`Core::rob_entry`]).
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        let idx = seq.checked_sub(front)? as usize;
+        if idx < self.rob.len() {
+            debug_assert_eq!(self.rob[idx].seq, seq, "ROB seqs must be contiguous");
+            Some(idx)
+        } else {
+            None
         }
     }
 
+    /// Moves a completed producer's waiting dependents into the future
+    /// queue, eligible from `done_cycle` (the cycle its result is ready).
+    fn wake_dependents(&mut self, producer_seq: u64, done_cycle: u64) {
+        if let Some(mut deps) = self.wake.remove(&producer_seq) {
+            for s in deps.drain(..) {
+                self.future.push(Reverse((done_cycle, s)));
+            }
+            self.wake_pool.push(deps);
+        }
+    }
+
+    /// Issues up to `width` eligible instructions in sequence order.
+    ///
+    /// The old implementation scanned the whole window every cycle and
+    /// re-checked each waiting entry's producer. Eligibility is now
+    /// event-driven — entries enter `ready` when dispatched with a
+    /// satisfied (or absent) dependency, or via `future`/`wake` when their
+    /// producer's completion cycle passes — and the heap yields the same
+    /// seq-order walk over exactly the entries the scan's operand check
+    /// would have passed, so issue decisions are identical.
     fn issue(&mut self, mem: &mut MemorySystem, cycle: u64, now_ps: u64) {
+        // Producers completing by this cycle unblock their dependents.
+        while let Some(&Reverse((c, seq))) = self.future.peek() {
+            if c > cycle {
+                break;
+            }
+            self.future.pop();
+            self.ready.push(Reverse(seq));
+        }
+
         let mut issued = 0;
         let width = self.cfg.width;
         let l1_latency = u64::from(self.cfg.l1_latency);
@@ -370,23 +462,18 @@ impl Core {
         let core_id = self.id;
 
         let mut resolved_redirect: Option<u64> = None;
-        for idx in 0..self.rob.len() {
-            if issued >= width {
+        let mut retry = std::mem::take(&mut self.retry_buf);
+        while issued < width {
+            let Some(&Reverse(seq)) = self.ready.peek() else {
                 break;
-            }
-            let (seq, op, addr, dep_seq, stage) = {
-                let e = &self.rob[idx];
-                (e.seq, e.op, e.addr, e.dep_seq, e.stage)
             };
-            if stage != Stage::Waiting {
-                continue;
-            }
-            // Operand check.
-            if let Some(d) = dep_seq {
-                if !self.producer_ready(d, cycle) {
-                    continue;
-                }
-            }
+            self.ready.pop();
+            let idx = self.rob_index(seq).expect("ready entry is in the window");
+            let (op, addr) = {
+                let e = &self.rob[idx];
+                debug_assert_eq!(e.stage, Stage::Waiting, "ready entries are waiting");
+                (e.op, e.addr)
+            };
             let new_stage = match op {
                 OpClass::IntAlu => Stage::Executing {
                     done_cycle: cycle + 1,
@@ -413,7 +500,9 @@ impl Core {
                                 // No MSHR: un-allocate pressure by retrying.
                                 // (The line was allocated; treat as a hit
                                 // next time — minor inaccuracy, bounded by
-                                // MSHR stalls being rare.)
+                                // MSHR stalls being rare.) Stays eligible:
+                                // back into `ready` for the next cycle.
+                                retry.push(seq);
                                 continue;
                             }
                             if let Some(v) = victim {
@@ -424,6 +513,7 @@ impl Core {
                             }
                             self.stats.l1d_misses += 1;
                             self.outstanding_data += 1;
+                            self.in_flight_loads.push(seq);
                             let t = mem.submit(core_id, line, MemRequestKind::Load, now_ps);
                             for d in 1..=self.cfg.prefetch_degree {
                                 mem.submit_prefetch(
@@ -467,11 +557,20 @@ impl Core {
                 }
             };
             self.rob[idx].stage = new_stage;
+            // The entry's completion cycle is now known (unless it went to
+            // memory, where the fill completion wakes dependents instead).
+            if let Stage::Executing { done_cycle } = new_stage {
+                self.wake_dependents(seq, done_cycle);
+            }
             if op.is_memory() {
                 self.stats.l1d_accesses += 1;
             }
             issued += 1;
         }
+        for seq in retry.drain(..) {
+            self.ready.push(Reverse(seq));
+        }
+        self.retry_buf = retry;
         // Retire background store fills.
         let mut freed = 0u32;
         self.pending_stores.retain(|&t| {
@@ -548,6 +647,25 @@ impl Core {
                 is_user: instr.is_user,
                 stage: Stage::Waiting,
             });
+            // Register for issue scheduling: eligible immediately when the
+            // producer is absent or already committed, at the producer's
+            // completion cycle when it is known, and via the producer's
+            // wake list otherwise.
+            match dep_seq {
+                None => self.ready.push(Reverse(seq)),
+                Some(d) => match self.rob_entry(d).map(|p| p.stage) {
+                    None => self.ready.push(Reverse(seq)),
+                    Some(Stage::Done { done_cycle }) | Some(Stage::Executing { done_cycle }) => {
+                        self.future.push(Reverse((done_cycle, seq)));
+                    }
+                    Some(Stage::Waiting) | Some(Stage::Memory { .. }) => {
+                        self.wake
+                            .entry(d)
+                            .or_insert_with(|| self.wake_pool.pop().unwrap_or_default())
+                            .push(seq);
+                    }
+                },
+            }
             self.stats.dispatched += 1;
             if mispredicted {
                 // Fetch goes down the wrong path: stall until this branch

@@ -1,0 +1,116 @@
+//! A fast, non-cryptographic hasher for the simulator's hot-path maps.
+//!
+//! The per-cycle bookkeeping — outstanding-request tables in the memory
+//! system, per-row queues in the DRAM scheduler — keys its maps by small
+//! integers (tickets, line addresses, row numbers). `std`'s default
+//! SipHash is DoS-resistant but costs tens of cycles per lookup, which the
+//! simulator pays millions of times per run on keys an adversary never
+//! controls. This is the multiply-rotate scheme used by rustc's `FxHasher`:
+//! one rotate, one xor and one multiply per word.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from Fx/Firefox hashing (a truncation of the
+/// golden ratio), chosen to spread consecutive integers across the table.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiplicative hasher (not DoS-resistant; internal keys
+/// only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguishes_consecutive_keys() {
+        let h = |n: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(n);
+            hasher.finish()
+        };
+        let hashes: Vec<u64> = (0..1000).map(h).collect();
+        let mut unique = hashes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), hashes.len(), "no collisions on 0..1000");
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i * 64, i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(42 * 64)), Some(&42));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let h = |b: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(b);
+            hasher.finish()
+        };
+        assert_eq!(h(b"hello world"), h(b"hello world"));
+        assert_ne!(h(b"hello world"), h(b"hello worle"));
+    }
+}

@@ -56,6 +56,7 @@ pub mod config;
 pub mod core;
 pub mod dram;
 mod engine;
+pub mod fxhash;
 pub mod instr;
 pub mod llc;
 pub mod memsys;

@@ -50,6 +50,16 @@ impl LlcStats {
             self.misses as f64 / self.accesses() as f64
         }
     }
+
+    /// Counter deltas accumulated since `before` was snapshotted.
+    pub fn delta_since(&self, before: &LlcStats) -> LlcStats {
+        LlcStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            writebacks: self.writebacks - before.writebacks,
+            invalidations: self.invalidations - before.invalidations,
+        }
+    }
 }
 
 /// An L1 invalidation the cluster must apply (inclusive-victim recall or

@@ -10,11 +10,11 @@
 use crate::cache::SetAssocArray;
 use crate::config::SimConfig;
 use crate::dram::{DramStats, DramSystem, DramTicket};
+use crate::fxhash::FxHashMap;
 use crate::llc::{Invalidation, LlcStats, SharedLlc, SharerMask};
 use crate::xbar::Crossbar;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A DRAM system shared by several memory controllers (clusters on one
@@ -60,12 +60,17 @@ pub struct MemorySystem {
     /// This cluster's owner id on the shared DRAM.
     dram_owner: u32,
     xbar_return_ps: u64,
-    requests: HashMap<MemTicket, Request>,
+    requests: FxHashMap<MemTicket, Request>,
     /// Outstanding line fills: later requests to the same line merge.
-    by_line: HashMap<u64, Vec<MemTicket>>,
-    dram_to_line: HashMap<DramTicket, u64>,
+    by_line: FxHashMap<u64, Vec<MemTicket>>,
+    dram_to_line: FxHashMap<DramTicket, u64>,
     next_ticket: MemTicket,
     prefetches: u64,
+    /// Reused per-tick DRAM completion buffer (allocation-free drain).
+    completion_buf: Vec<(DramTicket, u64)>,
+    /// Recycled waiter lists for `by_line` (a fill completes → its list
+    /// returns here → the next miss reuses it).
+    waiter_pool: Vec<Vec<MemTicket>>,
 }
 
 impl MemorySystem {
@@ -84,12 +89,19 @@ impl MemorySystem {
             dram,
             dram_owner,
             xbar_return_ps: cfg.xbar.traversal_ps,
-            requests: HashMap::new(),
-            by_line: HashMap::new(),
-            dram_to_line: HashMap::new(),
+            requests: FxHashMap::default(),
+            by_line: FxHashMap::default(),
+            dram_to_line: FxHashMap::default(),
             next_ticket: 1,
             prefetches: 0,
+            completion_buf: Vec::new(),
+            waiter_pool: Vec::new(),
         }
+    }
+
+    /// A waiter list for a new outstanding fill, recycled when possible.
+    fn new_waiters(&mut self) -> Vec<MemTicket> {
+        self.waiter_pool.pop().unwrap_or_default()
     }
 
     /// Submits an L1 miss for `core` at absolute time `now_ps`.
@@ -133,7 +145,9 @@ impl MemorySystem {
                     .borrow_mut()
                     .read_for(self.dram_owner, line_addr, access.ready_ps);
             self.dram_to_line.insert(dram_ticket, line_addr);
-            self.by_line.insert(line_addr, vec![ticket]);
+            let mut waiters = self.new_waiters();
+            waiters.push(ticket);
+            self.by_line.insert(line_addr, waiters);
             ReqState::InDram
         };
         self.requests.insert(ticket, Request { state });
@@ -163,7 +177,8 @@ impl MemorySystem {
                 .read_for(self.dram_owner, line_addr, access.ready_ps);
         self.dram_to_line.insert(dram_ticket, line_addr);
         // Open a merge point with no waiters of its own.
-        self.by_line.insert(line_addr, Vec::new());
+        let waiters = self.new_waiters();
+        self.by_line.insert(line_addr, waiters);
         self.prefetches += 1;
     }
 
@@ -185,25 +200,30 @@ impl MemorySystem {
     /// Advances DRAM scheduling up to `until_ps` and resolves completed
     /// fills.
     pub fn tick(&mut self, until_ps: u64) {
-        let completed = {
+        let mut completed = std::mem::take(&mut self.completion_buf);
+        completed.clear();
+        {
             let mut dram = self.dram.borrow_mut();
             dram.tick(until_ps);
-            dram.drain_completed_for(self.dram_owner)
-        };
-        for (dram_ticket, done_ps) in completed {
+            dram.drain_completed_for_into(self.dram_owner, &mut completed);
+        }
+        for &(dram_ticket, done_ps) in &completed {
             let line = match self.dram_to_line.remove(&dram_ticket) {
                 Some(l) => l,
                 None => continue,
             };
             let done = done_ps + self.xbar_return_ps;
-            if let Some(waiters) = self.by_line.remove(&line) {
-                for t in waiters {
+            if let Some(mut waiters) = self.by_line.remove(&line) {
+                for &t in &waiters {
                     if let Some(r) = self.requests.get_mut(&t) {
                         r.state = ReqState::Done(done);
                     }
                 }
+                waiters.clear();
+                self.waiter_pool.push(waiters);
             }
         }
+        self.completion_buf = completed;
     }
 
     /// Polls a ticket: `Some(done_ps)` once the data is back at the core
@@ -239,7 +259,7 @@ impl MemorySystem {
     /// Earliest time DRAM could issue any queued command, or `None` when
     /// the queues are empty (see [`DramSystem::next_issue_ps`]).
     pub fn next_issue_ps(&self) -> Option<u64> {
-        self.dram.borrow().next_issue_ps()
+        self.dram.borrow_mut().next_issue_ps()
     }
 
     /// Earliest time any *currently queued* DRAM read's fill could be
@@ -254,7 +274,7 @@ impl MemorySystem {
     /// [`MemorySystem::tick`] boundaries.
     pub fn next_fill_wake_ps(&self) -> Option<u64> {
         self.dram
-            .borrow()
+            .borrow_mut()
             .next_read_completion_ps()
             .map(|d| d + self.xbar_return_ps)
     }
@@ -283,6 +303,18 @@ impl MemorySystem {
     /// DRAM statistics (chip-wide when the DRAM is shared).
     pub fn dram_stats(&self) -> DramStats {
         self.dram.borrow().stats()
+    }
+
+    /// Switches the DRAM scheduler between the indexed implementation and
+    /// the scan-everything reference oracle (differential testing; see
+    /// [`DramSystem::set_reference_scheduler`]).
+    pub fn set_reference_dram_scheduler(&mut self, reference: bool) {
+        self.dram.borrow_mut().set_reference_scheduler(reference);
+    }
+
+    /// Deepest the DRAM request queue has been (scheduler diagnostic).
+    pub fn dram_queue_high_water(&self) -> usize {
+        self.dram.borrow().queue_depth_high_water()
     }
 
     /// Crossbar transfers so far.

@@ -77,6 +77,22 @@ impl CoreStats {
             1000.0 * self.l1i_misses as f64 / self.instrs() as f64
         }
     }
+
+    /// Counter deltas accumulated since `before` was snapshotted.
+    pub fn delta_since(&self, before: &CoreStats) -> CoreStats {
+        CoreStats {
+            user_instrs: self.user_instrs - before.user_instrs,
+            os_instrs: self.os_instrs - before.os_instrs,
+            cycles: self.cycles - before.cycles,
+            dispatched: self.dispatched - before.dispatched,
+            l1d_accesses: self.l1d_accesses - before.l1d_accesses,
+            l1d_misses: self.l1d_misses - before.l1d_misses,
+            l1d_writebacks: self.l1d_writebacks - before.l1d_writebacks,
+            l1i_misses: self.l1i_misses - before.l1i_misses,
+            branch_redirects: self.branch_redirects - before.branch_redirects,
+            rob_full_cycles: self.rob_full_cycles - before.rob_full_cycles,
+        }
+    }
 }
 
 /// Cluster-level results of one simulation window.
