@@ -3,11 +3,14 @@
 //! degradation floors (4× → ≈500 MHz, 2× → ≈1 GHz).
 //!
 //! Run with `cargo run --release -p ntc-bench --bin fig2`; set
-//! `NTC_FIDELITY=paper` for the paper's full SMARTS windows.
+//! `NTC_FIDELITY=paper` for the paper's full SMARTS windows. With the
+//! `telemetry` feature, `--trace` / `--metrics` export a Chrome trace
+//! and a metrics snapshot under `results/telemetry/`.
 
-use ntc_bench::Fidelity;
+use ntc_bench::{Fidelity, TelemetryRun};
 
 fn main() {
+    let telemetry = TelemetryRun::from_args("fig2");
     let fidelity = Fidelity::from_env();
     let (fig, floors) = ntc_bench::fig2_qos(fidelity);
     println!("{}", fig.to_table());
@@ -23,4 +26,5 @@ fn main() {
     println!("  4x bound: {f4:>6.0} MHz (paper: 500 MHz)");
     println!("  2x bound: {f2:>6.0} MHz (paper: 1000 MHz)");
     ntc_bench::save_shared_store();
+    telemetry.finish();
 }

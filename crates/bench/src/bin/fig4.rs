@@ -3,11 +3,14 @@
 //! and high-mem classes).
 //!
 //! Run with `cargo run --release -p ntc-bench --bin fig4`; set
-//! `NTC_FIDELITY=paper` for the paper's full SMARTS windows.
+//! `NTC_FIDELITY=paper` for the paper's full SMARTS windows. With the
+//! `telemetry` feature, `--trace` / `--metrics` export a Chrome trace
+//! and a metrics snapshot under `results/telemetry/`.
 
-use ntc_bench::Fidelity;
+use ntc_bench::{Fidelity, TelemetryRun};
 
 fn main() {
+    let telemetry = TelemetryRun::from_args("fig4");
     let panels = ntc_bench::fig4_efficiency(Fidelity::from_env());
     for (panel, name) in panels
         .iter()
@@ -19,4 +22,5 @@ fn main() {
     println!("paper shape: high-mem VMs deliver higher UIPS than low-mem;");
     println!("server-scope optimum ~1 GHz.");
     ntc_bench::save_shared_store();
+    telemetry.finish();
 }

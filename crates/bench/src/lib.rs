@@ -45,16 +45,13 @@ pub enum Fidelity {
 
 impl Fidelity {
     /// Reads `NTC_FIDELITY` from the environment: `paper` or `fast`
-    /// (the default when unset). An unrecognized value warns on stderr and
-    /// falls back to fast rather than silently running the wrong windows.
+    /// (the default when unset). An unrecognized value warns on stderr
+    /// (once per process, via [`ntc_telemetry::env`]) and falls back to
+    /// fast rather than silently running the wrong windows.
     pub fn from_env() -> Self {
-        match std::env::var("NTC_FIDELITY") {
-            Ok(value) => Self::parse(&value).unwrap_or_else(|err| {
-                eprintln!("warning: {err}; defaulting to fast fidelity");
-                Fidelity::Fast
-            }),
-            Err(_) => Fidelity::Fast,
-        }
+        ntc_telemetry::env::parse_or("NTC_FIDELITY", Fidelity::Fast, |value| {
+            Self::parse(value).map_err(|err| format!("{err}; defaulting to fast fidelity"))
+        })
     }
 
     /// Parses a fidelity name.
@@ -103,16 +100,17 @@ pub const CACHE_PATH: &str = "results/cache/measurements.json";
 /// the CloudSuite ladders Figure 2 already simulated instead of
 /// re-running the cluster simulator.
 ///
-/// In-memory by default; set `NTC_CACHE=1` to also load/save
-/// [`CACHE_PATH`] (see [`save_shared_store`]), which carries sweeps
-/// across process runs. The key fingerprints the measurement inputs
+/// In-memory by default; set `NTC_CACHE=1` (or any truthy spelling —
+/// see [`ntc_telemetry::env::flag`]) to also load/save [`CACHE_PATH`]
+/// (see [`save_shared_store`]), which carries sweeps across process
+/// runs. The key fingerprints the measurement inputs
 /// (profile, window, seed, prefetch degree, frequency) but not the
 /// simulator itself — delete the file after changing `ntc-sim`.
 pub fn shared_store() -> Arc<MeasurementStore> {
     static STORE: OnceLock<Arc<MeasurementStore>> = OnceLock::new();
     STORE
         .get_or_init(|| {
-            let persist = std::env::var("NTC_CACHE").is_ok_and(|v| v == "1");
+            let persist = ntc_telemetry::env::flag("NTC_CACHE");
             Arc::new(if persist {
                 MeasurementStore::with_persistence(CACHE_PATH)
             } else {
@@ -133,6 +131,85 @@ pub fn save_shared_store() {
     let (hits, misses) = (store.hits(), store.misses());
     if hits + misses > 0 {
         eprintln!("measurement cache: {hits} hits, {misses} misses");
+    }
+}
+
+// --------------------------------------------------------------- Telemetry
+
+/// Where the figure binaries write telemetry artifacts
+/// (`<name>.trace.json` Chrome traces, `<name>.metrics.jsonl` metric
+/// snapshots).
+pub const TELEMETRY_DIR: &str = "results/telemetry";
+
+/// Per-binary telemetry driver: parses `--trace` / `--metrics` from the
+/// command line, arms the runtime switches, and on [`TelemetryRun::finish`]
+/// exports whatever was collected.
+///
+/// The flags are sugar for `NTC_TRACE=1` / `NTC_METRICS=1` — either
+/// spelling works, and [`TelemetryRun::finish`] exports whenever the
+/// corresponding switch ended up on. Without the `telemetry` cargo
+/// feature both are compile-time no-ops; requesting them then earns a
+/// warning instead of silently dropping data.
+pub struct TelemetryRun {
+    name: &'static str,
+}
+
+impl TelemetryRun {
+    /// Parses the process arguments for `--trace` / `--metrics` and arms
+    /// telemetry accordingly; `name` stems the artifact file names.
+    /// Unknown arguments warn and are ignored (the figure binaries take
+    /// no other arguments).
+    pub fn from_args(name: &'static str) -> Self {
+        let mut requested = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--trace" => {
+                    requested = true;
+                    ntc_telemetry::set_tracing(true);
+                }
+                "--metrics" => {
+                    requested = true;
+                    ntc_telemetry::set_metrics(true);
+                }
+                other => {
+                    eprintln!("warning: unknown argument {other:?} (expected --trace or --metrics)")
+                }
+            }
+        }
+        if requested && !ntc_telemetry::compiled() {
+            eprintln!(
+                "warning: telemetry requested but compiled out; \
+                 rebuild with `--features ntc-bench/telemetry`"
+            );
+        }
+        TelemetryRun { name }
+    }
+
+    /// Exports collected telemetry under [`TELEMETRY_DIR`]: the Chrome
+    /// trace (open in Perfetto or about:tracing) if tracing is on, and
+    /// the metrics JSONL plus a stderr summary table if metrics are on.
+    pub fn finish(&self) {
+        if ntc_telemetry::tracing_enabled() {
+            let path = format!("{TELEMETRY_DIR}/{}.trace.json", self.name);
+            match ntc_telemetry::trace::write_chrome_trace(&path) {
+                Ok(n) => eprintln!(
+                    "telemetry: wrote {n} trace events to {path} \
+                     (load in Perfetto or chrome://tracing)"
+                ),
+                Err(err) => eprintln!("warning: could not write {path}: {err}"),
+            }
+        }
+        if ntc_telemetry::metrics_enabled() {
+            let snapshots = ntc_telemetry::Registry::global().snapshot();
+            let path = format!("{TELEMETRY_DIR}/{}.metrics.jsonl", self.name);
+            match ntc_telemetry::metrics::write_jsonl(&path) {
+                Ok(n) => eprintln!("telemetry: wrote {n} metric snapshots to {path}"),
+                Err(err) => eprintln!("warning: could not write {path}: {err}"),
+            }
+            if !snapshots.is_empty() {
+                eprint!("{}", ntc_telemetry::metrics::summary_table(&snapshots));
+            }
+        }
     }
 }
 

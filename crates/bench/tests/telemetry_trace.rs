@@ -1,0 +1,90 @@
+//! End-to-end acceptance for `--trace`-style tracing: a parallel
+//! frequency sweep over the simulator must emit a Chrome trace that
+//! round-trips through a JSON parser and contains the sweep, ladder and
+//! measurement spans — with the ladder work on threads other than the
+//! sweep driver's.
+//!
+//! This file is its own test process, so arming the global tracing
+//! switch cannot race other tests.
+
+#![cfg(feature = "telemetry")]
+
+use ntc_core::{FrequencySweep, ServerConfig, SimMeasurer};
+use ntc_telemetry::trace::{chrome_trace_json, take_events};
+use ntc_telemetry::ChromeTrace;
+use ntc_workloads::{CloudSuiteApp, WorkloadProfile};
+
+#[test]
+fn swept_trace_round_trips_with_spans_from_multiple_threads() {
+    let server = ServerConfig::paper().build().expect("paper config");
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let measurer = SimMeasurer::fast(profile);
+    let ladder = vec![400.0, 700.0, 1000.0, 1300.0, 1600.0, 2000.0];
+
+    ntc_telemetry::set_tracing(true);
+    drop(take_events()); // isolate: nothing before the sweep counts
+    let result = FrequencySweep::over(ladder.clone()).run(&server, &measurer);
+    ntc_telemetry::set_tracing(false);
+    result.expect("the ladder is reachable");
+
+    let events = take_events();
+    let json = chrome_trace_json(&events);
+
+    // Round-trip: the export must be valid JSON in the Chrome trace_event
+    // envelope, and parse back to the same number of events.
+    let value: serde_json::Value = serde_json::from_str(&json).expect("trace is valid JSON");
+    assert!(
+        value.get("traceEvents").is_some(),
+        "the envelope must carry a traceEvents array"
+    );
+    let parsed: ChromeTrace = serde_json::from_str(&json).expect("trace envelope parses");
+    assert_eq!(parsed.traceEvents.len(), events.len());
+
+    // The hierarchy: one sweep.run span, one ladder span and one measure
+    // span per ladder point, and the sim spans under the measurements.
+    let count = |pred: &dyn Fn(&ntc_telemetry::TraceEvent) -> bool| {
+        events.iter().filter(|e| pred(e)).count()
+    };
+    let sweep_spans: Vec<_> = events.iter().filter(|e| e.name == "sweep.run").collect();
+    assert_eq!(sweep_spans.len(), 1, "exactly one sweep.run span");
+    for &mhz in &ladder {
+        assert_eq!(
+            count(&|e| e.name == format!("ladder {mhz} MHz")),
+            1,
+            "one ladder span per point ({mhz} MHz)"
+        );
+        assert_eq!(
+            count(&|e| e.name == format!("measure {mhz} MHz")),
+            1,
+            "one measure span per point ({mhz} MHz)"
+        );
+    }
+    assert_eq!(
+        count(&|e| e.name == "sim.run_measured" && e.cat == "sim"),
+        ladder.len(),
+        "each measurement runs one measured window"
+    );
+    for e in &events {
+        assert_eq!(e.ph, "X", "spans export as complete events");
+        assert!(e.dur >= 0.0 && e.ts >= 0.0);
+    }
+
+    // The ladder points fan out over worker threads: their spans must not
+    // sit on the sweep driver's track, and the fan-out must actually have
+    // used more than one thread.
+    let driver_tid = sweep_spans[0].tid;
+    let worker_tids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.name.starts_with("ladder "))
+        .map(|e| e.tid)
+        .collect();
+    assert!(
+        !worker_tids.contains(&driver_tid),
+        "ladder spans run on spawned workers, not the driver thread"
+    );
+    let all_tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    assert!(
+        all_tids.len() >= 2,
+        "spans must come from at least two threads, got {all_tids:?}"
+    );
+}

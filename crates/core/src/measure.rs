@@ -19,6 +19,7 @@
 
 use ntc_sampling::SampleWindow;
 use ntc_sim::{ClusterSim, SimConfig, SimStats};
+use ntc_telemetry::LazyCounter;
 use ntc_workloads::{prewarm_cluster, ProfileStream, WorkloadProfile};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -191,6 +192,13 @@ pub fn profile_fingerprint(profile: &WorkloadProfile) -> u64 {
     hash
 }
 
+/// Process-wide cache counters, registered with the telemetry metrics
+/// registry on first use. They aggregate over every [`MeasurementStore`]
+/// in the process (per-store counts stay on the store itself); the sweep
+/// engine snapshots them around each sweep to log per-sweep cache use.
+pub(crate) static CACHE_HITS: LazyCounter = LazyCounter::new("measure.cache.hits");
+pub(crate) static CACHE_MISSES: LazyCounter = LazyCounter::new("measure.cache.misses");
+
 /// Shared, thread-safe memo of keyed measurements with hit/miss counters
 /// and optional JSON persistence. One store is typically shared by every
 /// figure in a process (wrapped in an [`Arc`]), so e.g. Figure 3 reuses
@@ -229,12 +237,21 @@ impl MeasurementStore {
         }
     }
 
-    /// Looks up a measurement, counting a hit or a miss.
+    /// Looks up a measurement, counting a hit or a miss (both on this
+    /// store's own counters and, when metrics are enabled, on the
+    /// process-wide registry counters the sweep engine logs at sweep
+    /// end).
     pub fn lookup(&self, key: &MeasurementKey) -> Option<ClusterMeasurement> {
         let found = self.map.read().get(key).copied();
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CACHE_HITS.inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CACHE_MISSES.inc();
+            }
         };
         found
     }
@@ -423,6 +440,7 @@ impl SimMeasurer {
 
 impl ClusterMeasurer for SimMeasurer {
     fn measure(&self, mhz: f64) -> Result<ClusterMeasurement, MeasureError> {
+        let _span = ntc_telemetry::trace::span_with("measure", || format!("measure {mhz} MHz"));
         check_frequency(mhz)?;
         let seed = self.seed;
         let profile = self.profile.clone();

@@ -156,10 +156,14 @@ impl FrequencySweep {
         server: &ServerModel,
         measurer: &M,
     ) -> Result<SweepResult, SweepError> {
+        let _span = ntc_telemetry::trace::span_cat("sweep", "sweep.run");
+        let cache_before = cache_counts();
         let ops = self.reachable_ops(server)?;
         let workers = worker_count(ops.len());
         if workers <= 1 {
-            return self.finish(server, measurer, ops);
+            let result = self.finish(server, measurer, ops);
+            log_cache_use(cache_before);
+            return result;
         }
 
         // Work-stealing fan-out: each worker pulls the next unclaimed
@@ -173,7 +177,12 @@ impl FrequencySweep {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(mhz, _)) = ops.get(i) else { break };
-                    let result = measurer.measure(mhz);
+                    let result = {
+                        let _span = ntc_telemetry::trace::span_with("sweep", || {
+                            format!("ladder {mhz} MHz")
+                        });
+                        measurer.measure(mhz)
+                    };
                     measured.lock().push((i, result));
                 });
             }
@@ -188,6 +197,7 @@ impl FrequencySweep {
             let cluster = result.map_err(|source| SweepError::Measure { mhz, source })?;
             points.push(self.evaluate(server, op, cluster));
         }
+        log_cache_use(cache_before);
         Ok(SweepResult::new(points))
     }
 
@@ -203,8 +213,12 @@ impl FrequencySweep {
         server: &ServerModel,
         measurer: &M,
     ) -> Result<SweepResult, SweepError> {
+        let _span = ntc_telemetry::trace::span_cat("sweep", "sweep.run");
+        let cache_before = cache_counts();
         let ops = self.reachable_ops(server)?;
-        self.finish(server, measurer, ops)
+        let result = self.finish(server, measurer, ops);
+        log_cache_use(cache_before);
+        result
     }
 
     /// Resolves the DVFS operating point for every reachable ladder
@@ -236,9 +250,12 @@ impl FrequencySweep {
     ) -> Result<SweepResult, SweepError> {
         let mut points = Vec::with_capacity(ops.len());
         for (mhz, op) in ops {
-            let cluster = measurer
-                .measure(mhz)
-                .map_err(|source| SweepError::Measure { mhz, source })?;
+            let cluster = {
+                let _span =
+                    ntc_telemetry::trace::span_with("sweep", || format!("ladder {mhz} MHz"));
+                measurer.measure(mhz)
+            }
+            .map_err(|source| SweepError::Measure { mhz, source })?;
             points.push(self.evaluate(server, op, cluster));
         }
         Ok(SweepResult::new(points))
@@ -299,6 +316,29 @@ impl FrequencySweep {
 fn worker_count(jobs: usize) -> usize {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     jobs.min(cores.max(2))
+}
+
+/// Snapshot of the process-wide measurement-cache counters
+/// `(hits, misses)`.
+fn cache_counts() -> (u64, u64) {
+    (
+        crate::measure::CACHE_HITS.get(),
+        crate::measure::CACHE_MISSES.get(),
+    )
+}
+
+/// Logs this sweep's measurement-cache use (the counter deltas since
+/// `before`) when metrics are enabled and the sweep actually consulted a
+/// cache. Sweeps over cacheless measurers stay silent.
+fn log_cache_use(before: (u64, u64)) {
+    if !ntc_telemetry::metrics_enabled() {
+        return;
+    }
+    let (hits, misses) = cache_counts();
+    let (hits, misses) = (hits - before.0, misses - before.1);
+    if hits + misses > 0 {
+        eprintln!("telemetry: sweep measurement cache: {hits} hits, {misses} misses");
+    }
 }
 
 #[cfg(test)]

@@ -7,11 +7,17 @@
 //! cores) from which the 95th/99th percentiles are *measured* rather than
 //! derived. Integration tests verify the two paths agree.
 
+use ntc_telemetry::LazyHistogram;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Measured sojourn times in microseconds, power-of-two bucketed. Fed by
+/// every [`simulate`] run while metrics are enabled — the registry's
+/// percentile summary then cross-checks the per-run exact percentiles.
+static SOJOURN_US: LazyHistogram = LazyHistogram::new("qos.sojourn_us");
 
 /// Service-time distribution of one request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,6 +126,7 @@ pub struct QueueSimResult {
 ///
 /// Panics on a degenerate configuration (see [`QueueSimConfig::validate`]).
 pub fn simulate(config: QueueSimConfig) -> QueueSimResult {
+    let _span = ntc_telemetry::trace::span_cat("qos", "qos.queue_sim");
     config.validate();
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x51E_E5E);
     let arrival_rate = config.utilization * f64::from(config.servers) / config.mean_service_ms;
@@ -143,6 +150,13 @@ pub fn simulate(config: QueueSimConfig) -> QueueSimResult {
         free.push(Reverse(to_bits(finish)));
         if i >= config.warmup {
             sojourns.push(finish - now);
+        }
+    }
+    if ntc_telemetry::metrics_enabled() {
+        for &s in &sojourns {
+            if s.is_finite() && s >= 0.0 {
+                SOJOURN_US.record((s * 1000.0) as u64);
+            }
         }
     }
     // total_cmp: a degenerate run (e.g. zero utilization → infinite

@@ -12,10 +12,11 @@
 use crate::config::SimConfig;
 use crate::core::Core;
 use crate::dram::DramSystem;
-use crate::engine::{self, Lane};
+use crate::engine::{self, Lane, RunCtl};
 use crate::instr::InstructionStream;
 use crate::llc::{Invalidation, SharerMask};
 use crate::memsys::{MemorySystem, SharedDram};
+use crate::probe::Probe;
 use crate::stats::SimStats;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -35,6 +36,7 @@ pub struct ChipSim<S> {
     cycle_skip: bool,
     skipped_cycles: u64,
     inv_buf: Vec<Invalidation>,
+    probe: Option<Box<dyn Probe>>,
 }
 
 impl<S: InstructionStream> ChipSim<S> {
@@ -70,7 +72,21 @@ impl<S: InstructionStream> ChipSim<S> {
             cycle_skip: true,
             skipped_cycles: 0,
             inv_buf: Vec::new(),
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe, sampled on engine epochs (cycle-skip
+    /// wakeups and every [`crate::probe::PROBE_EPOCH_CYCLES`] ticked
+    /// cycles). Probes observe only — statistics are bit-identical with
+    /// or without one attached. Replaces any previous probe.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detaches the probe (if any), returning it.
+    pub fn detach_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.take()
     }
 
     /// Enables or disables the stall-aware cycle-skip fast path (on by
@@ -160,13 +176,18 @@ impl<S: InstructionStream> ChipSim<S> {
             &mut self.cycle,
             end,
             period,
-            self.cycle_skip,
+            RunCtl {
+                cycle_skip: self.cycle_skip,
+                skipped_base: self.skipped_cycles,
+                hook: self.probe.as_mut(),
+            },
         );
     }
 
     /// Runs `cycles` core cycles on every cluster and returns cumulative
     /// chip statistics.
     pub fn run(&mut self, cycles: u64) -> SimStats {
+        let _span = ntc_telemetry::trace::span_cat("sim", "sim.run");
         self.advance(cycles);
         self.stats()
     }
@@ -175,6 +196,7 @@ impl<S: InstructionStream> ChipSim<S> {
     /// [`crate::ClusterSim::run_measured`], one snapshot is taken before
     /// the window and the deltas come straight off the live counters.
     pub fn run_measured(&mut self, cycles: u64) -> SimStats {
+        let _span = ntc_telemetry::trace::span_cat("sim", "sim.run_measured");
         let before = self.stats();
         self.advance(cycles);
         SimStats {
@@ -188,6 +210,7 @@ impl<S: InstructionStream> ChipSim<S> {
             llc: self.llc_stats().delta_since(&before.llc),
             dram: self.dram.borrow().stats().delta_since(&before.dram),
             xbar_transfers: self.xbar_transfers() - before.xbar_transfers,
+            dram_queue_high_water: self.dram.borrow().queue_depth_high_water() as u64,
             core_mhz: self.config.core_mhz,
             cycles: self.cycle - before.cycles,
             wall_ps: (self.cycle - before.cycles) * self.config.core_period_ps(),
@@ -225,6 +248,7 @@ impl<S: InstructionStream> ChipSim<S> {
             llc: self.llc_stats(),
             dram: self.dram.borrow().stats(),
             xbar_transfers: self.xbar_transfers(),
+            dram_queue_high_water: self.dram.borrow().queue_depth_high_water() as u64,
             core_mhz: self.config.core_mhz,
             cycles: self.cycle,
             wall_ps: self.cycle * self.config.core_period_ps(),

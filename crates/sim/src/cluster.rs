@@ -7,10 +7,11 @@
 
 use crate::config::SimConfig;
 use crate::core::Core;
-use crate::engine::{self, Lane};
+use crate::engine::{self, Lane, RunCtl};
 use crate::instr::InstructionStream;
 use crate::llc::{Invalidation, SharerMask};
 use crate::memsys::MemorySystem;
+use crate::probe::Probe;
 use crate::stats::SimStats;
 
 /// A running cluster simulation: `N` cores, each driven by its own
@@ -24,6 +25,7 @@ pub struct ClusterSim<S> {
     cycle_skip: bool,
     skipped_cycles: u64,
     inv_buf: Vec<Invalidation>,
+    probe: Option<Box<dyn Probe>>,
 }
 
 impl<S: InstructionStream> ClusterSim<S> {
@@ -49,7 +51,21 @@ impl<S: InstructionStream> ClusterSim<S> {
             cycle_skip: true,
             skipped_cycles: 0,
             inv_buf: Vec::new(),
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe, sampled on engine epochs (cycle-skip
+    /// wakeups and every [`crate::probe::PROBE_EPOCH_CYCLES`] ticked
+    /// cycles). Probes observe only — statistics are bit-identical with
+    /// or without one attached. Replaces any previous probe.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detaches the probe (if any), returning it.
+    pub fn detach_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.take()
     }
 
     /// Enables or disables the stall-aware cycle-skip fast path (on by
@@ -129,12 +145,17 @@ impl<S: InstructionStream> ClusterSim<S> {
             &mut self.cycle,
             end,
             period,
-            self.cycle_skip,
+            RunCtl {
+                cycle_skip: self.cycle_skip,
+                skipped_base: self.skipped_cycles,
+                hook: self.probe.as_mut(),
+            },
         );
     }
 
     /// Runs `cycles` core cycles and returns cumulative statistics.
     pub fn run(&mut self, cycles: u64) -> SimStats {
+        let _span = ntc_telemetry::trace::span_cat("sim", "sim.run");
         self.advance(cycles);
         self.stats()
     }
@@ -142,6 +163,7 @@ impl<S: InstructionStream> ClusterSim<S> {
     /// Runs a warm-up window (caches and predictors fill; counters keep
     /// accumulating — callers measure via [`ClusterSim::run_measured`]).
     pub fn warm_up(&mut self, cycles: u64) {
+        let _span = ntc_telemetry::trace::span_cat("sim", "sim.warm_up");
         self.advance(cycles);
     }
 
@@ -153,6 +175,7 @@ impl<S: InstructionStream> ClusterSim<S> {
     /// straight off the live counters afterwards, rather than cloning the
     /// full cumulative statistics a second time and subtracting.
     pub fn run_measured(&mut self, cycles: u64) -> SimStats {
+        let _span = ntc_telemetry::trace::span_cat("sim", "sim.run_measured");
         let before = self.stats();
         self.advance(cycles);
         SimStats {
@@ -165,6 +188,7 @@ impl<S: InstructionStream> ClusterSim<S> {
             llc: self.mem.llc_stats().delta_since(&before.llc),
             dram: self.mem.dram_stats().delta_since(&before.dram),
             xbar_transfers: self.mem.xbar_transfers() - before.xbar_transfers,
+            dram_queue_high_water: self.mem.dram_queue_high_water() as u64,
             core_mhz: self.config.core_mhz,
             cycles: self.cycle - before.cycles,
             wall_ps: (self.cycle - before.cycles) * self.config.core_period_ps(),
@@ -178,6 +202,7 @@ impl<S: InstructionStream> ClusterSim<S> {
             llc: self.mem.llc_stats(),
             dram: self.mem.dram_stats(),
             xbar_transfers: self.mem.xbar_transfers(),
+            dram_queue_high_water: self.mem.dram_queue_high_water() as u64,
             core_mhz: self.config.core_mhz,
             cycles: self.cycle,
             wall_ps: self.cycle * self.config.core_period_ps(),

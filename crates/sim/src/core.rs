@@ -265,6 +265,12 @@ impl Core {
         self.outstanding_data
     }
 
+    /// Instructions currently in the reorder window — a telemetry-probe
+    /// diagnostic for how window-limited the workload's MLP is.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
     pub(crate) fn activity_signature(&self) -> u64 {
         let s = &self.stats;
         s.user_instrs

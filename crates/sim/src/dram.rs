@@ -667,8 +667,9 @@ impl DramSystem {
     }
 
     /// The deepest the total request queue has been — a scheduler
-    /// diagnostic (deliberately an accessor, not part of the serialized
-    /// [`DramStats`]).
+    /// diagnostic. Kept out of [`DramStats`] (whose fields are windowed
+    /// deltas — a high-water mark doesn't difference); the sims surface
+    /// it as `SimStats::dram_queue_high_water` instead.
     pub fn queue_depth_high_water(&self) -> usize {
         self.high_water
     }
@@ -676,6 +677,11 @@ impl DramSystem {
     /// Per-channel queue-depth high-water marks (diagnostics).
     pub fn channel_queue_high_water(&self) -> Vec<u32> {
         self.channels.iter().map(|c| c.high_water).collect()
+    }
+
+    /// Current per-channel queue depths (telemetry probes).
+    pub fn channel_queue_depths(&self) -> Vec<u32> {
+        self.channels.iter().map(|c| c.queued).collect()
     }
 
     /// Drains completions for the default owner: `(ticket, done_ps)` pairs.

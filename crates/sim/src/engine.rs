@@ -45,6 +45,7 @@ use crate::core::Core;
 use crate::instr::InstructionStream;
 use crate::llc::Invalidation;
 use crate::memsys::MemorySystem;
+use crate::probe::{Probe, ProbeSample, PROBE_EPOCH_CYCLES};
 
 /// One cluster's mutable view for the shared loop: its cores, their
 /// instruction streams, and the cluster's private uncore (which may share
@@ -55,20 +56,35 @@ pub(crate) struct Lane<'a, S> {
     pub mem: &'a mut MemorySystem,
 }
 
+/// Loop controls for [`run_lanes`]: the fast-path switch plus the
+/// optional telemetry probe hook.
+pub(crate) struct RunCtl<'p> {
+    /// Jump quiescent stretches instead of ticking them.
+    pub cycle_skip: bool,
+    /// Cycles already skipped in earlier windows of the same simulation,
+    /// so probe samples report whole-run skip counts.
+    pub skipped_base: u64,
+    /// Sampled on engine epochs when attached; observation-only, so it
+    /// can never change simulated state. `None` costs one branch per
+    /// epoch boundary.
+    pub hook: Option<&'p mut Box<dyn Probe>>,
+}
+
 /// Advances all lanes from `*cycle` to `end` on a common core clock.
 ///
-/// With `cycle_skip` enabled, quiescent stretches are jumped in one step;
-/// otherwise every cycle is ticked naively (the reference behaviour the
-/// differential tests compare against). Returns the number of cycles
-/// skipped (never ticked).
+/// With `ctl.cycle_skip` enabled, quiescent stretches are jumped in one
+/// step; otherwise every cycle is ticked naively (the reference
+/// behaviour the differential tests compare against). Returns the number
+/// of cycles skipped (never ticked).
 pub(crate) fn run_lanes<S: InstructionStream>(
     lanes: &mut [Lane<'_, S>],
     inv_buf: &mut Vec<Invalidation>,
     cycle: &mut u64,
     end: u64,
     period_ps: u64,
-    cycle_skip: bool,
+    mut ctl: RunCtl<'_>,
 ) -> u64 {
+    let cycle_skip = ctl.cycle_skip;
     let mut skipped = 0;
     // Probe on entry (a run window may open mid-stall), then after any
     // tick that made no visible progress (an idle tick marks the start of
@@ -91,6 +107,13 @@ pub(crate) fn run_lanes<S: InstructionStream>(
                     skip(lanes, *cycle, target, period_ps);
                     skipped += target - *cycle;
                     *cycle = target;
+                    // A skip landing is an engine epoch: simulated state
+                    // just moved across a stall, so sample it.
+                    if let Some(hook) = ctl.hook.as_deref_mut() {
+                        let sample =
+                            collect_sample(lanes, *cycle, period_ps, ctl.skipped_base + skipped);
+                        hook.sample(sample);
+                    }
                     // An event is due at `target`: tick it directly.
                     probe = false;
                     continue;
@@ -102,6 +125,12 @@ pub(crate) fn run_lanes<S: InstructionStream>(
             tick_lane(lane, inv_buf, *cycle, now, period_ps);
         }
         *cycle += 1;
+        if let Some(hook) = ctl.hook.as_deref_mut() {
+            if *cycle % PROBE_EPOCH_CYCLES == 0 {
+                let sample = collect_sample(lanes, *cycle, period_ps, ctl.skipped_base + skipped);
+                hook.sample(sample);
+            }
+        }
         if cycle_skip {
             let (sig2, mshrs2) = (activity_signature(lanes), in_flight_data(lanes));
             probe = sig2 == sig || mshrs2 > mshrs;
@@ -110,6 +139,40 @@ pub(crate) fn run_lanes<S: InstructionStream>(
         }
     }
     skipped
+}
+
+/// Builds one probe sample from the lanes' current state. The DRAM
+/// counters come from lane 0's memory system — for [`ChipSim`] the DRAM
+/// is shared, so any lane sees the chip-wide system; for [`ClusterSim`]
+/// there is exactly one lane.
+///
+/// [`ChipSim`]: crate::ChipSim
+/// [`ClusterSim`]: crate::ClusterSim
+fn collect_sample<S>(
+    lanes: &[Lane<'_, S>],
+    cycle: u64,
+    period_ps: u64,
+    skipped_cycles: u64,
+) -> ProbeSample {
+    let mut rob = 0u64;
+    for lane in lanes.iter() {
+        for core in lane.cores.iter() {
+            rob += core.rob_occupancy() as u64;
+        }
+    }
+    let mem = &lanes[0].mem;
+    let dram = mem.dram_stats();
+    ProbeSample {
+        cycle,
+        now_ps: cycle * period_ps,
+        mshr_occupancy: in_flight_data(lanes),
+        rob_occupancy: rob,
+        dram_pending: mem.dram_pending() as u64,
+        dram_channel_depths: mem.dram_channel_depths(),
+        dram_row_hits: dram.row_hits,
+        dram_row_misses: dram.row_misses,
+        skipped_cycles,
+    }
 }
 
 /// Total data misses in flight across all lanes (summed MSHR occupancy).

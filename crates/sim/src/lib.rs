@@ -60,6 +60,7 @@ pub mod fxhash;
 pub mod instr;
 pub mod llc;
 pub mod memsys;
+pub mod probe;
 pub mod stats;
 pub mod streams;
 pub mod trace;
@@ -70,6 +71,7 @@ pub use chip::ChipSim;
 pub use cluster::ClusterSim;
 pub use config::{CacheConfig, CoreConfig, DramTimingConfig, LlcConfig, SimConfig, XbarConfig};
 pub use instr::{Instr, InstructionStream, OpClass};
+pub use probe::{Probe, ProbeSample, TimeSeriesProbe};
 pub use stats::{CoreStats, SimStats};
 pub use trace::{Trace, TraceRecorder, TraceStream};
 

@@ -317,6 +317,16 @@ impl MemorySystem {
         self.dram.borrow().queue_depth_high_water()
     }
 
+    /// Requests queued at the DRAM scheduler right now (telemetry probes).
+    pub fn dram_pending(&self) -> usize {
+        self.dram.borrow().pending()
+    }
+
+    /// Current per-channel DRAM queue depths (telemetry probes).
+    pub fn dram_channel_depths(&self) -> Vec<u32> {
+        self.dram.borrow().channel_queue_depths()
+    }
+
     /// Crossbar transfers so far.
     pub fn xbar_transfers(&self) -> u64 {
         self.xbar.transfers()

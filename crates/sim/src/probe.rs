@@ -1,0 +1,175 @@
+//! Engine probe hooks: time-series sampling of the simulator's internal
+//! occupancies.
+//!
+//! A [`Probe`] attached to [`ClusterSim`](crate::ClusterSim) or
+//! [`ChipSim`](crate::ChipSim) is sampled by the shared engine loop on
+//! *epochs* — after every cycle-skip wakeup (the moments the simulation
+//! state actually changes during stalls) and every
+//! [`PROBE_EPOCH_CYCLES`] naively-ticked cycles. Each sample captures
+//! the quantities the paper's analysis turns on: MSHR occupancy (the
+//! window-limited MLP), ROB occupancy, DRAM queue depth per channel
+//! (LLC/DRAM queuing), row-hit locality, and how much of simulated time
+//! the fast path skipped.
+//!
+//! Probes observe only; they can never perturb simulated state, so a
+//! probed run produces bit-identical [`SimStats`](crate::SimStats) to an
+//! unprobed one (`tests/telemetry_differential.rs` enforces this). The
+//! module is deliberately independent of the `ntc-telemetry` switches: a
+//! probe costs nothing unless one is attached, which is itself an
+//! explicit opt-in.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How many naively-ticked cycles pass between probe samples (cycle-skip
+/// wakeups are sampled additionally, as they land).
+pub const PROBE_EPOCH_CYCLES: u64 = 1024;
+
+/// One engine-epoch observation of the simulator's internal state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSample {
+    /// Core cycle the sample was taken at.
+    pub cycle: u64,
+    /// Simulated time at that cycle, picoseconds.
+    pub now_ps: u64,
+    /// Data misses in flight across all cores (summed MSHR occupancy).
+    pub mshr_occupancy: u64,
+    /// Instructions in flight across all cores (summed ROB occupancy).
+    pub rob_occupancy: u64,
+    /// Requests queued at the DRAM scheduler right now (all channels).
+    pub dram_pending: u64,
+    /// Per-channel DRAM queue depths right now.
+    pub dram_channel_depths: Vec<u32>,
+    /// Cumulative DRAM row-buffer hits so far.
+    pub dram_row_hits: u64,
+    /// Cumulative DRAM row-buffer misses so far.
+    pub dram_row_misses: u64,
+    /// Cumulative cycles the fast path skipped so far (out of `cycle`).
+    pub skipped_cycles: u64,
+}
+
+impl ProbeSample {
+    /// Cumulative DRAM row-buffer hit rate at this sample (0 when no
+    /// row activity yet).
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.dram_row_hits + self.dram_row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dram_row_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of cycles so far the cycle-skip fast path jumped rather
+    /// than ticked.
+    pub fn cycle_skip_ratio(&self) -> f64 {
+        if self.cycle == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / self.cycle as f64
+        }
+    }
+}
+
+/// An observer the engine samples on its epochs.
+pub trait Probe {
+    /// Called by the engine with a freshly-taken sample. Implementations
+    /// must not assume any particular cadence: cycle-skip wakeups are
+    /// irregular by nature.
+    fn sample(&mut self, sample: ProbeSample);
+}
+
+/// The stock [`Probe`]: collects every sample (optionally thinned to a
+/// minimum cycle gap) into a shared vector.
+///
+/// The sample vector is handed out as `Rc<RefCell<…>>` so callers keep
+/// access after the probe is boxed into the simulator — the sims are
+/// single-threaded (`!Send` already), so `Rc` is the right tool:
+///
+/// ```
+/// use ntc_sim::streams::ComputeStream;
+/// use ntc_sim::{ClusterSim, SimConfig, TimeSeriesProbe};
+///
+/// let probe = TimeSeriesProbe::new();
+/// let samples = probe.samples();
+/// let mut sim = ClusterSim::new(SimConfig::paper_cluster(1000.0), |_| ComputeStream::new(0.002));
+/// sim.attach_probe(Box::new(probe));
+/// sim.run(4_000);
+/// assert!(!samples.borrow().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct TimeSeriesProbe {
+    min_gap: u64,
+    last_cycle: Option<u64>,
+    samples: Rc<RefCell<Vec<ProbeSample>>>,
+}
+
+impl TimeSeriesProbe {
+    /// A probe that keeps every engine epoch.
+    pub fn new() -> Self {
+        Self::every(0)
+    }
+
+    /// A probe that keeps at most one sample per `min_gap_cycles` —
+    /// bounds memory on long runs.
+    pub fn every(min_gap_cycles: u64) -> Self {
+        TimeSeriesProbe {
+            min_gap: min_gap_cycles,
+            last_cycle: None,
+            samples: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Shared handle to the collected samples (in cycle order).
+    pub fn samples(&self) -> Rc<RefCell<Vec<ProbeSample>>> {
+        Rc::clone(&self.samples)
+    }
+}
+
+impl Probe for TimeSeriesProbe {
+    fn sample(&mut self, sample: ProbeSample) {
+        if let Some(last) = self.last_cycle {
+            if sample.cycle < last.saturating_add(self.min_gap) {
+                return;
+            }
+        }
+        self.last_cycle = Some(sample.cycle);
+        self.samples.borrow_mut().push(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_at(cycle: u64) -> ProbeSample {
+        ProbeSample {
+            cycle,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn time_series_probe_thins_by_gap() {
+        let mut probe = TimeSeriesProbe::every(100);
+        let samples = probe.samples();
+        for c in [0, 10, 99, 100, 150, 250] {
+            probe.sample(sample_at(c));
+        }
+        let kept: Vec<u64> = samples.borrow().iter().map(|s| s.cycle).collect();
+        assert_eq!(kept, vec![0, 100, 250]);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let mut s = sample_at(1000);
+        s.skipped_cycles = 250;
+        s.dram_row_hits = 30;
+        s.dram_row_misses = 10;
+        assert!((s.cycle_skip_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(sample_at(0).cycle_skip_ratio(), 0.0);
+        assert_eq!(sample_at(0).row_hit_rate(), 0.0);
+    }
+}

@@ -106,6 +106,12 @@ pub struct SimStats {
     pub dram: DramStats,
     /// Crossbar transfers.
     pub xbar_transfers: u64,
+    /// Deepest the DRAM request queue has been **since simulator
+    /// construction** (all channels). Unlike the other counters this is
+    /// a high-water mark, not a windowed delta — `run_measured` still
+    /// reports the since-construction maximum, because a maximum has no
+    /// meaningful difference.
+    pub dram_queue_high_water: u64,
     /// Core frequency the window ran at (MHz).
     pub core_mhz: f64,
     /// Cycles simulated (same for every core).

@@ -1,0 +1,152 @@
+//! Telemetry must be observation-only: a probed (and, when the
+//! `telemetry` feature is on, traced) run produces **bit-identical**
+//! `SimStats` to a plain run — across ≥2 stream classes × 2 frequencies,
+//! for both the cluster and the chip simulator, on both the cycle-skip
+//! and the naive loop.
+
+use ntc_sim::streams::{RandomAccessStream, StrideStream};
+use ntc_sim::{ChipSim, ClusterSim, SimConfig, SimStats, TimeSeriesProbe};
+
+const WARM: u64 = 2_000;
+const MEASURE: u64 = 10_000;
+
+#[derive(Clone, Copy)]
+enum StreamClass {
+    Random,
+    Stride,
+}
+
+fn cluster_stats(class: StreamClass, mhz: f64, skip: bool, probed: bool) -> (SimStats, usize) {
+    // When the harness runs with the telemetry feature + NTC_TRACE=1,
+    // the probed runs are also span-traced — the differential then
+    // covers tracing too. Stats must not care either way.
+    let mut sim = match class {
+        StreamClass::Random => ClusterSim::new(SimConfig::paper_cluster(mhz), |i| {
+            Box::new(RandomAccessStream::new(
+                256 << 20,
+                0.30,
+                6,
+                100 + u64::from(i),
+            )) as Box<dyn ntc_sim::InstructionStream>
+        }),
+        StreamClass::Stride => ClusterSim::new(SimConfig::paper_cluster(mhz), |i| {
+            Box::new(StrideStream::new(64, 512 << 20, 0.3 + 0.01 * f64::from(i)))
+                as Box<dyn ntc_sim::InstructionStream>
+        }),
+    };
+    sim.set_cycle_skip(skip);
+    let samples = if probed {
+        let probe = TimeSeriesProbe::new();
+        let handle = probe.samples();
+        sim.attach_probe(Box::new(probe));
+        Some(handle)
+    } else {
+        None
+    };
+    sim.warm_up(WARM);
+    let stats = sim.run_measured(MEASURE);
+    let n = samples.map_or(0, |s| s.borrow().len());
+    (stats, n)
+}
+
+#[test]
+fn probed_cluster_stats_are_bit_identical() {
+    for class in [StreamClass::Random, StreamClass::Stride] {
+        for mhz in [500.0, 2000.0] {
+            for skip in [true, false] {
+                let (plain, _) = cluster_stats(class, mhz, skip, false);
+                let (probed, samples) = cluster_stats(class, mhz, skip, true);
+                assert_eq!(
+                    plain, probed,
+                    "probed run must not perturb stats ({mhz} MHz, skip={skip})"
+                );
+                assert!(
+                    samples > 0,
+                    "the probe must actually collect samples ({mhz} MHz, skip={skip})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn probe_samples_are_ordered_and_consistent() {
+    let (_, _) = cluster_stats(StreamClass::Random, 1000.0, true, false);
+    let mut sim = ClusterSim::new(SimConfig::paper_cluster(1000.0), |i| {
+        RandomAccessStream::new(256 << 20, 0.30, 6, 100 + u64::from(i))
+    });
+    let probe = TimeSeriesProbe::new();
+    let samples = probe.samples();
+    sim.attach_probe(Box::new(probe));
+    sim.run(12_000);
+    let final_stats = sim.stats();
+    let samples = samples.borrow();
+    assert!(!samples.is_empty());
+    for pair in samples.windows(2) {
+        assert!(
+            pair[0].cycle < pair[1].cycle,
+            "samples must advance in time"
+        );
+        assert!(
+            pair[0].skipped_cycles <= pair[1].skipped_cycles,
+            "skip counts are cumulative"
+        );
+    }
+    for s in samples.iter() {
+        assert!(s.cycle <= 12_000);
+        assert_eq!(s.now_ps, s.cycle * 1000, "1 GHz -> 1000 ps per cycle");
+        assert!(s.skipped_cycles <= s.cycle);
+        assert!(s.dram_row_hits <= final_stats.dram.row_hits);
+        assert!(s.dram_row_misses <= final_stats.dram.row_misses);
+        assert!(
+            u64::from(s.dram_channel_depths.iter().copied().sum::<u32>()) == s.dram_pending,
+            "per-channel depths must sum to the total pending count"
+        );
+        let (p, q) = (s.row_hit_rate(), s.cycle_skip_ratio());
+        assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&q));
+    }
+    assert_eq!(
+        final_stats.dram_queue_high_water,
+        sim.dram_queue_high_water() as u64,
+        "serialized high-water mark must match the accessor"
+    );
+}
+
+#[test]
+fn probed_chip_stats_are_bit_identical() {
+    let run = |probed: bool| {
+        let mut chip = ChipSim::new(SimConfig::paper_cluster(1000.0), 3, |cl, c| {
+            RandomAccessStream::new(64 << 20, 0.3, 4, u64::from(cl) * 8 + u64::from(c))
+        });
+        let samples = if probed {
+            let probe = TimeSeriesProbe::new();
+            let handle = probe.samples();
+            chip.attach_probe(Box::new(probe));
+            Some(handle)
+        } else {
+            None
+        };
+        let stats = chip.run(6_000);
+        (stats, samples.map_or(0, |s| s.borrow().len()))
+    };
+    let (plain, _) = run(false);
+    let (probed, samples) = run(true);
+    assert_eq!(plain, probed, "chip stats must not see the probe");
+    assert!(samples > 0);
+}
+
+// With the telemetry feature compiled in, force tracing on around a
+// probed run and prove stats still match a plain run — the strongest
+// form of the differential (spans + probe + metrics machinery all live).
+#[cfg(feature = "telemetry")]
+#[test]
+fn traced_cluster_stats_are_bit_identical() {
+    let (plain, _) = cluster_stats(StreamClass::Random, 2000.0, true, false);
+    ntc_telemetry::set_tracing(true);
+    ntc_telemetry::set_metrics(true);
+    let (traced, samples) = cluster_stats(StreamClass::Random, 2000.0, true, true);
+    ntc_telemetry::set_tracing(false);
+    ntc_telemetry::set_metrics(false);
+    assert_eq!(plain, traced, "tracing must not perturb simulation stats");
+    assert!(samples > 0);
+}

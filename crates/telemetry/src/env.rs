@@ -1,0 +1,129 @@
+//! One consistent parser for the `NTC_*` environment variables.
+//!
+//! Every boolean switch (`NTC_TRACE`, `NTC_METRICS`, `NTC_CACHE`) and
+//! enum-valued knob (`NTC_FIDELITY`) in the workspace routes through
+//! here, so they all accept the same spellings and an invalid value
+//! produces exactly one warning per variable per process instead of
+//! silently doing nothing (or warning on every read).
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+fn warned() -> &'static Mutex<BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Print `warning: {message()}` to stderr at most once per `key` for the
+/// lifetime of the process. The message closure is only evaluated the
+/// first time, so callers can format freely.
+pub fn warn_once(key: &str, message: impl FnOnce() -> String) {
+    let mut seen = warned().lock().unwrap_or_else(PoisonError::into_inner);
+    if seen.insert(key.to_owned()) {
+        eprintln!("warning: {}", message());
+    }
+}
+
+/// Parse a boolean flag value: `1`/`true`/`on`/`yes` are true,
+/// `0`/`false`/`off`/`no` and the empty string are false (case- and
+/// whitespace-insensitive), anything else is `None`.
+pub fn flag_value(value: &str) -> Option<bool> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "" | "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// Read the boolean environment variable `name`. Unset means `false`;
+/// an unrecognized value warns once and also means `false`.
+pub fn flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Err(_) => false,
+        Ok(value) => flag_value(&value).unwrap_or_else(|| {
+            warn_once(name, || {
+                format!(
+                    "unrecognized {name} value {value:?} \
+                     (expected 1/0, true/false, on/off, or yes/no); treating it as off"
+                )
+            });
+            false
+        }),
+    }
+}
+
+/// Read the environment variable `name` through `parse`. Unset returns
+/// `default`; a parse error warns once (with the error text) and returns
+/// `default`.
+pub fn parse_or<T>(name: &str, default: T, parse: impl FnOnce(&str) -> Result<T, String>) -> T {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(value) => parse(&value).unwrap_or_else(|err| {
+            warn_once(name, || err);
+            default
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // Each test uses its own variable names: the process environment and
+    // the warn-once set are global, and tests run in parallel.
+
+    #[test]
+    fn flag_value_spellings() {
+        for v in ["1", "true", "TRUE", " on ", "Yes"] {
+            assert_eq!(flag_value(v), Some(true), "{v:?}");
+        }
+        for v in ["0", "false", "Off", " no", ""] {
+            assert_eq!(flag_value(v), Some(false), "{v:?}");
+        }
+        for v in ["2", "enabled", "y", "tru"] {
+            assert_eq!(flag_value(v), None, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn flag_reads_environment() {
+        assert!(!flag("NTC_TEST_FLAG_UNSET"));
+        std::env::set_var("NTC_TEST_FLAG_ON", "yes");
+        assert!(flag("NTC_TEST_FLAG_ON"));
+        std::env::set_var("NTC_TEST_FLAG_OFF", "0");
+        assert!(!flag("NTC_TEST_FLAG_OFF"));
+        std::env::set_var("NTC_TEST_FLAG_BAD", "maybe");
+        assert!(!flag("NTC_TEST_FLAG_BAD"));
+        for name in ["NTC_TEST_FLAG_ON", "NTC_TEST_FLAG_OFF", "NTC_TEST_FLAG_BAD"] {
+            std::env::remove_var(name);
+        }
+    }
+
+    #[test]
+    fn warn_once_evaluates_message_once() {
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            warn_once("NTC_TEST_WARN_ONCE", || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                "test warning (expected once in test output)".to_owned()
+            });
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parse_or_defaults_on_unset_and_invalid() {
+        let parse = |v: &str| {
+            v.parse::<u32>()
+                .map_err(|e| format!("bad value {v:?}: {e}"))
+        };
+        assert_eq!(parse_or("NTC_TEST_PARSE_UNSET", 7, parse), 7);
+        std::env::set_var("NTC_TEST_PARSE_OK", "42");
+        assert_eq!(parse_or("NTC_TEST_PARSE_OK", 7, parse), 42);
+        std::env::set_var("NTC_TEST_PARSE_BAD", "forty-two");
+        assert_eq!(parse_or("NTC_TEST_PARSE_BAD", 7, parse), 7);
+        std::env::remove_var("NTC_TEST_PARSE_OK");
+        std::env::remove_var("NTC_TEST_PARSE_BAD");
+    }
+}

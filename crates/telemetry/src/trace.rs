@@ -1,0 +1,279 @@
+//! Span tracing with Chrome `trace_event` export.
+//!
+//! A [`Span`] is an RAII guard: creation stamps the start time, drop
+//! records a complete ("X") event into a per-thread buffer. Buffers are
+//! drained by [`take_events`] / [`write_chrome_trace`] into the Chrome
+//! trace-event JSON format, which loads directly in `about:tracing` or
+//! [Perfetto](https://ui.perfetto.dev) — each worker thread gets its own
+//! track, so the parallel frequency ladder is visually inspectable.
+//!
+//! When tracing is off ([`crate::tracing_enabled`]), span construction
+//! is a single branch (a constant one without the `enabled` feature) and
+//! nothing is buffered or allocated.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// One Chrome trace event. Field names match the trace-event JSON
+/// schema: `ph` is the phase (always `"X"` = complete event here), `ts`
+/// and `dur` are microseconds, `pid`/`tid` select the track.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Span name (e.g. `ladder 1200 MHz`).
+    pub name: String,
+    /// Category (e.g. `sweep`, `measure`, `sim`).
+    pub cat: String,
+    /// Event phase; spans record `"X"` (complete).
+    pub ph: String,
+    /// Start time in microseconds since the process trace epoch.
+    pub ts: f64,
+    /// Duration in microseconds.
+    pub dur: f64,
+    /// Process id.
+    pub pid: u64,
+    /// Thread track id (small integers assigned per thread).
+    pub tid: u64,
+}
+
+/// Top-level Chrome trace JSON document: `{"traceEvents": [...]}`.
+///
+/// The field is intentionally camelCase — that exact spelling is what
+/// `about:tracing` / Perfetto require.
+#[allow(non_snake_case)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// The events, in the order they were exported.
+    pub traceEvents: Vec<TraceEvent>,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+type Buffer = Arc<Mutex<Vec<TraceEvent>>>;
+
+fn sinks() -> &'static Mutex<Vec<Buffer>> {
+    static SINKS: OnceLock<Mutex<Vec<Buffer>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    // (tid, buffer), registered into `sinks()` on this thread's first event.
+    static LOCAL: RefCell<Option<(u64, Buffer)>> = const { RefCell::new(None) };
+}
+
+fn record(name: Cow<'static, str>, cat: &'static str, start_us: f64) {
+    let end_us = now_us();
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        let (tid, buffer) = local.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let buffer: Buffer = Arc::new(Mutex::new(Vec::new()));
+            sinks()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Arc::clone(&buffer));
+            (tid, buffer)
+        });
+        buffer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(TraceEvent {
+                name: name.into_owned(),
+                cat: cat.to_owned(),
+                ph: "X".to_owned(),
+                ts: start_us,
+                dur: (end_us - start_us).max(0.0),
+                pid: u64::from(std::process::id()),
+                tid: *tid,
+            });
+    });
+}
+
+struct SpanInner {
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start_us: f64,
+}
+
+/// RAII span guard; records a complete trace event when dropped.
+/// Inert (`None` inside) when tracing is off at construction time.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span(Option<SpanInner>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            record(inner.name, inner.cat, inner.start_us);
+        }
+    }
+}
+
+/// Open a span in the default `ntc` category.
+pub fn span(name: &'static str) -> Span {
+    span_cat("ntc", name)
+}
+
+/// Open a span with an explicit category.
+pub fn span_cat(cat: &'static str, name: &'static str) -> Span {
+    if crate::tracing_enabled() {
+        Span(Some(SpanInner {
+            name: Cow::Borrowed(name),
+            cat,
+            start_us: now_us(),
+        }))
+    } else {
+        Span(None)
+    }
+}
+
+/// Open a span whose name is built lazily — the closure (and its
+/// allocation) only runs when tracing is actually on.
+pub fn span_with(cat: &'static str, name: impl FnOnce() -> String) -> Span {
+    if crate::tracing_enabled() {
+        Span(Some(SpanInner {
+            name: Cow::Owned(name()),
+            cat,
+            start_us: now_us(),
+        }))
+    } else {
+        Span(None)
+    }
+}
+
+/// Drain every thread's buffered events, sorted by start time.
+pub fn take_events() -> Vec<TraceEvent> {
+    let sinks = sinks().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut out = Vec::new();
+    for buffer in sinks.iter() {
+        out.append(&mut buffer.lock().unwrap_or_else(PoisonError::into_inner));
+    }
+    out.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    out
+}
+
+/// Serialize events as a Chrome trace JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    serde_json::to_string(&ChromeTrace {
+        traceEvents: events.to_vec(),
+    })
+    .expect("trace events contain only strings and finite numbers")
+}
+
+/// Drain all buffered events ([`take_events`]) and write them as Chrome
+/// trace JSON to `path` (creating parent directories). Returns the
+/// number of events written. Load the file in `about:tracing` or
+/// <https://ui.perfetto.dev>.
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> std::io::Result<usize> {
+    let events = take_events();
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, chrome_trace_json(&events))?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_json_round_trips() {
+        let events = vec![
+            TraceEvent {
+                name: "sweep.run".to_owned(),
+                cat: "sweep".to_owned(),
+                ph: "X".to_owned(),
+                ts: 1.5,
+                dur: 200.25,
+                pid: 42,
+                tid: 1,
+            },
+            TraceEvent {
+                name: "ladder 600 MHz".to_owned(),
+                cat: "sweep".to_owned(),
+                ph: "X".to_owned(),
+                ts: 3.75,
+                dur: 100.5,
+                pid: 42,
+                tid: 2,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        // Well-formed JSON with the exact top-level key Perfetto expects.
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        drop(value);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        let parsed: ChromeTrace = serde_json::from_str(&json).expect("parses back");
+        assert_eq!(parsed.traceEvents.len(), 2);
+        for (orig, back) in events.iter().zip(&parsed.traceEvents) {
+            assert_eq!(orig.name, back.name);
+            assert_eq!(orig.cat, back.cat);
+            assert_eq!(orig.ph, "X");
+            assert!((orig.ts - back.ts).abs() < 1e-9);
+            assert!((orig.dur - back.dur).abs() < 1e-9);
+            assert_eq!((orig.pid, orig.tid), (back.pid, back.tid));
+        }
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn spans_are_inert_without_the_feature() {
+        {
+            let _a = span("never.recorded");
+            let _b = span_with("test", || unreachable!("name closure must not run"));
+        }
+        assert!(
+            take_events().is_empty(),
+            "no events may be buffered when tracing is compiled out"
+        );
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_record_across_threads() {
+        let _guard = crate::test_switch_lock().lock().unwrap();
+        crate::set_tracing(true);
+        let _ = take_events(); // drop anything earlier tests left behind
+        {
+            let _outer = span_cat("test", "trace.outer");
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        let _s = span_with("test", || format!("trace.worker {i}"));
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        crate::set_tracing(false);
+        let events = take_events();
+        let mine: Vec<&TraceEvent> = events.iter().filter(|e| e.cat == "test").collect();
+        assert_eq!(mine.len(), 3);
+        let tids: std::collections::BTreeSet<u64> = mine.iter().map(|e| e.tid).collect();
+        assert!(
+            tids.len() >= 2,
+            "worker spans must land on distinct threads"
+        );
+        assert!(mine.iter().any(|e| e.name == "trace.outer"));
+        assert!(mine.iter().all(|e| e.ph == "X" && e.dur >= 0.0));
+        // Drained means drained.
+        assert!(take_events().iter().all(|e| e.cat != "test"));
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`core`] — the study itself: server configuration, frequency sweeps,
 //!   three-scope efficiency, QoS-constrained optima, and the
 //!   energy-proportionality / body-bias / consolidation extensions.
+//! * [`telemetry`] — zero-cost observability: metrics registry, span
+//!   tracing with Chrome-trace export, sim probes (compile in with the
+//!   `telemetry` feature, switch on with `NTC_TRACE`/`NTC_METRICS`).
 //!
 //! # Quickstart
 //!
@@ -40,4 +43,5 @@ pub use ntc_qos as qos;
 pub use ntc_sampling as sampling;
 pub use ntc_sim as sim;
 pub use ntc_tech as tech;
+pub use ntc_telemetry as telemetry;
 pub use ntc_workloads as workloads;
