@@ -10,7 +10,7 @@ fn bench_queue_sim(c: &mut Criterion) {
     let cfg = QueueSimConfig::near_zero_contention(1.0);
     g.throughput(Throughput::Elements(u64::from(cfg.requests)));
     g.bench_function("ggk_40k_requests", |b| {
-        b.iter(|| black_box(simulate_queue(black_box(cfg))))
+        b.iter(|| black_box(simulate_queue(black_box(cfg)).unwrap()))
     });
     g.finish();
 }

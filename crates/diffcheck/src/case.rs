@@ -1,0 +1,472 @@
+//! Seed-reproducible case generation.
+//!
+//! A [`CaseShape`] is everything one differential check needs: a valid
+//! (but arbitrary) simulator configuration, an instruction-stream mix,
+//! and the inputs for the sweep and percentile oracles. The shape is a
+//! pure function of `(seed, index)` — the same pair always regenerates
+//! the same case, which is what makes the one-line repro command work —
+//! and it is serializable, so a failing case can be dumped as an
+//! artifact and inspected offline.
+
+use ntc_sim::streams::{ComputeStream, PointerChaseStream, RandomAccessStream, StrideStream};
+use ntc_sim::{
+    CacheConfig, CoreConfig, DramTimingConfig, Instr, InstructionStream, LlcConfig, PredictorKind,
+    SimConfig, XbarConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64: decorrelates `(seed, index)` into one RNG seed so that
+/// neighbouring case indices explore unrelated configurations.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A serializable recipe for one core's instruction stream.
+///
+/// Specs rather than live streams keep the shape `Clone + Serialize`;
+/// [`StreamSpec::build`] instantiates a fresh stream, so the two runs of
+/// a differential pair always see identical instruction sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StreamSpec {
+    /// Branchy ALU-bound compute, no memory traffic.
+    Compute {
+        /// Branch misprediction rate in `[0, 1]`.
+        mispredict: f64,
+    },
+    /// Sequential streaming over a large footprint.
+    Stride {
+        /// Address increment between loads (bytes).
+        stride: u64,
+        /// Footprint before wrapping (bytes).
+        footprint: u64,
+        /// Loads per instruction in `(0, 1]`.
+        loads: f64,
+    },
+    /// Scattered loads over a working set (the scale-out profile).
+    Random {
+        /// Working-set size in bytes.
+        working_set: u64,
+        /// Loads per instruction in `(0, 1]`.
+        loads: f64,
+        /// Register dependency distance of each load.
+        dep: u16,
+        /// Stream RNG seed.
+        seed: u64,
+    },
+    /// Serial pointer chasing (latency-bound).
+    Chase {
+        /// Working-set size in bytes.
+        working_set: u64,
+        /// ALU ops between dependent loads.
+        gap: u32,
+        /// Stream RNG seed.
+        seed: u64,
+    },
+    /// Periodic stores to a small shared region: exercises coherence
+    /// invalidations between cores and clusters.
+    SharedStore {
+        /// Number of shared cache lines cycled through.
+        lines: u64,
+        /// One store every `period` instructions.
+        period: u64,
+        /// Starting line offset (decorrelates cores).
+        offset: u64,
+    },
+}
+
+/// The stream behind [`StreamSpec::SharedStore`].
+struct SharedStoreStream {
+    lines: u64,
+    period: u64,
+    offset: u64,
+    n: u64,
+}
+
+impl InstructionStream for SharedStoreStream {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.n;
+        self.n += 1;
+        let pc = 0x4000 + (i % 512) * 4;
+        if i % self.period == 0 {
+            let line = (self.offset + i / self.period) % self.lines;
+            Instr::store(pc, 0x8000_0000 + line * 64)
+        } else {
+            Instr::alu(pc)
+        }
+    }
+}
+
+impl StreamSpec {
+    /// Instantiates a fresh stream for one differential run.
+    pub fn build(&self) -> Box<dyn InstructionStream> {
+        match *self {
+            StreamSpec::Compute { mispredict } => Box::new(ComputeStream::new(mispredict)),
+            StreamSpec::Stride {
+                stride,
+                footprint,
+                loads,
+            } => Box::new(StrideStream::new(stride, footprint, loads)),
+            StreamSpec::Random {
+                working_set,
+                loads,
+                dep,
+                seed,
+            } => Box::new(RandomAccessStream::new(working_set, loads, dep, seed)),
+            StreamSpec::Chase {
+                working_set,
+                gap,
+                seed,
+            } => Box::new(PointerChaseStream::new(working_set, gap, seed)),
+            StreamSpec::SharedStore {
+                lines,
+                period,
+                offset,
+            } => Box::new(SharedStoreStream {
+                lines,
+                period,
+                offset,
+                n: 0,
+            }),
+        }
+    }
+}
+
+/// Input for the parallel-vs-serial sweep oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Frequency ladder in MHz (non-empty, all positive).
+    pub ladder: Vec<f64>,
+    /// Synthetic-measurer UIPC at the bottom of the ladder.
+    pub uipc_low: f64,
+    /// Synthetic-measurer UIPC at the top (`0 < high ≤ low`).
+    pub uipc_high: f64,
+}
+
+/// Sample-population family for the percentile oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SampleKind {
+    /// Uniform in `[0, max]`.
+    Uniform {
+        /// Largest sample value.
+        max: u64,
+    },
+    /// Exact powers of two — every sample sits on a bucket edge.
+    PowerOfTwo {
+        /// Largest exponent generated.
+        max_exp: u32,
+    },
+    /// Values of the form `2^k` and `2^k - 1` — both sides of each edge.
+    Boundary,
+    /// A single repeated value (degenerate distribution).
+    Constant {
+        /// The repeated value.
+        value: u64,
+    },
+    /// Uniform values mixed with power-of-two spikes.
+    Mixed {
+        /// Largest uniform sample value.
+        max: u64,
+    },
+}
+
+/// Input for the histogram-vs-exact percentile oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PercentileSpec {
+    /// Number of samples recorded.
+    pub count: u32,
+    /// Population family.
+    pub kind: SampleKind,
+    /// Sample RNG seed.
+    pub seed: u64,
+}
+
+impl PercentileSpec {
+    /// Regenerates the sample population (deterministic in the spec).
+    pub fn samples(&self) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        (0..self.count)
+            .map(|_| match self.kind {
+                SampleKind::Uniform { max } => rng.gen_range(0..=max),
+                SampleKind::PowerOfTwo { max_exp } => 1u64 << rng.gen_range(0..=max_exp),
+                SampleKind::Boundary => {
+                    let v = 1u64 << rng.gen_range(0..=40u32);
+                    if rng.gen_bool(0.5) {
+                        v
+                    } else {
+                        v - 1
+                    }
+                }
+                SampleKind::Constant { value } => value,
+                SampleKind::Mixed { max } => {
+                    if rng.gen_bool(0.5) {
+                        rng.gen_range(0..=max)
+                    } else {
+                        1u64 << rng.gen_range(0..=40u32)
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// One complete differential test case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseShape {
+    /// Harness seed the case was derived from.
+    pub seed: u64,
+    /// Case index under that seed.
+    pub index: u64,
+    /// Simulator configuration (always structurally valid).
+    pub config: SimConfig,
+    /// Clusters on the chip (1 may still use [`ntc_sim::ChipSim`]).
+    pub clusters: u32,
+    /// Whether to drive [`ntc_sim::ChipSim`] (vs [`ntc_sim::ClusterSim`]).
+    pub use_chip: bool,
+    /// Unmeasured warm-up cycles before the window.
+    pub warm_cycles: u64,
+    /// Measured window length in cycles.
+    pub measure_cycles: u64,
+    /// Stream mix; core `(cl, c)` uses spec `(cl·cores + c) mod len`.
+    pub streams: Vec<StreamSpec>,
+    /// Sweep-oracle input.
+    pub sweep: SweepSpec,
+    /// Percentile-oracle input.
+    pub percentile: PercentileSpec,
+}
+
+fn pick<T: Copy>(rng: &mut SmallRng, choices: &[T]) -> T {
+    choices[rng.gen_range(0..choices.len())]
+}
+
+fn arbitrary_cache(
+    rng: &mut SmallRng,
+    set_exp: std::ops::RangeInclusive<u32>,
+    ways: &[u32],
+) -> CacheConfig {
+    let sets = 1u64 << rng.gen_range(set_exp);
+    let ways = pick(rng, ways);
+    CacheConfig::new(sets * u64::from(ways) * 64, ways)
+}
+
+fn arbitrary_core(rng: &mut SmallRng) -> CoreConfig {
+    let branch_predictor = match rng.gen_range(0..10u32) {
+        0 => Some(PredictorKind::StaticNotTaken),
+        1 => Some(PredictorKind::Bimodal {
+            log2_entries: rng.gen_range(8..=12),
+        }),
+        2 => Some(PredictorKind::Gshare {
+            log2_entries: rng.gen_range(8..=12),
+            history_bits: rng.gen_range(4..=12),
+        }),
+        _ => None,
+    };
+    CoreConfig {
+        width: rng.gen_range(1..=4),
+        rob_entries: rng.gen_range(16..=160),
+        l1i: arbitrary_cache(rng, 5..=9, &[1, 2, 4]),
+        l1d: arbitrary_cache(rng, 5..=9, &[1, 2, 4]),
+        l1_latency: rng.gen_range(1..=4),
+        mshrs: rng.gen_range(1..=12),
+        branch_penalty: rng.gen_range(8..=20),
+        long_op_latency: rng.gen_range(3..=8),
+        store_buffer: rng.gen_range(4..=32),
+        prefetch_degree: rng.gen_range(0..=2),
+        branch_predictor,
+    }
+}
+
+fn arbitrary_dram(rng: &mut SmallRng) -> DramTimingConfig {
+    DramTimingConfig {
+        tck_ps: pick(rng, &[833, 1000, 1250, 1875]),
+        cl: rng.gen_range(10..=22),
+        trcd: rng.gen_range(10..=22),
+        trp: rng.gen_range(10..=22),
+        tras: rng.gen_range(28..=52),
+        twr: rng.gen_range(10..=20),
+        tccd: rng.gen_range(4..=8),
+        trrd: rng.gen_range(4..=8),
+        tfaw: rng.gen_range(16..=40),
+        cwl: rng.gen_range(9..=18),
+        burst_beats: pick(rng, &[4, 8]),
+        channels: rng.gen_range(1..=4),
+        ranks: pick(rng, &[1, 2, 4]),
+        bank_groups: pick(rng, &[1, 2, 4]),
+        banks_per_group: pick(rng, &[1, 2, 4]),
+        row_bytes: 1024u64 << rng.gen_range(0..=3u32),
+    }
+}
+
+fn arbitrary_config(rng: &mut SmallRng) -> SimConfig {
+    SimConfig {
+        cores: rng.gen_range(1..=6),
+        core_mhz: rng.gen_range(100.0..=2000.0),
+        core: arbitrary_core(rng),
+        llc: LlcConfig {
+            cache: arbitrary_cache(rng, 6..=12, &[4, 8, 16]),
+            banks: pick(rng, &[1, 2, 4, 8]),
+            bank_service_ps: rng.gen_range(1_000..=4_000),
+            invalidate_ps: rng.gen_range(4_000..=20_000),
+        },
+        xbar: XbarConfig {
+            traversal_ps: rng.gen_range(500..=2_000),
+            port_occupancy_ps: rng.gen_range(250..=1_000),
+        },
+        dram: arbitrary_dram(rng),
+        seed: rng.gen(),
+    }
+}
+
+fn arbitrary_stream(rng: &mut SmallRng) -> StreamSpec {
+    match rng.gen_range(0..5u32) {
+        0 => StreamSpec::Compute {
+            mispredict: rng.gen_range(0.0..0.05),
+        },
+        1 => StreamSpec::Stride {
+            stride: 64 * rng.gen_range(1..=16u64),
+            footprint: 1u64 << rng.gen_range(16..=26u32),
+            loads: rng.gen_range(0.05..0.45),
+        },
+        2 => StreamSpec::Random {
+            working_set: 1u64 << rng.gen_range(14..=26u32),
+            loads: rng.gen_range(0.05..0.45),
+            dep: rng.gen_range(0..=8u16),
+            seed: rng.gen(),
+        },
+        3 => StreamSpec::Chase {
+            working_set: 1u64 << rng.gen_range(12..=22u32),
+            gap: rng.gen_range(0..=8u32),
+            seed: rng.gen(),
+        },
+        _ => StreamSpec::SharedStore {
+            lines: rng.gen_range(1..=64u64),
+            period: rng.gen_range(1..=32u64),
+            offset: rng.gen_range(0..64u64),
+        },
+    }
+}
+
+fn arbitrary_sweep(rng: &mut SmallRng) -> SweepSpec {
+    let mut ladder: Vec<f64> = (1..=20)
+        .map(|i| f64::from(i) * 100.0)
+        .filter(|_| rng.gen_bool(0.4))
+        .collect();
+    if ladder.is_empty() {
+        ladder.push(f64::from(rng.gen_range(1..=20u32)) * 100.0);
+    }
+    let uipc_low = rng.gen_range(1.2..4.0);
+    let uipc_high = uipc_low * rng.gen_range(0.2..=1.0);
+    SweepSpec {
+        ladder,
+        uipc_low,
+        uipc_high,
+    }
+}
+
+fn arbitrary_percentile(rng: &mut SmallRng) -> PercentileSpec {
+    let kind = match rng.gen_range(0..5u32) {
+        0 => SampleKind::Uniform {
+            max: rng.gen_range(1..=1u64 << 48),
+        },
+        1 => SampleKind::PowerOfTwo {
+            max_exp: rng.gen_range(4..=48),
+        },
+        2 => SampleKind::Boundary,
+        3 => SampleKind::Constant {
+            value: rng.gen_range(0..=1u64 << 32),
+        },
+        _ => SampleKind::Mixed {
+            max: rng.gen_range(1..=1u64 << 48),
+        },
+    };
+    PercentileSpec {
+        count: rng.gen_range(50..=2_000),
+        kind,
+        seed: rng.gen(),
+    }
+}
+
+impl CaseShape {
+    /// Derives case `index` of harness run `seed`. Pure: the same pair
+    /// always yields the same shape, so `--seed N --case M` reproduces.
+    pub fn generate(seed: u64, index: u64) -> CaseShape {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(
+            seed ^ splitmix64(index.wrapping_add(0xA5A5_5A5A)),
+        ));
+        let config = arbitrary_config(&mut rng);
+        let clusters = rng.gen_range(1..=3u32);
+        let use_chip = clusters > 1 || rng.gen_bool(0.5);
+        let streams = (0..rng.gen_range(1..=4usize))
+            .map(|_| arbitrary_stream(&mut rng))
+            .collect();
+        CaseShape {
+            seed,
+            index,
+            config,
+            clusters,
+            use_chip,
+            warm_cycles: rng.gen_range(0..=1_500),
+            measure_cycles: rng.gen_range(1_000..=5_000),
+            streams,
+            sweep: arbitrary_sweep(&mut rng),
+            percentile: arbitrary_percentile(&mut rng),
+        }
+    }
+
+    /// The stream for core `core` of cluster `cluster`.
+    pub fn stream(&self, cluster: u32, core: u32) -> Box<dyn InstructionStream> {
+        let i =
+            (cluster as usize * self.config.cores as usize + core as usize) % self.streams.len();
+        self.streams[i].build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed_and_index() {
+        let a = CaseShape::generate(42, 7);
+        let b = CaseShape::generate(42, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, CaseShape::generate(42, 8));
+        assert_ne!(a, CaseShape::generate(43, 7));
+    }
+
+    #[test]
+    fn generated_configs_are_always_valid() {
+        for index in 0..200 {
+            let shape = CaseShape::generate(0xC0FFEE, index);
+            // validate() panics on a structurally invalid config, and the
+            // generator promises never to produce one.
+            shape.config.validate();
+            assert!(!shape.streams.is_empty());
+            assert!(!shape.sweep.ladder.is_empty());
+            assert!(shape.sweep.uipc_low >= shape.sweep.uipc_high);
+            assert!(shape.sweep.uipc_high > 0.0);
+            assert!(shape.percentile.count > 0);
+            assert!(shape.measure_cycles >= 1_000);
+        }
+    }
+
+    #[test]
+    fn shapes_round_trip_through_serde() {
+        let shape = CaseShape::generate(1, 2);
+        let json = serde_json::to_string(&shape).unwrap();
+        let back: CaseShape = serde_json::from_str(&json).unwrap();
+        assert_eq!(shape, back);
+    }
+
+    #[test]
+    fn percentile_samples_are_reproducible() {
+        let spec = CaseShape::generate(9, 9).percentile;
+        assert_eq!(spec.samples(), spec.samples());
+        assert_eq!(spec.samples().len(), spec.count as usize);
+    }
+}

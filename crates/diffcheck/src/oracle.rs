@@ -1,0 +1,385 @@
+//! The five fast/reference oracle pairs.
+//!
+//! Each pair runs the same [`CaseShape`] through an optimised path and a
+//! simple reference path and demands identical results — bit-identical
+//! [`SimStats`] for the simulator pairs, point-identical sweeps, and the
+//! structural bucket identity (plus the 2× error bound) for histogram
+//! percentiles. Any mismatch comes back as a [`Divergence`] whose detail
+//! names the first differing counters.
+
+use crate::case::CaseShape;
+use ntc_core::{FrequencySweep, ServerConfig, TableMeasurer};
+use ntc_sim::{ChipSim, ClusterSim, InstructionStream, SimStats, TimeSeriesProbe};
+use ntc_telemetry::metrics::{bucket_index, bucket_upper_bound};
+use ntc_telemetry::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// One fast/reference implementation pair under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OraclePair {
+    /// Cycle-skip fast path vs the naive tick-every-cycle loop.
+    CycleSkip,
+    /// Indexed FR-FCFS DRAM scheduler vs the scan-everything reference.
+    DramSched,
+    /// Probed/traced simulation vs a plain run (telemetry must be inert).
+    Telemetry,
+    /// Parallel frequency sweep vs the serial baseline.
+    Sweep,
+    /// Histogram p50/p90/p99 vs exact sorted percentiles.
+    Percentile,
+}
+
+impl OraclePair {
+    /// Every pair, in round-robin order.
+    pub const ALL: [OraclePair; 5] = [
+        OraclePair::CycleSkip,
+        OraclePair::DramSched,
+        OraclePair::Telemetry,
+        OraclePair::Sweep,
+        OraclePair::Percentile,
+    ];
+
+    /// The CLI name (`--pair` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            OraclePair::CycleSkip => "cycle-skip",
+            OraclePair::DramSched => "dram-sched",
+            OraclePair::Telemetry => "telemetry",
+            OraclePair::Sweep => "sweep",
+            OraclePair::Percentile => "percentile",
+        }
+    }
+
+    /// Parses a CLI name back to a pair.
+    pub fn parse(s: &str) -> Option<OraclePair> {
+        OraclePair::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// A detected fast/reference mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// The pair that disagreed.
+    pub pair: OraclePair,
+    /// Human-readable description of the first difference.
+    pub detail: String,
+}
+
+/// Which switches a single simulator run flips.
+#[derive(Clone, Copy)]
+struct Knobs {
+    cycle_skip: bool,
+    reference_sched: bool,
+    mutate: bool,
+    probed: bool,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            cycle_skip: true,
+            reference_sched: false,
+            mutate: false,
+            probed: false,
+        }
+    }
+}
+
+fn drive<S>(sim: &mut S, shape: &CaseShape) -> (SimStats, SimStats)
+where
+    S: SimDriver,
+{
+    if shape.warm_cycles > 0 {
+        sim.warm(shape.warm_cycles);
+    }
+    let window = sim.measure(shape.measure_cycles);
+    let total = sim.totals();
+    (window, total)
+}
+
+/// The tiny common surface of [`ClusterSim`] and [`ChipSim`] the harness
+/// needs, so one `drive` loop serves both engines.
+trait SimDriver {
+    fn warm(&mut self, cycles: u64);
+    fn measure(&mut self, cycles: u64) -> SimStats;
+    fn totals(&self) -> SimStats;
+}
+
+impl<S: InstructionStream> SimDriver for ClusterSim<S> {
+    fn warm(&mut self, cycles: u64) {
+        self.warm_up(cycles);
+    }
+    fn measure(&mut self, cycles: u64) -> SimStats {
+        self.run_measured(cycles)
+    }
+    fn totals(&self) -> SimStats {
+        self.stats()
+    }
+}
+
+impl<S: InstructionStream> SimDriver for ChipSim<S> {
+    fn warm(&mut self, cycles: u64) {
+        self.run(cycles);
+    }
+    fn measure(&mut self, cycles: u64) -> SimStats {
+        self.run_measured(cycles)
+    }
+    fn totals(&self) -> SimStats {
+        self.stats()
+    }
+}
+
+/// Runs the shape once under the given knob settings.
+fn run_shape(shape: &CaseShape, k: Knobs) -> (SimStats, SimStats) {
+    if shape.use_chip {
+        let mut sim = ChipSim::new(shape.config, shape.clusters, |cl, c| shape.stream(cl, c));
+        sim.set_cycle_skip(k.cycle_skip);
+        sim.set_reference_dram_scheduler(k.reference_sched);
+        sim.set_dram_scheduler_mutation(k.mutate);
+        if k.probed {
+            sim.attach_probe(Box::new(TimeSeriesProbe::new()));
+        }
+        drive(&mut sim, shape)
+    } else {
+        let mut sim = ClusterSim::new(shape.config, |c| shape.stream(0, c));
+        sim.set_cycle_skip(k.cycle_skip);
+        sim.set_reference_dram_scheduler(k.reference_sched);
+        sim.set_dram_scheduler_mutation(k.mutate);
+        if k.probed {
+            sim.attach_probe(Box::new(TimeSeriesProbe::new()));
+        }
+        drive(&mut sim, shape)
+    }
+}
+
+/// Describes the first difference between two `(window, final)` stat
+/// pairs — enough to see *which* counter family diverged without dumping
+/// two full structs.
+fn describe(a: &(SimStats, SimStats), b: &(SimStats, SimStats)) -> String {
+    for (scope, x, y) in [("window", &a.0, &b.0), ("final", &a.1, &b.1)] {
+        if x == y {
+            continue;
+        }
+        let mut parts = Vec::new();
+        if x.cycles != y.cycles {
+            parts.push(format!("cycles {} vs {}", x.cycles, y.cycles));
+        }
+        if x.wall_ps != y.wall_ps {
+            parts.push(format!("wall_ps {} vs {}", x.wall_ps, y.wall_ps));
+        }
+        if x.user_instrs() != y.user_instrs() {
+            parts.push(format!(
+                "user_instrs {} vs {}",
+                x.user_instrs(),
+                y.user_instrs()
+            ));
+        }
+        if x.xbar_transfers != y.xbar_transfers {
+            parts.push(format!(
+                "xbar_transfers {} vs {}",
+                x.xbar_transfers, y.xbar_transfers
+            ));
+        }
+        if x.dram_queue_high_water != y.dram_queue_high_water {
+            parts.push(format!(
+                "dram_queue_high_water {} vs {}",
+                x.dram_queue_high_water, y.dram_queue_high_water
+            ));
+        }
+        if x.llc != y.llc {
+            parts.push(format!("llc {:?} vs {:?}", x.llc, y.llc));
+        }
+        if x.dram != y.dram {
+            parts.push(format!("dram {:?} vs {:?}", x.dram, y.dram));
+        }
+        if x.cores != y.cores {
+            parts.push("per-core counters differ".to_string());
+        }
+        return format!("{scope} stats diverge: {}", parts.join("; "));
+    }
+    "stats diverge".to_string()
+}
+
+fn check_sim_pair(
+    pair: OraclePair,
+    shape: &CaseShape,
+    fast: Knobs,
+    reference: Knobs,
+) -> Option<Divergence> {
+    let a = run_shape(shape, fast);
+    let b = run_shape(shape, reference);
+    (a != b).then(|| Divergence {
+        pair,
+        detail: describe(&a, &b),
+    })
+}
+
+fn check_sweep(shape: &CaseShape) -> Option<Divergence> {
+    let spec = &shape.sweep;
+    let server = ServerConfig::paper().build().expect("paper server model");
+    let measurer = TableMeasurer::synthetic(spec.uipc_low, spec.uipc_high);
+    let sweep = FrequencySweep::over(spec.ladder.clone());
+    let parallel = sweep.run(&server, &measurer);
+    let serial = sweep.run_serial(&server, &measurer);
+    let detail = match (parallel, serial) {
+        (Ok(p), Ok(s)) => {
+            if p.points() == s.points() {
+                return None;
+            }
+            let first = p
+                .points()
+                .iter()
+                .zip(s.points())
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("first differing point: {a:?} vs {b:?}"))
+                .unwrap_or_else(|| {
+                    format!("point counts {} vs {}", p.points().len(), s.points().len())
+                });
+            format!("parallel and serial sweeps disagree: {first}")
+        }
+        (Err(a), Err(b)) => {
+            if a == b {
+                return None;
+            }
+            format!("sweep errors disagree: {a:?} vs {b:?}")
+        }
+        (Ok(_), Err(e)) => format!("parallel succeeded but serial failed: {e:?}"),
+        (Err(e), Ok(_)) => format!("serial succeeded but parallel failed: {e:?}"),
+    };
+    Some(Divergence {
+        pair: OraclePair::Sweep,
+        detail,
+    })
+}
+
+fn check_percentile(shape: &CaseShape) -> Option<Divergence> {
+    let samples = shape.percentile.samples();
+    let hist = Histogram::new();
+    for &v in &samples {
+        hist.record(v);
+    }
+    let snap = hist.snapshot();
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    for p in [0.50, 0.90, 0.99] {
+        let rank = ((p * n).ceil() as u64).max(1) as usize;
+        let exact = sorted[rank - 1];
+        let got = snap.percentile(p);
+        // Structural identity: the histogram must answer with the upper
+        // bound of the bucket the exact percentile falls in (clamped to
+        // the recorded max) — same rank convention, bucketed value.
+        let want = bucket_upper_bound(bucket_index(exact)).min(snap.max);
+        if got != want {
+            return Some(Divergence {
+                pair: OraclePair::Percentile,
+                detail: format!(
+                    "p{:02} bucket identity broken: histogram {got}, expected {want} \
+                     (exact {exact}, bucket {})",
+                    (p * 100.0) as u32,
+                    bucket_index(exact)
+                ),
+            });
+        }
+        // Error bound: power-of-two buckets overestimate by at most 2×
+        // and never underestimate.
+        if got < exact || (exact > 0 && got > exact.saturating_mul(2)) {
+            return Some(Divergence {
+                pair: OraclePair::Percentile,
+                detail: format!(
+                    "p{:02} outside the 2x bound: histogram {got}, exact {exact}",
+                    (p * 100.0) as u32
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Checks one oracle pair on one case. `mutate` injects the deliberate
+/// scheduler fault (see `DramSystem::set_scheduler_mutation`) into every
+/// *indexed*-scheduler run: only the [`OraclePair::DramSched`] pair
+/// compares indexed against reference, so only it should trip — the
+/// other simulator pairs apply the fault to both sides and must stay
+/// identical, keeping mutation detection cleanly attributable.
+pub fn check(pair: OraclePair, shape: &CaseShape, mutate: bool) -> Option<Divergence> {
+    match pair {
+        OraclePair::CycleSkip => check_sim_pair(
+            pair,
+            shape,
+            Knobs {
+                cycle_skip: true,
+                mutate,
+                ..Knobs::default()
+            },
+            Knobs {
+                cycle_skip: false,
+                mutate,
+                ..Knobs::default()
+            },
+        ),
+        OraclePair::DramSched => check_sim_pair(
+            pair,
+            shape,
+            Knobs {
+                mutate,
+                ..Knobs::default()
+            },
+            Knobs {
+                reference_sched: true,
+                ..Knobs::default()
+            },
+        ),
+        OraclePair::Telemetry => check_sim_pair(
+            pair,
+            shape,
+            Knobs {
+                probed: true,
+                mutate,
+                ..Knobs::default()
+            },
+            Knobs {
+                mutate,
+                ..Knobs::default()
+            },
+        ),
+        OraclePair::Sweep => check_sweep(shape),
+        OraclePair::Percentile => check_percentile(shape),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_names_round_trip() {
+        for pair in OraclePair::ALL {
+            assert_eq!(OraclePair::parse(pair.name()), Some(pair));
+        }
+        assert_eq!(OraclePair::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn a_small_case_passes_every_pair() {
+        let shape = CaseShape::generate(0xACCE55, 0);
+        for pair in OraclePair::ALL {
+            assert!(
+                check(pair, &shape, false).is_none(),
+                "pair {} diverged on a clean tree",
+                pair.name()
+            );
+        }
+    }
+
+    #[test]
+    fn describe_names_the_differing_counter() {
+        let shape = CaseShape::generate(0xACCE55, 1);
+        let a = run_shape(&shape, Knobs::default());
+        let mut b = a.clone();
+        b.0.xbar_transfers += 1;
+        let msg = describe(&a, &b);
+        assert!(msg.contains("xbar_transfers"), "{msg}");
+        assert!(msg.contains("window"), "{msg}");
+    }
+}

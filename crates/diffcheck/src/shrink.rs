@@ -1,0 +1,122 @@
+//! Greedy shrinking of a failing case.
+//!
+//! Given a diverging [`CaseShape`], repeatedly try size-reducing edits —
+//! fewer clusters, fewer cores, fewer DRAM banks, shorter windows — and
+//! keep any edit that still diverges. Passes repeat until a whole pass
+//! makes no progress (a fixpoint) or the re-run budget is exhausted. The
+//! result is the minimal config the bug still reproduces on, which is
+//! what the repro command prints.
+
+use crate::case::CaseShape;
+use crate::oracle::{check, OraclePair};
+
+/// Applies `edit` to a copy of `s`, returning it only if it changed.
+fn tweak(s: &CaseShape, edit: impl FnOnce(&mut CaseShape)) -> Option<CaseShape> {
+    let mut c = s.clone();
+    edit(&mut c);
+    (c != *s).then_some(c)
+}
+
+/// Candidate reductions, most aggressive first. Every candidate keeps
+/// the config structurally valid by construction.
+fn candidates(s: &CaseShape) -> Vec<CaseShape> {
+    let mut v = Vec::new();
+    let mut add = |c: Option<CaseShape>| {
+        if let Some(c) = c {
+            v.push(c);
+        }
+    };
+    add(tweak(s, |c| {
+        c.clusters = 1;
+        c.use_chip = false;
+    }));
+    add(tweak(s, |c| c.clusters = 1));
+    add(tweak(s, |c| c.config.cores = 1));
+    add(tweak(s, |c| c.config.cores = c.config.cores.div_ceil(2)));
+    add(tweak(s, |c| c.config.dram.channels = 1));
+    add(tweak(s, |c| c.config.dram.ranks = 1));
+    add(tweak(s, |c| {
+        c.config.dram.ranks = c.config.dram.ranks.div_ceil(2)
+    }));
+    add(tweak(s, |c| c.config.dram.bank_groups = 1));
+    add(tweak(s, |c| {
+        c.config.dram.bank_groups = c.config.dram.bank_groups.div_ceil(2);
+    }));
+    add(tweak(s, |c| c.config.dram.banks_per_group = 1));
+    add(tweak(s, |c| {
+        c.config.dram.banks_per_group = c.config.dram.banks_per_group.div_ceil(2);
+    }));
+    add(tweak(s, |c| c.config.llc.banks = 1));
+    add(tweak(s, |c| c.warm_cycles = 0));
+    add(tweak(s, |c| c.warm_cycles /= 2));
+    add(tweak(s, |c| {
+        c.measure_cycles = (c.measure_cycles / 2).max(250);
+    }));
+    add(tweak(s, |c| c.streams.truncate(1)));
+    add(tweak(s, |c| c.config.core.branch_predictor = None));
+    add(tweak(s, |c| c.config.core.prefetch_degree = 0));
+    add(tweak(s, |c| {
+        c.config.core.mshrs = c.config.core.mshrs.min(4);
+    }));
+    add(tweak(s, |c| {
+        let keep = c.sweep.ladder.len().div_ceil(2);
+        c.sweep.ladder.truncate(keep);
+    }));
+    add(tweak(s, |c| c.sweep.ladder.truncate(1)));
+    add(tweak(s, |c| {
+        c.percentile.count = (c.percentile.count / 2).max(1);
+    }));
+    v
+}
+
+/// Shrinks `shape` while the divergence on `pair` persists. Returns the
+/// smallest still-failing shape found and how many oracle re-runs the
+/// search spent (each candidate costs one differential run).
+pub fn shrink(
+    shape: &CaseShape,
+    pair: OraclePair,
+    mutate: bool,
+    max_runs: u32,
+) -> (CaseShape, u32) {
+    let mut current = shape.clone();
+    let mut runs = 0u32;
+    let mut progress = true;
+    while progress && runs < max_runs {
+        progress = false;
+        for candidate in candidates(&current) {
+            if runs >= max_runs {
+                break;
+            }
+            runs += 1;
+            if check(pair, &candidate, mutate).is_some() {
+                current = candidate;
+                progress = true;
+            }
+        }
+    }
+    (current, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_are_strictly_different_and_valid() {
+        let shape = CaseShape::generate(0x5151, 3);
+        for c in candidates(&shape) {
+            assert_ne!(c, shape);
+            c.config.validate();
+        }
+    }
+
+    #[test]
+    fn shrinking_a_passing_case_returns_it_unchanged() {
+        // No candidate of a non-diverging case can diverge on a clean
+        // tree, so the fixpoint is the input itself after one pass.
+        let shape = CaseShape::generate(0xACCE55, 0);
+        let (shrunk, runs) = shrink(&shape, OraclePair::Percentile, false, 100);
+        assert_eq!(shrunk, shape);
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Typed errors for the QoS models.
+//!
+//! The queueing simulation historically `assert!`ed its configuration,
+//! aborting the whole process on degenerate inputs (notably small request
+//! counts coming from sweep drivers and the fuzz harness). Validation now
+//! returns these errors instead so callers can skip or report the case.
+
+use std::fmt;
+
+/// A degenerate QoS-model configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum QosError {
+    /// Too few measured requests for stable percentiles: the p99 of a
+    /// sub-100-request run is a single sample.
+    TooFewRequests {
+        /// The rejected request count.
+        requests: u32,
+        /// The smallest accepted count.
+        minimum: u32,
+    },
+    /// A queueing system needs at least one server.
+    NoServers,
+    /// Mean service time must be positive and finite.
+    NonPositiveServiceTime {
+        /// The rejected mean service time (milliseconds).
+        mean_service_ms: f64,
+    },
+    /// Offered utilization must lie in `[0, 1)` — at or beyond 1 the
+    /// queue has no stationary distribution.
+    UtilizationOutOfRange {
+        /// The rejected utilization.
+        utilization: f64,
+    },
+}
+
+impl fmt::Display for QosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosError::TooFewRequests { requests, minimum } => write!(
+                f,
+                "too few requests for percentiles: {requests} (need at least {minimum})"
+            ),
+            QosError::NoServers => write!(f, "queueing simulation needs at least one server"),
+            QosError::NonPositiveServiceTime { mean_service_ms } => write!(
+                f,
+                "mean service time must be positive, got {mean_service_ms} ms"
+            ),
+            QosError::UtilizationOutOfRange { utilization } => {
+                write!(f, "utilization must be in [0, 1), got {utilization}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_value() {
+        let e = QosError::TooFewRequests {
+            requests: 10,
+            minimum: 101,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("101"));
+        let e = QosError::UtilizationOutOfRange { utilization: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+}

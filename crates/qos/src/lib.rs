@@ -17,12 +17,14 @@
 //!    2× / 4× bounds ([`degradation`]).
 
 pub mod degradation;
+pub mod error;
 pub mod queue_sim;
 pub mod requests;
 pub mod scaling;
 pub mod tail;
 
 pub use degradation::DegradationModel;
+pub use error::QosError;
 pub use queue_sim::{
     simulate as simulate_queue, QueueSimConfig, QueueSimResult, ServiceDistribution,
 };

@@ -7,6 +7,7 @@
 //! cores) from which the 95th/99th percentiles are *measured* rather than
 //! derived. Integration tests verify the two paths agree.
 
+use crate::error::QosError;
 use ntc_telemetry::LazyHistogram;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -89,19 +90,39 @@ impl QueueSimConfig {
         }
     }
 
+    /// Smallest accepted request count: percentiles over fewer samples
+    /// are single-observation noise.
+    pub const MIN_REQUESTS: u32 = 101;
+
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on degenerate settings.
-    pub fn validate(&self) {
-        assert!(self.servers > 0, "need at least one server");
-        assert!(self.mean_service_ms > 0.0, "service time must be positive");
-        assert!(
-            (0.0..1.0).contains(&self.utilization),
-            "utilization must be in [0,1)"
-        );
-        assert!(self.requests > 100, "too few requests for percentiles");
+    /// Returns a [`QosError`] describing the first degenerate setting.
+    /// (This used to `assert!`, aborting the process on small request
+    /// counts — callers such as sweep drivers and the diffcheck harness
+    /// need to skip such cases instead.)
+    pub fn validate(&self) -> Result<(), QosError> {
+        if self.servers == 0 {
+            return Err(QosError::NoServers);
+        }
+        if !(self.mean_service_ms.is_finite() && self.mean_service_ms > 0.0) {
+            return Err(QosError::NonPositiveServiceTime {
+                mean_service_ms: self.mean_service_ms,
+            });
+        }
+        if !(0.0..1.0).contains(&self.utilization) {
+            return Err(QosError::UtilizationOutOfRange {
+                utilization: self.utilization,
+            });
+        }
+        if self.requests < Self::MIN_REQUESTS {
+            return Err(QosError::TooFewRequests {
+                requests: self.requests,
+                minimum: Self::MIN_REQUESTS,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -122,12 +143,13 @@ pub struct QueueSimResult {
 
 /// Runs the event-driven G/G/k simulation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on a degenerate configuration (see [`QueueSimConfig::validate`]).
-pub fn simulate(config: QueueSimConfig) -> QueueSimResult {
+/// Returns a [`QosError`] on a degenerate configuration (see
+/// [`QueueSimConfig::validate`]).
+pub fn simulate(config: QueueSimConfig) -> Result<QueueSimResult, QosError> {
     let _span = ntc_telemetry::trace::span_cat("qos", "qos.queue_sim");
-    config.validate();
+    config.validate()?;
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x51E_E5E);
     let arrival_rate = config.utilization * f64::from(config.servers) / config.mean_service_ms;
 
@@ -164,13 +186,13 @@ pub fn simulate(config: QueueSimConfig) -> QueueSimResult {
     // order after every finite time under the IEEE total order.
     sojourns.sort_by(f64::total_cmp);
     let pick = |p: f64| sojourns[((sojourns.len() - 1) as f64 * p) as usize];
-    QueueSimResult {
+    Ok(QueueSimResult {
         mean_ms: sojourns.iter().sum::<f64>() / sojourns.len() as f64,
         p50_ms: pick(0.50),
         p95_ms: pick(0.95),
         p99_ms: pick(0.99),
         requests: config.requests,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -189,7 +211,7 @@ mod tests {
             warmup: 5_000,
             seed: 1,
         };
-        let sim = simulate(cfg);
+        let sim = simulate(cfg).unwrap();
         let analytic = Mm1TailModel::new(2.0, 0.3);
         let rel = (sim.p99_ms - analytic.p99_ms()).abs() / analytic.p99_ms();
         assert!(
@@ -204,7 +226,7 @@ mod tests {
 
     #[test]
     fn near_zero_contention_p99_is_4_6_services() {
-        let sim = simulate(QueueSimConfig::near_zero_contention(1.0));
+        let sim = simulate(QueueSimConfig::near_zero_contention(1.0)).unwrap();
         assert!(
             (sim.p99_ms / 100.0f64.ln() - 1.0).abs() < 0.15,
             "p99 {:.3} should approximate 4.6 service times",
@@ -219,11 +241,12 @@ mod tests {
             utilization: 0.3,
             ..QueueSimConfig::near_zero_contention(1.0)
         };
-        let det = simulate(base);
+        let det = simulate(base).unwrap();
         let exp = simulate(QueueSimConfig {
             distribution: ServiceDistribution::Exponential,
             ..base
-        });
+        })
+        .unwrap();
         assert!(det.p99_ms < exp.p99_ms, "{} vs {}", det.p99_ms, exp.p99_ms);
     }
 
@@ -236,11 +259,13 @@ mod tests {
         let exp = simulate(QueueSimConfig {
             distribution: ServiceDistribution::Exponential,
             ..base
-        });
+        })
+        .unwrap();
         let heavy = simulate(QueueSimConfig {
             distribution: ServiceDistribution::LogNormal { cv2: 6.0 },
             ..base
-        });
+        })
+        .unwrap();
         assert!(
             heavy.p99_ms > exp.p99_ms,
             "heavy tail {:.2} should exceed exponential {:.2}",
@@ -255,12 +280,14 @@ mod tests {
             servers: 1,
             utilization: 0.8,
             ..QueueSimConfig::near_zero_contention(1.0)
-        });
+        })
+        .unwrap();
         let four = simulate(QueueSimConfig {
             servers: 4,
             utilization: 0.8,
             ..QueueSimConfig::near_zero_contention(1.0)
-        });
+        })
+        .unwrap();
         assert!(
             four.p99_ms < one.p99_ms,
             "pooling shrinks the tail: {} vs {}",
@@ -271,7 +298,7 @@ mod tests {
 
     #[test]
     fn percentiles_are_ordered() {
-        let r = simulate(QueueSimConfig::near_zero_contention(1.0));
+        let r = simulate(QueueSimConfig::near_zero_contention(1.0)).unwrap();
         assert!(r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms);
         assert!(r.mean_ms > 0.0);
         assert_eq!(r.requests, 40_000);
@@ -286,17 +313,61 @@ mod tests {
         let r = simulate(QueueSimConfig {
             utilization: 0.0,
             ..QueueSimConfig::near_zero_contention(1.0)
-        });
+        })
+        .unwrap();
         assert_eq!(r.requests, 40_000);
     }
 
     #[test]
-    #[should_panic(expected = "utilization")]
-    fn rejects_saturation() {
+    fn rejects_saturation_with_a_typed_error() {
         let cfg = QueueSimConfig {
             utilization: 1.0,
             ..QueueSimConfig::near_zero_contention(1.0)
         };
-        let _ = simulate(cfg);
+        assert_eq!(
+            simulate(cfg).unwrap_err(),
+            QosError::UtilizationOutOfRange { utilization: 1.0 }
+        );
+    }
+
+    #[test]
+    fn small_request_counts_error_instead_of_aborting() {
+        // Regression: `assert!(requests > 100)` took the whole process
+        // down when a sweep driver asked for a tiny run.
+        let cfg = QueueSimConfig {
+            requests: 10,
+            ..QueueSimConfig::near_zero_contention(1.0)
+        };
+        assert_eq!(
+            simulate(cfg).unwrap_err(),
+            QosError::TooFewRequests {
+                requests: 10,
+                minimum: QueueSimConfig::MIN_REQUESTS,
+            }
+        );
+        // The boundary case passes validation.
+        let cfg = QueueSimConfig {
+            requests: QueueSimConfig::MIN_REQUESTS,
+            warmup: 0,
+            ..QueueSimConfig::near_zero_contention(1.0)
+        };
+        assert!(simulate(cfg).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_servers_and_bad_service_times() {
+        let base = QueueSimConfig::near_zero_contention(1.0);
+        assert_eq!(
+            QueueSimConfig { servers: 0, ..base }.validate(),
+            Err(QosError::NoServers)
+        );
+        let bad = QueueSimConfig {
+            mean_service_ms: f64::NAN,
+            ..base
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(QosError::NonPositiveServiceTime { .. })
+        ));
     }
 }

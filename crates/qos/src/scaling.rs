@@ -110,9 +110,13 @@ impl QosCurve {
         let budget = profile
             .qos_budget_ms()
             .expect("QoS curves apply to scale-out workloads");
+        // total_cmp, not partial_cmp: a NaN frequency slipping in from a
+        // degenerate sweep must not panic mid-comparison (the same fix the
+        // percentile sort received); NaNs order above every finite value
+        // under the IEEE total order.
         let &(_, base_uips) = samples
             .iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite frequencies"))
+            .max_by(|a, b| a.0.total_cmp(&b.0))
             .expect("non-empty samples");
         let scaler = LatencyScaler::for_profile(profile, base_uips);
         let mut points: Vec<QosPoint> = samples
@@ -123,7 +127,7 @@ impl QosCurve {
                 normalized_l99: scaler.normalized(uips, budget),
             })
             .collect();
-        points.sort_by(|a, b| a.mhz.partial_cmp(&b.mhz).expect("finite frequencies"));
+        points.sort_by(|a, b| a.mhz.total_cmp(&b.mhz));
         QosCurve { points }
     }
 
@@ -212,5 +216,27 @@ mod tests {
     fn vm_profiles_have_no_latency_curve() {
         let p = WorkloadProfile::banking_low_mem(4.0);
         let _ = QosCurve::build(&p, &web_search_samples());
+    }
+
+    #[test]
+    fn degenerate_frequencies_do_not_panic() {
+        // Regression: both the baseline pick and the point sort used
+        // `partial_cmp(..).expect("finite frequencies")`, so one NaN or
+        // infinite frequency from a degenerate sweep aborted the process.
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let mut samples = web_search_samples();
+        samples.push((f64::NAN, 5.0e9));
+        samples.push((f64::INFINITY, 1.0e9));
+        let curve = QosCurve::build(&p, &samples);
+        assert_eq!(curve.points().len(), samples.len());
+        // Finite points stay sorted ascending; NaN orders last under the
+        // IEEE total order, so the finite prefix is untouched.
+        let finite: Vec<f64> = curve
+            .points()
+            .iter()
+            .map(|pt| pt.mhz)
+            .filter(|m| m.is_finite())
+            .collect();
+        assert!(finite.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -152,6 +152,14 @@ impl<S: InstructionStream> ChipSim<S> {
         self.dram.borrow_mut().set_reference_scheduler(reference);
     }
 
+    /// Injects the harness-validation scheduler fault into the indexed
+    /// DRAM path (see `DramSystem::set_scheduler_mutation`). Only the
+    /// differential-verification harness should ever enable this.
+    #[doc(hidden)]
+    pub fn set_dram_scheduler_mutation(&mut self, enabled: bool) {
+        self.dram.borrow_mut().set_scheduler_mutation(enabled);
+    }
+
     /// Deepest any shared-DRAM channel queue has been since construction.
     pub fn dram_queue_high_water(&self) -> usize {
         self.dram.borrow().queue_depth_high_water()

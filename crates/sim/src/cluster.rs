@@ -124,6 +124,14 @@ impl<S: InstructionStream> ClusterSim<S> {
         self.mem.set_reference_dram_scheduler(reference);
     }
 
+    /// Injects the harness-validation scheduler fault into the indexed
+    /// DRAM path (see `DramSystem::set_scheduler_mutation`). Only the
+    /// differential-verification harness should ever enable this.
+    #[doc(hidden)]
+    pub fn set_dram_scheduler_mutation(&mut self, enabled: bool) {
+        self.mem.set_dram_scheduler_mutation(enabled);
+    }
+
     /// Deepest any DRAM channel queue has been since construction — a
     /// diagnostic for sizing the scheduler's index structures.
     pub fn dram_queue_high_water(&self) -> usize {

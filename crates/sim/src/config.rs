@@ -2,6 +2,7 @@
 
 use crate::bpred::PredictorKind;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Core microarchitecture parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -232,7 +233,152 @@ impl DramTimingConfig {
     pub fn row_hit_read_ps(&self) -> u64 {
         u64::from(self.cl) * self.tck_ps + self.burst_ps()
     }
+
+    /// Largest channel count the address decode supports.
+    pub const MAX_CHANNELS: u32 = 4096;
+    /// Largest per-channel bank count (ranks × groups × banks/group).
+    pub const MAX_BANKS_PER_CHANNEL: u32 = 65_536;
+
+    /// Checks the geometry invariants the address decode and the channel
+    /// state arrays rely on.
+    ///
+    /// Without these checks a zero channel/rank/bank-group count divides
+    /// by zero inside [`crate::dram::DramSystem::map`], a sub-line
+    /// `row_bytes` makes `lines_per_row` zero (another division by zero),
+    /// and an oversized geometry overflows the `u32` bank arithmetic
+    /// silently in release builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), DramConfigError> {
+        if self.channels == 0 || self.channels > Self::MAX_CHANNELS {
+            return Err(DramConfigError::Channels {
+                channels: self.channels,
+            });
+        }
+        if self.ranks == 0 || self.bank_groups == 0 || self.banks_per_group == 0 {
+            return Err(DramConfigError::ZeroBanks {
+                ranks: self.ranks,
+                bank_groups: self.bank_groups,
+                banks_per_group: self.banks_per_group,
+            });
+        }
+        let banks = self
+            .ranks
+            .checked_mul(self.bank_groups)
+            .and_then(|b| b.checked_mul(self.banks_per_group));
+        match banks {
+            Some(b) if b <= Self::MAX_BANKS_PER_CHANNEL => {}
+            _ => {
+                return Err(DramConfigError::TooManyBanks {
+                    ranks: self.ranks,
+                    bank_groups: self.bank_groups,
+                    banks_per_group: self.banks_per_group,
+                })
+            }
+        }
+        if self.row_bytes < crate::LINE_BYTES || self.row_bytes % crate::LINE_BYTES != 0 {
+            return Err(DramConfigError::RowBytes {
+                row_bytes: self.row_bytes,
+            });
+        }
+        if self.tck_ps == 0 {
+            return Err(DramConfigError::ZeroClock);
+        }
+        if self.burst_beats < 2 || self.burst_beats % 2 != 0 {
+            return Err(DramConfigError::BurstBeats {
+                burst_beats: self.burst_beats,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// A structurally invalid [`DramTimingConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramConfigError {
+    /// Channel count outside `1..=`[`DramTimingConfig::MAX_CHANNELS`].
+    Channels {
+        /// The rejected channel count.
+        channels: u32,
+    },
+    /// A zero rank, bank-group or banks-per-group count.
+    ZeroBanks {
+        /// Ranks per channel.
+        ranks: u32,
+        /// Bank groups per rank.
+        bank_groups: u32,
+        /// Banks per bank group.
+        banks_per_group: u32,
+    },
+    /// `ranks × bank_groups × banks_per_group` overflows or exceeds
+    /// [`DramTimingConfig::MAX_BANKS_PER_CHANNEL`].
+    TooManyBanks {
+        /// Ranks per channel.
+        ranks: u32,
+        /// Bank groups per rank.
+        bank_groups: u32,
+        /// Banks per bank group.
+        banks_per_group: u32,
+    },
+    /// Row size below one cache line or not line-aligned.
+    RowBytes {
+        /// The rejected row size.
+        row_bytes: u64,
+    },
+    /// A zero DRAM clock period.
+    ZeroClock,
+    /// Burst length zero or odd (bursts move `beats / 2` DDR clocks).
+    BurstBeats {
+        /// The rejected burst length.
+        burst_beats: u32,
+    },
+}
+
+impl fmt::Display for DramConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramConfigError::Channels { channels } => write!(
+                f,
+                "DRAM channels must be 1..={}, got {channels}",
+                DramTimingConfig::MAX_CHANNELS
+            ),
+            DramConfigError::ZeroBanks {
+                ranks,
+                bank_groups,
+                banks_per_group,
+            } => write!(
+                f,
+                "DRAM geometry needs at least one rank, bank group and bank \
+                 (got {ranks} ranks x {bank_groups} groups x {banks_per_group} banks)"
+            ),
+            DramConfigError::TooManyBanks {
+                ranks,
+                bank_groups,
+                banks_per_group,
+            } => write!(
+                f,
+                "{ranks} ranks x {bank_groups} groups x {banks_per_group} banks \
+                 exceeds {} banks per channel",
+                DramTimingConfig::MAX_BANKS_PER_CHANNEL
+            ),
+            DramConfigError::RowBytes { row_bytes } => write!(
+                f,
+                "DRAM row size must be a positive multiple of {} bytes, got {row_bytes}",
+                crate::LINE_BYTES
+            ),
+            DramConfigError::ZeroClock => write!(f, "DRAM clock period must be positive"),
+            DramConfigError::BurstBeats { burst_beats } => write!(
+                f,
+                "DRAM burst length must be a positive even beat count, got {burst_beats}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DramConfigError {}
 
 impl Default for DramTimingConfig {
     fn default() -> Self {
@@ -298,8 +444,9 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `cores` is zero or exceeds [`Self::MAX_CORES`] (the
-    /// sharer-mask width): `1 << core` on the directory mask would
-    /// otherwise overflow silently in release builds.
+    /// sharer-mask width — `1 << core` on the directory mask would
+    /// otherwise overflow silently in release builds), or the DRAM
+    /// geometry is invalid (see [`DramTimingConfig::validate`]).
     pub fn validate(&self) {
         assert!(
             self.cores >= 1 && self.cores <= Self::MAX_CORES,
@@ -307,6 +454,9 @@ impl SimConfig {
             Self::MAX_CORES,
             self.cores
         );
+        if let Err(e) = self.dram.validate() {
+            panic!("invalid DRAM configuration: {e}");
+        }
     }
 
     /// Core clock period in picoseconds.
@@ -385,5 +535,81 @@ mod tests {
         let mut c = SimConfig::paper_cluster(1000.0);
         c.cores = 0;
         c.validate();
+    }
+
+    #[test]
+    fn dram_validate_accepts_the_paper_geometry() {
+        assert_eq!(DramTimingConfig::ddr4_1600_paper().validate(), Ok(()));
+    }
+
+    #[test]
+    fn dram_validate_rejects_degenerate_geometries() {
+        let base = DramTimingConfig::ddr4_1600_paper();
+
+        let mut d = base;
+        d.channels = 0;
+        assert!(matches!(
+            d.validate(),
+            Err(DramConfigError::Channels { channels: 0 })
+        ));
+
+        let mut d = base;
+        d.bank_groups = 0;
+        assert!(matches!(
+            d.validate(),
+            Err(DramConfigError::ZeroBanks { .. })
+        ));
+
+        let mut d = base;
+        d.ranks = 0;
+        assert!(matches!(
+            d.validate(),
+            Err(DramConfigError::ZeroBanks { .. })
+        ));
+
+        // The bank product must not truncate through `u32` arithmetic.
+        let mut d = base;
+        d.ranks = 1 << 12;
+        d.bank_groups = 1 << 12;
+        d.banks_per_group = 1 << 12;
+        assert!(matches!(
+            d.validate(),
+            Err(DramConfigError::TooManyBanks { .. })
+        ));
+
+        // A sub-line row would zero `lines_per_row` in the decode.
+        let mut d = base;
+        d.row_bytes = 32;
+        assert!(matches!(
+            d.validate(),
+            Err(DramConfigError::RowBytes { row_bytes: 32 })
+        ));
+
+        let mut d = base;
+        d.tck_ps = 0;
+        assert_eq!(d.validate(), Err(DramConfigError::ZeroClock));
+
+        let mut d = base;
+        d.burst_beats = 3;
+        assert!(matches!(
+            d.validate(),
+            Err(DramConfigError::BurstBeats { burst_beats: 3 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM configuration")]
+    fn sim_validate_rejects_zero_channel_dram() {
+        let mut c = SimConfig::paper_cluster(1000.0);
+        c.dram.channels = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn error_messages_name_the_violated_invariant() {
+        let mut d = DramTimingConfig::ddr4_1600_paper();
+        d.channels = 0;
+        let msg = d.validate().unwrap_err().to_string();
+        assert!(msg.contains("channels"), "unhelpful message: {msg}");
     }
 }

@@ -526,6 +526,9 @@ pub struct DramSystem {
     /// Use the scan-everything reference scheduler instead of the indexed
     /// one (differential-test oracle).
     reference: bool,
+    /// Harness-validation fault: the indexed scheduler drops its row-hit
+    /// preference (see [`DramSystem::set_scheduler_mutation`]).
+    mutate_scheduler: bool,
     /// Memoized [`DramSystem::next_issue_ps`] (`None` = recompute). The
     /// bound is a pure function of the queues and bank/rank/bus state, so
     /// it stays valid until a command is enqueued or issued.
@@ -536,7 +539,17 @@ pub struct DramSystem {
 
 impl DramSystem {
     /// Builds an idle memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is structurally invalid (zero channel/bank
+    /// counts, a sub-line row size, an overflowing bank product — see
+    /// [`DramTimingConfig::validate`]): the address decode would otherwise
+    /// divide by zero or silently truncate.
     pub fn new(cfg: DramTimingConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DRAM configuration: {e}");
+        }
         let channels = (0..cfg.channels).map(|_| Channel::new(&cfg)).collect();
         DramSystem {
             cfg,
@@ -548,6 +561,7 @@ impl DramSystem {
             queued: 0,
             high_water: 0,
             reference: false,
+            mutate_scheduler: false,
             next_issue_cache: None,
             read_completion_cache: None,
         }
@@ -567,6 +581,18 @@ impl DramSystem {
     /// the same underlying structures.
     pub fn set_reference_scheduler(&mut self, reference: bool) {
         self.reference = reference;
+    }
+
+    /// Injects a deliberate scheduling bug into the **indexed** path: it
+    /// always picks the oldest request, ignoring the row-hit preference,
+    /// while the reference oracle keeps full FR-FCFS.
+    ///
+    /// This exists solely so the differential-verification harness
+    /// (`ntc-diffcheck --mutate`) can prove it detects and shrinks real
+    /// scheduler divergences; it must never be enabled in a measurement.
+    #[doc(hidden)]
+    pub fn set_scheduler_mutation(&mut self, enabled: bool) {
+        self.mutate_scheduler = enabled;
     }
 
     /// Maps a line address to its channel/rank/bank/row.
@@ -857,9 +883,17 @@ impl DramSystem {
     /// Indexed FR-FCFS: O(active banks + log n) per pick, bit-identical
     /// decisions to [`DramSystem::tick_channel_reference`].
     fn tick_channel_indexed(&mut self, ch: usize, until_ps: u64) {
+        let mutate = self.mutate_scheduler;
         loop {
             let chan = &mut self.channels[ch];
-            let Some(slot) = chan.best_candidate() else {
+            let candidate = if mutate {
+                // Injected fault (`set_scheduler_mutation`): oldest-first
+                // only, no row-hit preference.
+                peek_seq(&mut chan.ready_by_seq, &chan.slots).map(|(_, slot)| slot)
+            } else {
+                chan.best_candidate()
+            };
+            let Some(slot) = candidate else {
                 break;
             };
             let p = chan.slots[slot as usize].as_ref().expect("candidate live");
@@ -1018,6 +1052,25 @@ mod tests {
             .find(|(t, _)| *t == ticket)
             .map(|(_, d)| d)
             .expect("request should complete")
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM configuration")]
+    fn zero_channel_geometry_is_rejected_at_construction() {
+        // Regression: `map()` divided by `channels`, so a zero-channel
+        // config reached a divide-by-zero at the first access instead of
+        // failing construction with a clear message.
+        let mut cfg = DramTimingConfig::ddr4_1600_paper();
+        cfg.channels = 0;
+        let _ = DramSystem::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM configuration")]
+    fn zero_bank_geometry_is_rejected_at_construction() {
+        let mut cfg = DramTimingConfig::ddr4_1600_paper();
+        cfg.banks_per_group = 0;
+        let _ = DramSystem::new(cfg);
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub mod xbar;
 pub use bpred::{BranchPredictor, PredictorKind, SyntheticBranchBehaviour};
 pub use chip::ChipSim;
 pub use cluster::ClusterSim;
-pub use config::{CacheConfig, CoreConfig, DramTimingConfig, LlcConfig, SimConfig, XbarConfig};
+pub use config::{
+    CacheConfig, CoreConfig, DramConfigError, DramTimingConfig, LlcConfig, SimConfig, XbarConfig,
+};
 pub use instr::{Instr, InstructionStream, OpClass};
 pub use probe::{Probe, ProbeSample, TimeSeriesProbe};
 pub use stats::{CoreStats, SimStats};

@@ -312,6 +312,13 @@ impl MemorySystem {
         self.dram.borrow_mut().set_reference_scheduler(reference);
     }
 
+    /// Injects the harness-validation scheduler fault (see
+    /// [`DramSystem::set_scheduler_mutation`]).
+    #[doc(hidden)]
+    pub fn set_dram_scheduler_mutation(&mut self, enabled: bool) {
+        self.dram.borrow_mut().set_scheduler_mutation(enabled);
+    }
+
     /// Deepest the DRAM request queue has been (scheduler diagnostic).
     pub fn dram_queue_high_water(&self) -> usize {
         self.dram.borrow().queue_depth_high_water()

@@ -1,0 +1,138 @@
+//! Bucket-edge coverage for the power-of-two histogram.
+//!
+//! The log₂ bucketing promises: bucket `i ≥ 1` holds `[2^(i-1), 2^i-1]`,
+//! bucket 0 holds exactly zero, and any percentile overestimates the
+//! exact order statistic by at most 2× (never underestimates). These
+//! tests pin the boundaries — both sides of every power of two — and the
+//! p99-within-one-bucket guarantee the diffcheck percentile oracle
+//! fuzzes at scale.
+
+use ntc_telemetry::metrics::{bucket_index, bucket_upper_bound, BUCKETS};
+use ntc_telemetry::Histogram;
+
+/// Exact percentile with the histogram's own rank convention.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+#[test]
+fn bucket_index_splits_exactly_at_powers_of_two() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    for k in 1..63u32 {
+        let edge = 1u64 << k;
+        // 2^k opens bucket k+1; 2^k - 1 closes bucket k.
+        assert_eq!(bucket_index(edge), (k + 1) as usize, "2^{k}");
+        assert_eq!(bucket_index(edge - 1), k as usize, "2^{k} - 1");
+    }
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+}
+
+#[test]
+fn bucket_bounds_are_inclusive_upper_edges() {
+    assert_eq!(bucket_upper_bound(0), 0);
+    for i in 1..64usize {
+        let hi = bucket_upper_bound(i);
+        assert_eq!(hi, (1u64 << i) - 1);
+        // The bound belongs to its own bucket; one more spills over.
+        assert_eq!(bucket_index(hi), i);
+        assert_eq!(bucket_index(hi + 1), i + 1);
+    }
+    assert_eq!(bucket_upper_bound(64), u64::MAX);
+}
+
+#[test]
+fn constant_population_on_a_bucket_edge_reports_itself() {
+    // 2^k - 1 is its bucket's upper bound, so clamping to max makes the
+    // percentile exact for a constant population sitting on the edge.
+    for k in [1u32, 10, 32, 63] {
+        let v = (1u64 << k) - 1;
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for p in [0.5, 0.9, 0.99] {
+            assert_eq!(snap.percentile(p), v, "constant 2^{k} - 1");
+        }
+    }
+}
+
+#[test]
+fn constant_power_of_two_population_clamps_to_max() {
+    // 2^k opens bucket k+1, whose upper bound is 2^(k+1) - 1; the clamp
+    // to the observed max pulls the answer back to the exact value.
+    for k in [1u32, 16, 40] {
+        let v = 1u64 << k;
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().percentile(0.99), v, "constant 2^{k}");
+    }
+}
+
+#[test]
+fn straddling_an_edge_resolves_each_side_to_its_own_bucket() {
+    // Half the samples just below 2^10, half at 2^10: p50 must answer
+    // from bucket 10 and p99 from bucket 11.
+    let h = Histogram::new();
+    for _ in 0..50 {
+        h.record(1023);
+    }
+    for _ in 0..50 {
+        h.record(1024);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.percentile(0.50), 1023);
+    assert_eq!(snap.percentile(0.99), 1024); // bucket 11's bound, clamped to max
+}
+
+#[test]
+fn percentiles_stay_within_one_bucket_of_exact() {
+    // A deterministic heavy-tailed population (xorshift, no external
+    // RNG): every quantile must land in the same bucket as the exact
+    // order statistic and within its 2x width, never below it.
+    let mut x = 0x9E37_79B9u64 | 1;
+    let mut samples = Vec::with_capacity(10_000);
+    let h = Histogram::new();
+    for _ in 0..10_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let v = x >> (x % 48); // spread across many octaves
+        samples.push(v);
+        h.record(v);
+    }
+    samples.sort_unstable();
+    let snap = h.snapshot();
+    for p in [0.5, 0.9, 0.99] {
+        let exact = exact_percentile(&samples, p);
+        let got = snap.percentile(p);
+        assert!(got >= exact, "p{p}: {got} underestimates exact {exact}");
+        assert!(
+            exact == 0 || got <= exact.saturating_mul(2),
+            "p{p}: {got} beyond 2x of exact {exact}"
+        );
+        assert!(
+            bucket_index(got).abs_diff(bucket_index(exact)) <= 1,
+            "p{p}: answer bucket {} vs exact bucket {}",
+            bucket_index(got),
+            bucket_index(exact)
+        );
+    }
+}
+
+#[test]
+fn zero_heavy_population_keeps_bucket_zero_exact() {
+    let h = Histogram::new();
+    for _ in 0..99 {
+        h.record(0);
+    }
+    h.record(7);
+    let snap = h.snapshot();
+    assert_eq!(snap.percentile(0.5), 0);
+    assert_eq!(snap.percentile(0.99), 0);
+    assert_eq!(snap.percentile(1.0), 7);
+}

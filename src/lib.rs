@@ -24,6 +24,10 @@
 //! * [`telemetry`] — zero-cost observability: metrics registry, span
 //!   tracing with Chrome-trace export, sim probes (compile in with the
 //!   `telemetry` feature, switch on with `NTC_TRACE`/`NTC_METRICS`).
+//! * [`diffcheck`] — the differential fuzz harness: random valid configs
+//!   checked through every fast/reference oracle pair (cycle-skip,
+//!   FR-FCFS index, telemetry, parallel sweep, histogram percentiles),
+//!   with automatic shrinking and one-line repro commands.
 //!
 //! # Quickstart
 //!
@@ -38,6 +42,7 @@
 //! See `examples/quickstart.rs` for the end-to-end study in ~50 lines.
 
 pub use ntc_core as core;
+pub use ntc_diffcheck as diffcheck;
 pub use ntc_power as power;
 pub use ntc_qos as qos;
 pub use ntc_sampling as sampling;
