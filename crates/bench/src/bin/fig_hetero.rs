@@ -1,0 +1,61 @@
+//! Heterogeneous big/little study: sweep every big/little cluster split
+//! of the paper chip over per-class frequency ladders, and report the
+//! iso-power (100 W) Pareto frontier, its iso-QoS refinement, and
+//! whether any mix dominates the homogeneous baselines.
+//!
+//! Run with `cargo run --release -p ntc-bench --bin fig_hetero`; set
+//! `NTC_FIDELITY=paper` for the paper's full SMARTS windows. With the
+//! `telemetry` feature, `--trace` / `--metrics` export a Chrome trace
+//! and a metrics snapshot under `results/telemetry/`.
+
+use ntc_bench::{Fidelity, HeteroSummary, TelemetryRun};
+
+fn print_rows(rows: &[HeteroSummary]) {
+    println!(
+        "  {:<18} {:>12} {:>8} {:>10} {:>14}",
+        "mix", "UIPS", "W", "UIPS/W", "min core UIPS"
+    );
+    for r in rows {
+        println!(
+            "  {:<18} {:>12.3e} {:>8.1} {:>10.3e} {:>14.3e}",
+            r.label, r.uips, r.watts, r.uips_per_watt, r.min_core_uips
+        );
+    }
+}
+
+fn main() {
+    let telemetry = TelemetryRun::from_args("fig_hetero");
+    let fidelity = Fidelity::from_env();
+    let report = ntc_bench::fig_hetero(fidelity);
+
+    println!(
+        "heterogeneous study: {} on {} clusters, {} configurations evaluated",
+        report.profile, report.clusters, report.points_evaluated
+    );
+    println!("\niso-power ({} W) Pareto frontier:", report.budget_w);
+    print_rows(&report.frontier);
+    println!(
+        "\n+ iso-QoS (every core >= {:.3e} UIPS, a big core at 500 MHz):",
+        report.qos_floor_uips
+    );
+    print_rows(&report.qos_frontier);
+
+    if let (Some(h), Some(m)) = (&report.best_homogeneous, &report.best_mixed) {
+        println!(
+            "\nbest homogeneous: {:<18} {:.3e} UIPS/W",
+            h.label, h.uips_per_watt
+        );
+        println!(
+            "best mixed:       {:<18} {:.3e} UIPS/W",
+            m.label, m.uips_per_watt
+        );
+    }
+    println!(
+        "mixed dominates every homogeneous point at iso-power: {}",
+        report.mixed_dominates_every_homogeneous
+    );
+
+    ntc_bench::write_json("fig_hetero.json", &report.to_json());
+    ntc_bench::save_shared_store();
+    telemetry.finish();
+}

@@ -19,8 +19,9 @@
 
 use ntc_core::report::{Figure, Series};
 use ntc_core::{
-    ConsolidationPlan, Consolidator, FrequencySweep, MeasurementCache, MeasurementStore,
-    ServerConfig, ServerModel, SimMeasurer, SweepResult,
+    iso_power, iso_qos, pareto_frontier, ClusterMeasurer, ConsolidationPlan, Consolidator,
+    FrequencySweep, HeteroPoint, HeteroSweep, MeasurementCache, MeasurementStore, ServerConfig,
+    ServerModel, SimMeasurer, SweepResult,
 };
 use ntc_power::{
     BiasOptimizer, CoreActivity, CorePowerModel, DramConfig, DramPowerModel, DramTechnology,
@@ -28,7 +29,8 @@ use ntc_power::{
 };
 use ntc_qos::QosCurve;
 use ntc_sampling::SampleWindow;
-use ntc_tech::{BodyBias, CoreModel, MegaHertz, Technology, TechnologyKind};
+use ntc_sim::ClusterConfig;
+use ntc_tech::{BodyBias, CoreClass, CoreModel, MegaHertz, Technology, TechnologyKind};
 use ntc_workloads::{BitbrainsSynthesizer, CloudSuiteApp, WorkloadProfile};
 use std::sync::{Arc, OnceLock};
 
@@ -533,6 +535,197 @@ pub fn ablation_consolidation(fidelity: Fidelity) -> Vec<ConsolidationPlan> {
         .into_iter()
         .map(|(mhz, slow)| consolidator.pack(&sweep, mhz, slow, &population))
         .collect()
+}
+
+// ------------------------------------------------- Heterogeneous chips
+
+/// The iso-power budget of the heterogeneous study: the paper server's
+/// 100 W provisioning.
+pub const HETERO_BUDGET_W: f64 = 100.0;
+
+/// The frequency anchoring the iso-QoS floor: whatever per-core rate the
+/// homogeneous big chip delivers at the paper's scale-out QoS bound
+/// (≈500 MHz) is what every core of a candidate chip must sustain.
+pub const HETERO_QOS_ANCHOR_MHZ: f64 = 500.0;
+
+/// One chip configuration of the heterogeneous study, flattened for the
+/// JSON artifact.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct HeteroSummary {
+    /// Compact mix label, e.g. `"3B@1600+6L@600"`.
+    pub label: String,
+    /// Big-cluster count.
+    pub n_big: u32,
+    /// Little-cluster count.
+    pub n_little: u32,
+    /// Big-cluster frequency (MHz; 0 when no big clusters).
+    pub big_mhz: f64,
+    /// Little-cluster frequency (MHz; 0 when no little clusters).
+    pub little_mhz: f64,
+    /// Big-cluster supply voltage (V; 0 when no big clusters).
+    pub big_vdd: f64,
+    /// Little-cluster supply voltage (V; 0 when no little clusters).
+    pub little_vdd: f64,
+    /// Chip throughput (user instructions per second).
+    pub uips: f64,
+    /// Server power (W).
+    pub watts: f64,
+    /// Server-scope efficiency.
+    pub uips_per_watt: f64,
+    /// The slowest core's UIPS (the QoS-critical rate).
+    pub min_core_uips: f64,
+}
+
+impl HeteroSummary {
+    fn from_point(p: &HeteroPoint) -> Self {
+        let (n_big, n_little) = p.plan.counts();
+        let of_class = |class: CoreClass| {
+            p.plan
+                .clusters
+                .iter()
+                .position(|c| c.class == class)
+                .map_or((0.0, 0.0), |i| (p.plan.clusters[i].mhz, p.ops[i].vdd.0))
+        };
+        let (big_mhz, big_vdd) = of_class(CoreClass::Big);
+        let (little_mhz, little_vdd) = of_class(CoreClass::Little);
+        HeteroSummary {
+            label: p.plan.label(),
+            n_big,
+            n_little,
+            big_mhz,
+            little_mhz,
+            big_vdd,
+            little_vdd,
+            uips: p.uips,
+            watts: p.watts().0,
+            uips_per_watt: p.uips_per_watt(),
+            min_core_uips: p.min_core_uips,
+        }
+    }
+}
+
+/// The heterogeneous study's JSON artifact: the iso-power Pareto
+/// frontier, its iso-QoS refinement, the homogeneous baselines, and the
+/// dominance verdict.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct HeteroReport {
+    /// Workload driving the measurements.
+    pub profile: String,
+    /// Clusters on the chip.
+    pub clusters: u32,
+    /// Iso-power budget (W).
+    pub budget_w: f64,
+    /// Iso-QoS per-core UIPS floor (see [`HETERO_QOS_ANCHOR_MHZ`]).
+    pub qos_floor_uips: f64,
+    /// Total chip configurations evaluated before filtering.
+    pub points_evaluated: usize,
+    /// Pareto frontier (max UIPS, min W) of the within-budget cloud.
+    pub frontier: Vec<HeteroSummary>,
+    /// Frontier after additionally imposing the iso-QoS floor.
+    pub qos_frontier: Vec<HeteroSummary>,
+    /// Every homogeneous (all-big or all-little) point within budget.
+    pub homogeneous: Vec<HeteroSummary>,
+    /// Best within-budget homogeneous point by UIPS/W.
+    pub best_homogeneous: Option<HeteroSummary>,
+    /// Best within-budget mixed point by UIPS/W.
+    pub best_mixed: Option<HeteroSummary>,
+    /// Whether some mixed point Pareto-dominates (≥ UIPS at ≤ W, one
+    /// strict) *every* homogeneous within-budget point.
+    pub mixed_dominates_every_homogeneous: bool,
+}
+
+impl HeteroReport {
+    /// Pretty JSON for the `results/` artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("hetero report serializes")
+    }
+}
+
+/// The heterogeneous big/little study: sweep every big/little split of
+/// the paper chip's clusters over per-class frequency ladders, then carve
+/// the iso-power (100 W) Pareto frontier and its iso-QoS refinement.
+///
+/// Each distinct `(class, frequency)` cluster is simulated once (through
+/// the [`shared_store`], so repeated runs and the homogeneous figures
+/// share ladders); chips are composed per [`HeteroSweep::run`].
+pub fn fig_hetero(fidelity: Fidelity) -> HeteroReport {
+    let server = paper_server();
+    let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+    let big = MeasurementCache::shared(fidelity.measurer(profile.clone()), shared_store());
+    // The little measurer pins the in-order cluster config; the swept
+    // frequency overrides its `core_mhz` per measurement.
+    let little = MeasurementCache::shared(
+        fidelity
+            .measurer(profile.clone())
+            .with_cluster(ClusterConfig::little_cluster(100.0)),
+        shared_store(),
+    );
+    let points = HeteroSweep::paper(server.clusters())
+        .run(&server, |class, mhz| match class {
+            CoreClass::Big => big.measure(mhz),
+            CoreClass::Little => little.measure(mhz),
+        })
+        .expect("the FD-SOI hetero ladder has reachable points");
+
+    let budget = ntc_tech::Watts(HETERO_BUDGET_W);
+    let within = iso_power(&points, budget);
+    // QoS floor: what a big core delivers at the paper's scale-out bound.
+    let qos_floor_uips = points
+        .iter()
+        .filter(|p| p.plan.counts().1 == 0)
+        .filter(|p| (p.plan.clusters[0].mhz - HETERO_QOS_ANCHOR_MHZ).abs() < 1e-9)
+        .map(|p| p.min_core_uips)
+        .next()
+        .unwrap_or(0.0);
+    let frontier = pareto_frontier(&within);
+    let qos_frontier = pareto_frontier(&iso_qos(&within, qos_floor_uips));
+
+    let is_mixed = |p: &HeteroPoint| {
+        let (b, l) = p.plan.counts();
+        b > 0 && l > 0
+    };
+    let mut homogeneous: Vec<&HeteroPoint> = within.iter().filter(|p| !is_mixed(p)).collect();
+    homogeneous.sort_by(|a, b| {
+        (a.plan.counts(), a.plan.clusters[0].mhz)
+            .partial_cmp(&(b.plan.counts(), b.plan.clusters[0].mhz))
+            .expect("finite frequencies")
+    });
+    let mixed: Vec<&HeteroPoint> = within.iter().filter(|p| is_mixed(p)).collect();
+    let best_of = |set: &[&HeteroPoint]| {
+        set.iter()
+            .max_by(|a, b| {
+                a.uips_per_watt()
+                    .partial_cmp(&b.uips_per_watt())
+                    .expect("finite efficiency")
+            })
+            .map(|p| HeteroSummary::from_point(p))
+    };
+    let dominates = |m: &HeteroPoint, h: &HeteroPoint| {
+        m.uips >= h.uips
+            && m.watts().0 <= h.watts().0
+            && (m.uips > h.uips || m.watts().0 < h.watts().0)
+    };
+    let mixed_dominates_every_homogeneous = !homogeneous.is_empty()
+        && homogeneous
+            .iter()
+            .all(|h| mixed.iter().any(|m| dominates(m, h)));
+
+    HeteroReport {
+        profile: profile.name.clone(),
+        clusters: server.clusters(),
+        budget_w: HETERO_BUDGET_W,
+        qos_floor_uips,
+        points_evaluated: points.len(),
+        frontier: frontier.iter().map(HeteroSummary::from_point).collect(),
+        qos_frontier: qos_frontier.iter().map(HeteroSummary::from_point).collect(),
+        best_homogeneous: best_of(&homogeneous),
+        best_mixed: best_of(&mixed),
+        homogeneous: homogeneous
+            .iter()
+            .map(|p| HeteroSummary::from_point(p))
+            .collect(),
+        mixed_dominates_every_homogeneous,
+    }
 }
 
 /// Writes a JSON artifact under `results/` (best effort, for diffing).

@@ -92,4 +92,11 @@ fn simulated_artifacts_byte_reproduce_at_fast_fidelity() {
         &serde_json::to_string_pretty(&ntc_bench::ablation_consolidation(fidelity))
             .expect("plans serialize"),
     );
+
+    // The heterogeneous study shares the big-cluster ladders the figures
+    // above already simulated; only the little-cluster ladder is new work.
+    assert_reproduces(
+        "fig_hetero.json",
+        &ntc_bench::fig_hetero(fidelity).to_json(),
+    );
 }

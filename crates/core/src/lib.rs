@@ -43,6 +43,7 @@ pub mod config;
 pub mod consolidation;
 pub mod efficiency;
 pub mod governor;
+pub mod hetero;
 pub mod manager;
 pub mod measure;
 pub mod optimum;
@@ -56,10 +57,14 @@ pub use config::{ServerConfig, ServerModel};
 pub use consolidation::{ConsolidationPlan, Consolidator};
 pub use efficiency::{EfficiencyPoint, SweepResult};
 pub use governor::{GovernorPolicy, GovernorReport, QosGovernor};
+pub use hetero::{
+    iso_power, iso_qos, little_core_power, pareto_frontier, ChipPlan, ClusterPlan, HeteroPoint,
+    HeteroSweep,
+};
 pub use manager::{BiasManager, ManagedPhase, ManagerPolicy};
 pub use measure::{
-    profile_fingerprint, ClusterMeasurement, ClusterMeasurer, MeasureError, MeasurementCache,
-    MeasurementKey, MeasurementStore, SimMeasurer, TableMeasurer,
+    chip_fingerprint, config_fingerprint, profile_fingerprint, ClusterMeasurement, ClusterMeasurer,
+    MeasureError, MeasurementCache, MeasurementKey, MeasurementStore, SimMeasurer, TableMeasurer,
 };
 pub use optimum::ConstrainedOptimum;
 pub use proportionality::{proportionality_score, UtilizationPoint};

@@ -18,7 +18,7 @@
 //! figures and across process runs skip the simulator entirely.
 
 use ntc_sampling::SampleWindow;
-use ntc_sim::{ClusterSim, SimConfig, SimStats};
+use ntc_sim::{ChipConfig, ClusterConfig, ClusterSim, DramTimingConfig, SimConfig, SimStats};
 use ntc_telemetry::LazyCounter;
 use ntc_workloads::{prewarm_cluster, ProfileStream, WorkloadProfile};
 use parking_lot::RwLock;
@@ -155,18 +155,23 @@ pub struct MeasurementKey {
     pub measure_cycles: u64,
     /// Stream seed.
     pub seed: u64,
-    /// Next-line prefetch degree.
+    /// Next-line prefetch degree of the measured configuration.
     pub prefetch_degree: u32,
+    /// Canonical fingerprint of the simulated machine (per-cluster config
+    /// vector plus DRAM timing) — see [`config_fingerprint`]. Two chips
+    /// that differ in any one cluster's configuration get distinct keys;
+    /// two orderings of the same clusters get the same one.
+    pub config: u64,
 }
 
 impl MeasurementKey {
-    /// Builds the key for a simulated measurement.
+    /// Builds the key for a simulated measurement of `config`.
     pub fn new(
         profile: &WorkloadProfile,
         mhz: f64,
         window: SampleWindow,
         seed: u64,
-        prefetch_degree: u32,
+        config: &SimConfig,
     ) -> Self {
         MeasurementKey {
             profile: profile_fingerprint(profile),
@@ -174,22 +179,72 @@ impl MeasurementKey {
             warmup_cycles: window.warmup_cycles,
             measure_cycles: window.measure_cycles,
             seed,
-            prefetch_degree,
+            prefetch_degree: config.core.prefetch_degree,
+            config: config_fingerprint(std::slice::from_ref(&config.cluster()), &config.dram),
+        }
+    }
+
+    /// Builds the key for a whole-chip measurement: the frequency and
+    /// prefetch fields live inside each cluster's config, so they are
+    /// carried (canonically) by the `config` fingerprint.
+    pub fn for_chip(profile: &WorkloadProfile, config: &ChipConfig, window: SampleWindow) -> Self {
+        MeasurementKey {
+            profile: profile_fingerprint(profile),
+            mhz_millis: 0,
+            warmup_cycles: window.warmup_cycles,
+            measure_cycles: window.measure_cycles,
+            seed: config.seed,
+            prefetch_degree: 0,
+            config: config_fingerprint(&config.clusters, &config.dram),
         }
     }
 }
+
+fn fnv1a(mut hash: u64, bytes: impl Iterator<Item = u8>) -> u64 {
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Stable content fingerprint of a workload profile: FNV-1a 64 over its
 /// canonical (compact) JSON. Unlike `std::hash`, the result is identical
 /// across processes and builds, which persistence relies on.
 pub fn profile_fingerprint(profile: &WorkloadProfile) -> u64 {
     let json = serde_json::to_string(profile).expect("profiles serialize infallibly");
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in json.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    fnv1a(FNV_OFFSET, json.bytes())
+}
+
+/// Canonical content fingerprint of a simulated machine: FNV-1a 64 over
+/// the *sorted* per-cluster config JSONs plus the shared DRAM timing.
+/// Sorting makes the fingerprint insensitive to cluster order — two
+/// homogeneous chips listing the same clusters differently hash alike,
+/// so they share cache entries — while any real per-cluster difference
+/// (core class, frequency, cache geometry) lands in the JSON and yields
+/// a distinct fingerprint. Seeds are deliberately excluded: the stream
+/// seed is its own [`MeasurementKey`] field.
+pub fn config_fingerprint(clusters: &[ClusterConfig], dram: &DramTimingConfig) -> u64 {
+    let mut parts: Vec<String> = clusters
+        .iter()
+        .map(|c| serde_json::to_string(c).expect("cluster configs serialize infallibly"))
+        .collect();
+    parts.sort();
+    let mut hash = FNV_OFFSET;
+    for part in &parts {
+        // JSON never contains a raw newline, so it is a safe separator.
+        hash = fnv1a(hash, part.bytes().chain(std::iter::once(b'\n')));
     }
-    hash
+    let dram = serde_json::to_string(dram).expect("DRAM timing serializes infallibly");
+    fnv1a(hash, dram.bytes())
+}
+
+/// [`config_fingerprint`] of a [`ChipConfig`] (the seed field is
+/// excluded, as documented there).
+pub fn chip_fingerprint(config: &ChipConfig) -> u64 {
+    config_fingerprint(&config.clusters, &config.dram)
 }
 
 /// Process-wide cache counters, registered with the telemetry metrics
@@ -385,6 +440,7 @@ pub struct SimMeasurer {
     window: SampleWindow,
     seed: u64,
     prefetch_degree: u32,
+    cluster: Option<ClusterConfig>,
 }
 
 impl SimMeasurer {
@@ -397,6 +453,7 @@ impl SimMeasurer {
             window: SampleWindow::paper_default(),
             seed: 0,
             prefetch_degree: 0,
+            cluster: None,
         }
     }
 
@@ -411,6 +468,7 @@ impl SimMeasurer {
             },
             seed: 0,
             prefetch_degree: 0,
+            cluster: None,
         }
     }
 
@@ -427,14 +485,41 @@ impl SimMeasurer {
     }
 
     /// Enables next-line prefetching at the given degree (builder style).
+    /// Ignored when a full cluster config is supplied via
+    /// [`SimMeasurer::with_cluster`] — that config's own degree wins.
     pub fn with_prefetch(mut self, degree: u32) -> Self {
         self.prefetch_degree = degree;
+        self
+    }
+
+    /// Measures `cluster` instead of the paper cluster (builder style):
+    /// the heterogeneous path, e.g. an in-order little cluster. The
+    /// config's `core_mhz` is overridden by each measurement's frequency;
+    /// everything else — core class, cache geometry, crossbar — is taken
+    /// as given and fingerprinted into the cache key.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
         self
     }
 
     /// The driving profile.
     pub fn profile(&self) -> &WorkloadProfile {
         &self.profile
+    }
+
+    /// The exact configuration a measurement at `mhz` simulates.
+    fn effective_config(&self, mhz: f64) -> SimConfig {
+        let mut config = SimConfig::paper_cluster(mhz);
+        match self.cluster {
+            Some(mut cluster) => {
+                cluster.core_mhz = mhz;
+                SimConfig::from_cluster(cluster, config.dram, config.seed)
+            }
+            None => {
+                config.core.prefetch_degree = self.prefetch_degree;
+                config
+            }
+        }
     }
 }
 
@@ -444,8 +529,7 @@ impl ClusterMeasurer for SimMeasurer {
         check_frequency(mhz)?;
         let seed = self.seed;
         let profile = self.profile.clone();
-        let mut config = SimConfig::paper_cluster(mhz);
-        config.core.prefetch_degree = self.prefetch_degree;
+        let config = self.effective_config(mhz);
         let mut sim = ClusterSim::new(config, |core| {
             ProfileStream::new(profile.clone(), seed.wrapping_mul(64) + u64::from(core))
         });
@@ -456,12 +540,15 @@ impl ClusterMeasurer for SimMeasurer {
     }
 
     fn key(&self, mhz: f64) -> Option<MeasurementKey> {
+        if !(mhz.is_finite() && mhz > 0.0) {
+            return None;
+        }
         Some(MeasurementKey::new(
             &self.profile,
             mhz,
             self.window,
             self.seed,
-            self.prefetch_degree,
+            &self.effective_config(mhz),
         ))
     }
 }
@@ -692,7 +779,7 @@ mod tests {
             700.0,
             SampleWindow::paper_default(),
             0,
-            0,
+            &SimConfig::paper_cluster(700.0),
         );
         let m = TableMeasurer::synthetic(3.0, 1.5).measure(700.0).unwrap();
         store.insert(key, m);
@@ -717,6 +804,78 @@ mod tests {
         assert!(store.is_empty());
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn chip_keys_never_alias_across_cluster_configs() {
+        // Chips differing in any one cluster's configuration must get
+        // distinct keys — a heterogeneous sweep caching under a chip-wide
+        // key would otherwise serve big-cluster numbers for little mixes.
+        let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let window = SampleWindow::paper_default();
+        let base = ChipConfig::homogeneous(&SimConfig::paper_cluster(1000.0), 3);
+        let k = |c: &ChipConfig| MeasurementKey::for_chip(&profile, c, window);
+
+        let mut one_little = base.clone();
+        one_little.clusters[2] = ClusterConfig::little_cluster(1000.0);
+        assert_ne!(k(&base), k(&one_little));
+
+        let mut one_slower = base.clone();
+        one_slower.clusters[1].core_mhz = 900.0;
+        assert_ne!(k(&base), k(&one_slower));
+
+        let mut bigger_llc = base.clone();
+        bigger_llc.clusters[0].llc.cache.size_bytes *= 2;
+        assert_ne!(k(&base), k(&bigger_llc));
+    }
+
+    #[test]
+    fn chip_keys_canonicalize_cluster_order() {
+        // The same set of clusters in any order is the same machine: a
+        // reordered-but-identical config must hit the cache.
+        let profile = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let window = SampleWindow::paper_default();
+        let mut mixed = ChipConfig::homogeneous(&SimConfig::paper_cluster(1000.0), 3);
+        mixed.clusters[2] = ClusterConfig::little_cluster(600.0);
+        let mut reordered = mixed.clone();
+        reordered.clusters.swap(0, 2);
+        assert_ne!(mixed.clusters, reordered.clusters);
+        assert_eq!(
+            MeasurementKey::for_chip(&profile, &mixed, window),
+            MeasurementKey::for_chip(&profile, &reordered, window)
+        );
+        assert_eq!(chip_fingerprint(&mixed), chip_fingerprint(&reordered));
+    }
+
+    #[test]
+    fn cluster_override_is_fingerprinted_into_the_key() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let base = SimMeasurer::fast(p.clone());
+        let little =
+            SimMeasurer::fast(p.clone()).with_cluster(ClusterConfig::little_cluster(1000.0));
+        assert_ne!(base.key(1000.0), little.key(1000.0));
+        // The override's core_mhz is replaced per measurement, so the
+        // paper cluster handed back explicitly is the default machine —
+        // same key, cache shared.
+        let explicit = SimMeasurer::fast(p).with_cluster(SimConfig::paper_cluster(123.0).cluster());
+        assert_eq!(base.key(1000.0), explicit.key(1000.0));
+    }
+
+    #[test]
+    fn little_cluster_measures_slower_than_big_at_equal_frequency() {
+        let p = WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch);
+        let big = SimMeasurer::fast(p.clone()).measure(1000.0).unwrap();
+        let little = SimMeasurer::fast(p)
+            .with_cluster(ClusterConfig::little_cluster(1000.0))
+            .measure(1000.0)
+            .unwrap();
+        assert!(
+            little.uips < big.uips,
+            "an in-order narrow cluster must trail the A57 cluster: {} vs {}",
+            little.uips,
+            big.uips
+        );
+        assert!(little.uips > 0.0);
     }
 
     #[test]

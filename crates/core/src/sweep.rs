@@ -136,6 +136,16 @@ impl FrequencySweep {
         &self.frequencies
     }
 
+    /// The body bias applied at every point.
+    pub fn bias(&self) -> BodyBias {
+        self.bias
+    }
+
+    /// The core activity assumed at every point.
+    pub fn activity(&self) -> CoreActivity {
+        self.activity
+    }
+
     /// Runs the sweep: measure each reachable frequency and assemble its
     /// power breakdown. Unreachable frequencies (beyond the rated voltage
     /// or below the SRAM floor) are skipped, mirroring the silicon.

@@ -10,8 +10,8 @@
 
 use ntc_sim::streams::{ComputeStream, PointerChaseStream, RandomAccessStream, StrideStream};
 use ntc_sim::{
-    CacheConfig, CoreConfig, DramTimingConfig, Instr, InstructionStream, LlcConfig, PredictorKind,
-    SimConfig, XbarConfig,
+    CacheConfig, ChipConfig, ClusterConfig, CoreConfig, DramTimingConfig, Instr, InstructionStream,
+    LlcConfig, PredictorKind, SimConfig, XbarConfig,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -228,6 +228,11 @@ pub struct CaseShape {
     pub clusters: u32,
     /// Whether to drive [`ntc_sim::ChipSim`] (vs [`ntc_sim::ClusterSim`]).
     pub use_chip: bool,
+    /// Per-cluster configurations for a heterogeneous chip (mixed core
+    /// classes and frequencies). Empty means a homogeneous chip built from
+    /// `config`; otherwise the length equals `clusters` and only chip
+    /// cases use it.
+    pub hetero: Vec<ClusterConfig>,
     /// Unmeasured warm-up cycles before the window.
     pub warm_cycles: u64,
     /// Measured window length in cycles.
@@ -278,6 +283,7 @@ fn arbitrary_core(rng: &mut SmallRng) -> CoreConfig {
         store_buffer: rng.gen_range(4..=32),
         prefetch_degree: rng.gen_range(0..=2),
         branch_predictor,
+        in_order: rng.gen_bool(0.2),
     }
 }
 
@@ -401,6 +407,25 @@ impl CaseShape {
         let config = arbitrary_config(&mut rng);
         let clusters = rng.gen_range(1..=3u32);
         let use_chip = clusters > 1 || rng.gen_bool(0.5);
+        // Heterogeneous chips: a per-cluster mix of core classes and
+        // frequencies, so every oracle pair fuzzes the independent clock
+        // domains (and the little in-order core) against the shared DRAM.
+        let hetero = if use_chip && rng.gen_bool(0.4) {
+            (0..clusters)
+                .map(|_| {
+                    let mut cl = config.cluster();
+                    cl.core_mhz = rng.gen_range(100.0..=2000.0);
+                    match rng.gen_range(0..3u32) {
+                        0 => cl.core = CoreConfig::little_inorder(),
+                        1 => cl.core = arbitrary_core(&mut rng),
+                        _ => {}
+                    }
+                    cl
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let streams = (0..rng.gen_range(1..=4usize))
             .map(|_| arbitrary_stream(&mut rng))
             .collect();
@@ -410,11 +435,27 @@ impl CaseShape {
             config,
             clusters,
             use_chip,
+            hetero,
             warm_cycles: rng.gen_range(0..=1_500),
             measure_cycles: rng.gen_range(1_000..=5_000),
             streams,
             sweep: arbitrary_sweep(&mut rng),
             percentile: arbitrary_percentile(&mut rng),
+        }
+    }
+
+    /// The chip configuration this case drives: the heterogeneous
+    /// per-cluster vector when one was generated, otherwise `clusters`
+    /// copies of the chip-wide config.
+    pub fn chip_config(&self) -> ChipConfig {
+        if self.hetero.is_empty() {
+            ChipConfig::homogeneous(&self.config, self.clusters)
+        } else {
+            ChipConfig {
+                clusters: self.hetero.clone(),
+                dram: self.config.dram,
+                seed: self.config.seed,
+            }
         }
     }
 
@@ -441,11 +482,19 @@ mod tests {
 
     #[test]
     fn generated_configs_are_always_valid() {
+        let mut saw_hetero = false;
         for index in 0..200 {
             let shape = CaseShape::generate(0xC0FFEE, index);
-            // validate() panics on a structurally invalid config, and the
-            // generator promises never to produce one.
-            shape.config.validate();
+            // The generator promises never to produce a structurally
+            // invalid config — for the chip-wide path or the
+            // heterogeneous per-cluster one.
+            shape.config.validate().expect("chip-wide config valid");
+            shape.chip_config().validate().expect("chip config valid");
+            if !shape.hetero.is_empty() {
+                saw_hetero = true;
+                assert_eq!(shape.hetero.len(), shape.clusters as usize);
+                assert!(shape.use_chip, "hetero cases must drive ChipSim");
+            }
             assert!(!shape.streams.is_empty());
             assert!(!shape.sweep.ladder.is_empty());
             assert!(shape.sweep.uipc_low >= shape.sweep.uipc_high);
@@ -453,6 +502,10 @@ mod tests {
             assert!(shape.percentile.count > 0);
             assert!(shape.measure_cycles >= 1_000);
         }
+        assert!(
+            saw_hetero,
+            "200 cases must include heterogeneous chips (generation drifted?)"
+        );
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl<S: InstructionStream> SimDriver for ChipSim<S> {
 /// Runs the shape once under the given knob settings.
 fn run_shape(shape: &CaseShape, k: Knobs) -> (SimStats, SimStats) {
     if shape.use_chip {
-        let mut sim = ChipSim::new(shape.config, shape.clusters, |cl, c| shape.stream(cl, c));
+        let mut sim = ChipSim::new_chip(shape.chip_config(), |cl, c| shape.stream(cl, c));
         sim.set_cycle_skip(k.cycle_skip);
         sim.set_reference_dram_scheduler(k.reference_sched);
         sim.set_dram_scheduler_mutation(k.mutate);

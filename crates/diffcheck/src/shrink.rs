@@ -29,10 +29,41 @@ fn candidates(s: &CaseShape) -> Vec<CaseShape> {
     add(tweak(s, |c| {
         c.clusters = 1;
         c.use_chip = false;
+        c.hetero.clear();
     }));
-    add(tweak(s, |c| c.clusters = 1));
-    add(tweak(s, |c| c.config.cores = 1));
-    add(tweak(s, |c| c.config.cores = c.config.cores.div_ceil(2)));
+    add(tweak(s, |c| {
+        c.clusters = 1;
+        c.hetero.truncate(1);
+    }));
+    add(tweak(s, |c| {
+        c.clusters = c.clusters.div_ceil(2);
+        if !c.hetero.is_empty() {
+            c.hetero.truncate(c.clusters as usize);
+        }
+    }));
+    // A heterogeneous repro that survives with identical clusters is a
+    // much smaller bug report.
+    add(tweak(s, |c| c.hetero.clear()));
+    add(tweak(s, |c| {
+        if let Some(&first) = c.hetero.first() {
+            c.hetero.iter_mut().for_each(|cl| *cl = first);
+        }
+    }));
+    add(tweak(s, |c| {
+        for cl in &mut c.hetero {
+            cl.core_mhz = c.config.core_mhz;
+        }
+    }));
+    add(tweak(s, |c| {
+        c.config.cores = 1;
+        c.hetero.iter_mut().for_each(|cl| cl.cores = 1);
+    }));
+    add(tweak(s, |c| {
+        c.config.cores = c.config.cores.div_ceil(2);
+        for cl in &mut c.hetero {
+            cl.cores = cl.cores.div_ceil(2);
+        }
+    }));
     add(tweak(s, |c| c.config.dram.channels = 1));
     add(tweak(s, |c| c.config.dram.ranks = 1));
     add(tweak(s, |c| {
@@ -53,10 +84,23 @@ fn candidates(s: &CaseShape) -> Vec<CaseShape> {
         c.measure_cycles = (c.measure_cycles / 2).max(250);
     }));
     add(tweak(s, |c| c.streams.truncate(1)));
-    add(tweak(s, |c| c.config.core.branch_predictor = None));
-    add(tweak(s, |c| c.config.core.prefetch_degree = 0));
+    add(tweak(s, |c| {
+        c.config.core.branch_predictor = None;
+        for cl in &mut c.hetero {
+            cl.core.branch_predictor = None;
+        }
+    }));
+    add(tweak(s, |c| {
+        c.config.core.prefetch_degree = 0;
+        for cl in &mut c.hetero {
+            cl.core.prefetch_degree = 0;
+        }
+    }));
     add(tweak(s, |c| {
         c.config.core.mshrs = c.config.core.mshrs.min(4);
+        for cl in &mut c.hetero {
+            cl.core.mshrs = cl.core.mshrs.min(4);
+        }
     }));
     add(tweak(s, |c| {
         let keep = c.sweep.ladder.len().div_ceil(2);
@@ -103,10 +147,26 @@ mod tests {
 
     #[test]
     fn candidates_are_strictly_different_and_valid() {
-        let shape = CaseShape::generate(0x5151, 3);
-        for c in candidates(&shape) {
-            assert_ne!(c, shape);
-            c.config.validate();
+        // Walk indices until both a homogeneous and a heterogeneous shape
+        // have been exercised, so the hetero-editing candidates are
+        // covered too.
+        let mut seen_hetero = false;
+        let mut seen_homo = false;
+        for index in 0.. {
+            let shape = CaseShape::generate(0x5151, index);
+            seen_hetero |= !shape.hetero.is_empty();
+            seen_homo |= shape.hetero.is_empty();
+            for c in candidates(&shape) {
+                assert_ne!(c, shape);
+                c.config.validate().expect("candidate chip-wide config");
+                c.chip_config().validate().expect("candidate chip config");
+                if !c.hetero.is_empty() {
+                    assert_eq!(c.hetero.len(), c.clusters as usize);
+                }
+            }
+            if seen_hetero && seen_homo {
+                break;
+            }
         }
     }
 

@@ -8,8 +8,16 @@
 //! LLC miss queues at the same four channels, so cross-cluster FR-FCFS
 //! interference, bank conflicts and bus serialization are real rather than
 //! modelled.
+//!
+//! Clusters are configured **per instance** via [`ChipConfig`]: each
+//! cluster carries its own core class, core count, frequency, LLC and
+//! crossbar, so a chip can mix big out-of-order clusters with little
+//! in-order ones running in independent clock domains (the engine ticks
+//! each lane on its own period against the shared DRAM). The
+//! [`ChipSim::new`] constructor keeps the old chip-wide-[`SimConfig`]
+//! surface as the homogeneous special case.
 
-use crate::config::SimConfig;
+use crate::config::{ChipConfig, ClusterConfig, SimConfig};
 use crate::core::Core;
 use crate::dram::DramSystem;
 use crate::engine::{self, Lane, RunCtl};
@@ -22,17 +30,21 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 struct ChipCluster<S> {
+    config: ClusterConfig,
     cores: Vec<Core>,
     streams: Vec<S>,
     mem: MemorySystem,
+    /// This cluster's cycle counter — clusters at different frequencies
+    /// advance different cycle counts over the same wall-clock window.
+    cycle: u64,
 }
 
-/// A chip of `N` clusters sharing one DRAM system.
+/// A chip of `N` (possibly heterogeneous) clusters sharing one DRAM
+/// system.
 pub struct ChipSim<S> {
-    config: SimConfig,
+    config: ChipConfig,
     clusters: Vec<ChipCluster<S>>,
     dram: SharedDram,
-    cycle: u64,
     cycle_skip: bool,
     skipped_cycles: u64,
     inv_buf: Vec<Invalidation>,
@@ -40,35 +52,48 @@ pub struct ChipSim<S> {
 }
 
 impl<S: InstructionStream> ChipSim<S> {
-    /// Builds a chip of `clusters` clusters; `make_stream(cluster, core)`
-    /// supplies each core's workload.
+    /// Builds a homogeneous chip of `clusters` identical clusters from a
+    /// chip-wide [`SimConfig`]; `make_stream(cluster, core)` supplies each
+    /// core's workload.
     ///
     /// # Panics
     ///
     /// Panics if `clusters` is zero or the configuration is structurally
     /// invalid (see [`SimConfig::validate`]).
-    pub fn new(
-        config: SimConfig,
-        clusters: u32,
-        mut make_stream: impl FnMut(u32, u32) -> S,
-    ) -> Self {
+    pub fn new(config: SimConfig, clusters: u32, make_stream: impl FnMut(u32, u32) -> S) -> Self {
         assert!(clusters > 0, "a chip needs at least one cluster");
-        config.validate();
+        Self::new_chip(ChipConfig::homogeneous(&config, clusters), make_stream)
+    }
+
+    /// Builds a chip from a per-cluster [`ChipConfig`];
+    /// `make_stream(cluster, core)` supplies each core's workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid (see
+    /// [`ChipConfig::validate`], which callers can use to get the typed
+    /// [`crate::SimConfigError`] instead).
+    pub fn new_chip(config: ChipConfig, mut make_stream: impl FnMut(u32, u32) -> S) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid simulator configuration: {e}");
+        }
         let dram: SharedDram = Rc::new(RefCell::new(DramSystem::new(config.dram)));
-        let clusters = (0..clusters)
-            .map(|cl| ChipCluster {
-                cores: (0..config.cores)
-                    .map(|i| Core::new(i, config.core))
-                    .collect(),
-                streams: (0..config.cores).map(|i| make_stream(cl, i)).collect(),
-                mem: MemorySystem::with_shared_dram(&config, Rc::clone(&dram), cl),
+        let clusters = config
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(cl, cc)| ChipCluster {
+                config: *cc,
+                cores: (0..cc.cores).map(|i| Core::new(i, cc.core)).collect(),
+                streams: (0..cc.cores).map(|i| make_stream(cl as u32, i)).collect(),
+                mem: MemorySystem::with_shared_dram(cc, Rc::clone(&dram), cl as u32),
+                cycle: 0,
             })
             .collect();
         ChipSim {
             config,
             clusters,
             dram,
-            cycle: 0,
             cycle_skip: true,
             skipped_cycles: 0,
             inv_buf: Vec::new(),
@@ -96,8 +121,8 @@ impl<S: InstructionStream> ChipSim<S> {
         self.cycle_skip = enabled;
     }
 
-    /// The configuration in effect.
-    pub fn config(&self) -> &SimConfig {
+    /// The per-cluster configuration in effect.
+    pub fn config(&self) -> &ChipConfig {
         &self.config
     }
 
@@ -106,8 +131,9 @@ impl<S: InstructionStream> ChipSim<S> {
         self.clusters.len()
     }
 
-    /// Cycles the fast path jumped over without ticking — a diagnostic
-    /// for how much the stall-aware skip engages on a workload.
+    /// Cycles the fast path jumped over without ticking, counted on
+    /// cluster 0's clock — a diagnostic for how much the stall-aware skip
+    /// engages on a workload.
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped_cycles
     }
@@ -165,10 +191,12 @@ impl<S: InstructionStream> ChipSim<S> {
         self.dram.borrow().queue_depth_high_water()
     }
 
-    /// Advances every cluster by `cycles` core cycles.
+    /// Advances every cluster by `cycles` of *its own* core cycles. On a
+    /// homogeneous chip all clusters cover the same wall-clock window; on
+    /// a heterogeneous one slower clusters run longer in wall-clock terms
+    /// (frequency sweeps measure fixed cycle windows per cluster, matching
+    /// the per-cluster measurement discipline).
     fn advance(&mut self, cycles: u64) {
-        let period = self.config.core_period_ps();
-        let end = self.cycle + cycles;
         let mut lanes: Vec<Lane<'_, S>> = self
             .clusters
             .iter_mut()
@@ -176,24 +204,29 @@ impl<S: InstructionStream> ChipSim<S> {
                 cores: &mut cl.cores,
                 streams: &mut cl.streams,
                 mem: &mut cl.mem,
+                period_ps: cl.config.core_period_ps(),
+                cycle: cl.cycle,
+                end: cl.cycle + cycles,
             })
             .collect();
         self.skipped_cycles += engine::run_lanes(
             &mut lanes,
             &mut self.inv_buf,
-            &mut self.cycle,
-            end,
-            period,
             RunCtl {
                 cycle_skip: self.cycle_skip,
                 skipped_base: self.skipped_cycles,
                 hook: self.probe.as_mut(),
             },
         );
+        let cycles_after: Vec<u64> = lanes.iter().map(|l| l.cycle).collect();
+        drop(lanes);
+        for (cl, c) in self.clusters.iter_mut().zip(cycles_after) {
+            cl.cycle = c;
+        }
     }
 
-    /// Runs `cycles` core cycles on every cluster and returns cumulative
-    /// chip statistics.
+    /// Runs `cycles` core cycles on every cluster (each on its own clock)
+    /// and returns cumulative chip statistics.
     pub fn run(&mut self, cycles: u64) -> SimStats {
         let _span = ntc_telemetry::trace::span_cat("sim", "sim.run");
         self.advance(cycles);
@@ -207,6 +240,7 @@ impl<S: InstructionStream> ChipSim<S> {
         let _span = ntc_telemetry::trace::span_cat("sim", "sim.run_measured");
         let before = self.stats();
         self.advance(cycles);
+        let cycle0 = self.clusters[0].cycle;
         SimStats {
             cores: self
                 .clusters
@@ -219,10 +253,46 @@ impl<S: InstructionStream> ChipSim<S> {
             dram: self.dram.borrow().stats().delta_since(&before.dram),
             xbar_transfers: self.xbar_transfers() - before.xbar_transfers,
             dram_queue_high_water: self.dram.borrow().queue_depth_high_water() as u64,
-            core_mhz: self.config.core_mhz,
-            cycles: self.cycle - before.cycles,
-            wall_ps: (self.cycle - before.cycles) * self.config.core_period_ps(),
+            core_mhz: self.clusters[0].config.core_mhz,
+            cycles: cycle0 - before.cycles,
+            wall_ps: (cycle0 - before.cycles) * self.clusters[0].config.core_period_ps(),
         }
+    }
+
+    /// Runs a measurement window and returns each cluster's deltas
+    /// separately — the heterogeneous sweep's unit of measurement, since
+    /// chip-wide UIPC is meaningless across clock domains. Each entry
+    /// carries that cluster's cores, LLC, crossbar, frequency and
+    /// wall-clock window; the DRAM counters are chip-wide (the channels
+    /// are shared) and repeated in every entry.
+    pub fn run_measured_clusters(&mut self, cycles: u64) -> Vec<SimStats> {
+        let _span = ntc_telemetry::trace::span_cat("sim", "sim.run_measured");
+        let before: Vec<SimStats> = (0..self.clusters.len())
+            .map(|i| self.cluster_stats(i))
+            .collect();
+        self.advance(cycles);
+        (0..self.clusters.len())
+            .map(|i| {
+                let b = &before[i];
+                let cl = &self.clusters[i];
+                let after = self.cluster_stats(i);
+                SimStats {
+                    cores: after
+                        .cores
+                        .iter()
+                        .zip(b.cores.iter())
+                        .map(|(c, pre)| c.delta_since(pre))
+                        .collect(),
+                    llc: after.llc.delta_since(&b.llc),
+                    dram: after.dram.delta_since(&b.dram),
+                    xbar_transfers: after.xbar_transfers - b.xbar_transfers,
+                    dram_queue_high_water: after.dram_queue_high_water,
+                    core_mhz: cl.config.core_mhz,
+                    cycles: after.cycles - b.cycles,
+                    wall_ps: (after.cycles - b.cycles) * cl.config.core_period_ps(),
+                }
+            })
+            .collect()
     }
 
     /// Chip-wide LLC counters summed across the clusters' private LLCs.
@@ -243,8 +313,29 @@ impl<S: InstructionStream> ChipSim<S> {
         self.clusters.iter().map(|cl| cl.mem.xbar_transfers()).sum()
     }
 
+    /// Cumulative statistics for one cluster: its cores, LLC and crossbar,
+    /// on its own clock. The DRAM counters are the shared chip-wide system
+    /// (per-cluster attribution does not exist at the channel level).
+    pub fn cluster_stats(&self, cluster: usize) -> SimStats {
+        let cl = &self.clusters[cluster];
+        SimStats {
+            cores: cl.cores.iter().map(|c| c.stats().clone()).collect(),
+            llc: cl.mem.llc_stats(),
+            dram: self.dram.borrow().stats(),
+            xbar_transfers: cl.mem.xbar_transfers(),
+            dram_queue_high_water: self.dram.borrow().queue_depth_high_water() as u64,
+            core_mhz: cl.config.core_mhz,
+            cycles: cl.cycle,
+            wall_ps: cl.cycle * cl.config.core_period_ps(),
+        }
+    }
+
     /// Cumulative chip statistics: all cores across all clusters, with the
-    /// shared DRAM counted once.
+    /// shared DRAM counted once. The clock-derived fields (`core_mhz`,
+    /// `cycles`, `wall_ps`) report cluster 0 — exact for homogeneous
+    /// chips; heterogeneous callers should use
+    /// [`ChipSim::cluster_stats`] / [`ChipSim::run_measured_clusters`]
+    /// for per-domain rates.
     pub fn stats(&self) -> SimStats {
         let cores = self
             .clusters
@@ -257,9 +348,9 @@ impl<S: InstructionStream> ChipSim<S> {
             dram: self.dram.borrow().stats(),
             xbar_transfers: self.xbar_transfers(),
             dram_queue_high_water: self.dram.borrow().queue_depth_high_water() as u64,
-            core_mhz: self.config.core_mhz,
-            cycles: self.cycle,
-            wall_ps: self.cycle * self.config.core_period_ps(),
+            core_mhz: self.clusters[0].config.core_mhz,
+            cycles: self.clusters[0].cycle,
+            wall_ps: self.clusters[0].cycle * self.clusters[0].config.core_period_ps(),
         }
     }
 }
@@ -324,10 +415,61 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_clusters_tick_their_own_clocks() {
+        // A big 2 GHz cluster and a little 500 MHz one: over the same
+        // per-cluster cycle window the big cluster covers a quarter of the
+        // wall-clock time and retires far more work per wall-second.
+        let mut config = ChipConfig::homogeneous(&SimConfig::paper_cluster(2000.0), 2);
+        config.clusters[1] = ClusterConfig::little_cluster(500.0);
+        let mut chip = ChipSim::new_chip(config, |cl, c| {
+            RandomAccessStream::new(64 << 20, 0.3, 4, u64::from(cl) * 8 + u64::from(c))
+        });
+        chip.run(6_000);
+        let big = chip.cluster_stats(0);
+        let little = chip.cluster_stats(1);
+        assert_eq!(big.cycles, 6_000);
+        assert_eq!(little.cycles, 6_000);
+        assert_eq!(big.wall_ps * 4, little.wall_ps);
+        assert!(
+            big.uips() > 2.0 * little.uips(),
+            "a 2 GHz OoO cluster must out-run a 500 MHz in-order one: {} vs {}",
+            big.uips(),
+            little.uips()
+        );
+    }
+
+    #[test]
+    fn per_cluster_measurement_windows_are_disjoint_deltas() {
+        let mut config = ChipConfig::homogeneous(&SimConfig::paper_cluster(1000.0), 2);
+        config.clusters[1] = ClusterConfig::little_cluster(700.0);
+        let mut chip = ChipSim::new_chip(config, |cl, c| {
+            RandomAccessStream::new(64 << 20, 0.3, 4, u64::from(cl) * 8 + u64::from(c))
+        });
+        chip.run(2_000);
+        let windows = chip.run_measured_clusters(3_000);
+        assert_eq!(windows.len(), 2);
+        for w in &windows {
+            assert_eq!(w.cycles, 3_000);
+            assert!(w.user_instrs() > 0);
+            assert!(w.user_instrs() < chip.stats().user_instrs());
+        }
+        assert_eq!(windows[0].core_mhz, 1000.0);
+        assert_eq!(windows[1].core_mhz, 700.0);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one cluster")]
     fn zero_clusters_rejected() {
         let _ = ChipSim::new(SimConfig::paper_cluster(1000.0), 0, |_, _| {
             RandomAccessStream::new(1 << 20, 0.3, 4, 0)
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster 1")]
+    fn invalid_cluster_named_in_panic() {
+        let mut config = ChipConfig::homogeneous(&SimConfig::paper_cluster(1000.0), 2);
+        config.clusters[1].cores = 0;
+        let _ = ChipSim::new_chip(config, |_, _| RandomAccessStream::new(1 << 20, 0.3, 4, 0));
     }
 }

@@ -35,9 +35,12 @@ impl<S: InstructionStream> ClusterSim<S> {
     /// # Panics
     ///
     /// Panics if the configuration is structurally invalid (see
-    /// [`SimConfig::validate`]).
+    /// [`SimConfig::validate`], which callers can use to get the typed
+    /// [`crate::SimConfigError`] instead).
     pub fn new(config: SimConfig, mut make_stream: impl FnMut(u32) -> S) -> Self {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid simulator configuration: {e}");
+        }
         let cores = (0..config.cores)
             .map(|i| Core::new(i, config.core))
             .collect();
@@ -140,25 +143,24 @@ impl<S: InstructionStream> ClusterSim<S> {
 
     /// Advances the simulation by `cycles` core cycles.
     fn advance(&mut self, cycles: u64) {
-        let period = self.config.core_period_ps();
-        let end = self.cycle + cycles;
         let mut lane = Lane {
             cores: &mut self.cores,
             streams: &mut self.streams,
             mem: &mut self.mem,
+            period_ps: self.config.core_period_ps(),
+            cycle: self.cycle,
+            end: self.cycle + cycles,
         };
         self.skipped_cycles += engine::run_lanes(
             std::slice::from_mut(&mut lane),
             &mut self.inv_buf,
-            &mut self.cycle,
-            end,
-            period,
             RunCtl {
                 cycle_skip: self.cycle_skip,
                 skipped_base: self.skipped_cycles,
                 hook: self.probe.as_mut(),
             },
         );
+        self.cycle = lane.cycle;
     }
 
     /// Runs `cycles` core cycles and returns cumulative statistics.

@@ -35,6 +35,11 @@ pub struct CoreConfig {
     /// profile's calibrated misprediction flags; `Some(kind)` replaces
     /// them with a real predictor over synthetic per-PC behaviour.
     pub branch_predictor: Option<PredictorKind>,
+    /// In-order issue discipline: instructions issue strictly in program
+    /// order and loads block issue until their data returns (no
+    /// miss-under-miss). The `rob_entries` window then acts only as a
+    /// fetch buffer — there is no reordering to exploit it.
+    pub in_order: bool,
 }
 
 impl CoreConfig {
@@ -53,6 +58,29 @@ impl CoreConfig {
             store_buffer: 16,
             prefetch_degree: 0,
             branch_predictor: None,
+            in_order: false,
+        }
+    }
+
+    /// A near-threshold "little" core in the style of Gautschi et al.'s
+    /// in-order RISC-V design: 2-wide strictly in-order issue, blocking
+    /// loads (a single MSHR), a shallow 8-entry fetch buffer instead of a
+    /// reorder window, and halved 16 KB L1s. Cheap, slow, and the
+    /// heterogeneous sweeps' trade against [`CoreConfig::cortex_a57`].
+    pub fn little_inorder() -> Self {
+        CoreConfig {
+            width: 2,
+            rob_entries: 8,
+            l1i: CacheConfig::new(16 * 1024, 2),
+            l1d: CacheConfig::new(16 * 1024, 2),
+            l1_latency: 2,
+            mshrs: 1,
+            branch_penalty: 8,
+            long_op_latency: 6,
+            store_buffer: 4,
+            prefetch_degree: 0,
+            branch_predictor: None,
+            in_order: true,
         }
     }
 }
@@ -386,7 +414,140 @@ impl Default for DramTimingConfig {
     }
 }
 
-/// Top-level simulator configuration.
+/// Per-cluster simulator configuration: everything about one cluster
+/// *except* the chip-shared DRAM and seed.
+///
+/// Clusters are independent clock domains — each carries its own
+/// `core_mhz` — and may use different core classes
+/// ([`CoreConfig::cortex_a57`] vs [`CoreConfig::little_inorder`]), LLC
+/// geometries and crossbars. A [`ChipConfig`] is a vector of these over
+/// one shared memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of cores in the cluster.
+    pub cores: u32,
+    /// Core clock frequency in MHz (the swept knob).
+    pub core_mhz: f64,
+    /// Core microarchitecture.
+    pub core: CoreConfig,
+    /// Shared LLC.
+    pub llc: LlcConfig,
+    /// Crossbar.
+    pub xbar: XbarConfig,
+}
+
+impl ClusterConfig {
+    /// Largest supported cluster: one bit per core in
+    /// [`crate::llc::SharerMask`].
+    pub const MAX_CORES: u32 = 32;
+
+    /// The paper's cluster: 4 Cortex-A57 cores, 4 MB LLC, crossbar.
+    pub fn paper_cluster(core_mhz: f64) -> Self {
+        ClusterConfig {
+            cores: 4,
+            core_mhz,
+            core: CoreConfig::cortex_a57(),
+            llc: LlcConfig::paper_cluster(),
+            xbar: XbarConfig::paper_cluster(),
+        }
+    }
+
+    /// A little-core cluster: 4 in-order cores (see
+    /// [`CoreConfig::little_inorder`]) behind the same LLC/crossbar
+    /// organization as the paper's cluster.
+    pub fn little_cluster(core_mhz: f64) -> Self {
+        ClusterConfig {
+            core: CoreConfig::little_inorder(),
+            ..Self::paper_cluster(core_mhz)
+        }
+    }
+
+    /// Checks this cluster's structural invariants, reporting violations
+    /// against cluster index `cluster` (for chip-level error messages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimConfigError::Cores`] when the core count is zero or
+    /// exceeds [`Self::MAX_CORES`] (the sharer-mask width — `1 << core`
+    /// on the directory mask would otherwise overflow silently in release
+    /// builds), and [`SimConfigError::Frequency`] when `core_mhz` is not
+    /// positive and finite.
+    pub fn validate_at(&self, cluster: usize) -> Result<(), SimConfigError> {
+        if self.cores < 1 || self.cores > Self::MAX_CORES {
+            return Err(SimConfigError::Cores {
+                cluster,
+                cores: self.cores,
+            });
+        }
+        if !self.core_mhz.is_finite() || self.core_mhz <= 0.0 {
+            return Err(SimConfigError::Frequency {
+                cluster,
+                core_mhz: self.core_mhz,
+            });
+        }
+        Ok(())
+    }
+
+    /// Core clock period in picoseconds.
+    pub fn core_period_ps(&self) -> u64 {
+        crate::period_ps(self.core_mhz)
+    }
+}
+
+/// A whole chip: per-instance cluster configurations over one shared
+/// DRAM. The homogeneous special case is [`ChipConfig::homogeneous`] /
+/// [`SimConfig`]; heterogeneous chips mix core classes and frequencies
+/// freely — each cluster is its own clock domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Per-cluster configurations (one entry per cluster instance).
+    pub clusters: Vec<ClusterConfig>,
+    /// Chip-shared DRAM timing.
+    pub dram: DramTimingConfig,
+    /// RNG seed for any stochastic stream driving the simulation.
+    pub seed: u64,
+}
+
+impl ChipConfig {
+    /// A chip of `clusters` identical copies of `config`'s cluster — the
+    /// pre-refactor chip-wide-config behaviour.
+    pub fn homogeneous(config: &SimConfig, clusters: u32) -> Self {
+        ChipConfig {
+            clusters: vec![config.cluster(); clusters as usize],
+            dram: config.dram,
+            seed: config.seed,
+        }
+    }
+
+    /// Checks all structural invariants the simulators rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimConfigError::NoClusters`] for an empty cluster
+    /// vector, the first per-cluster violation with its cluster index
+    /// (see [`ClusterConfig::validate_at`]), or the DRAM geometry error.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.clusters.is_empty() {
+            return Err(SimConfigError::NoClusters);
+        }
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            cluster.validate_at(i)?;
+        }
+        self.dram.validate().map_err(SimConfigError::Dram)
+    }
+
+    /// Whether every cluster has the same configuration (one clock
+    /// domain): the fast homogeneous engine invariants apply.
+    pub fn is_homogeneous(&self) -> bool {
+        self.clusters.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// Top-level single-cluster simulator configuration.
+///
+/// Kept as the 1-cluster special case of the per-instance configuration
+/// plane: [`SimConfig::cluster`] extracts the [`ClusterConfig`] and
+/// [`ChipConfig::homogeneous`] replicates it chip-wide.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Number of cores in the cluster.
@@ -408,20 +569,16 @@ pub struct SimConfig {
 impl SimConfig {
     /// Largest supported cluster: one bit per core in
     /// [`crate::llc::SharerMask`].
-    pub const MAX_CORES: u32 = 32;
+    pub const MAX_CORES: u32 = ClusterConfig::MAX_CORES;
 
     /// The paper's simulated unit: a 4-core Cortex-A57 cluster with a 4 MB
     /// LLC over a crossbar and 4 channels of DDR4-1600, at the given core
     /// frequency.
     ///
-    /// # Panics
-    ///
-    /// Panics if `core_mhz` is not positive and finite.
+    /// An out-of-range frequency is *not* rejected here; it is reported
+    /// by [`SimConfig::validate`] (which every simulator constructor
+    /// runs) as [`SimConfigError::Frequency`].
     pub fn paper_cluster(core_mhz: f64) -> Self {
-        assert!(
-            core_mhz.is_finite() && core_mhz > 0.0,
-            "core frequency must be positive, got {core_mhz}"
-        );
         SimConfig {
             cores: 4,
             core_mhz,
@@ -439,29 +596,104 @@ impl SimConfig {
         self
     }
 
+    /// The per-cluster part of this configuration (everything but the
+    /// chip-shared DRAM and seed).
+    pub fn cluster(&self) -> ClusterConfig {
+        ClusterConfig {
+            cores: self.cores,
+            core_mhz: self.core_mhz,
+            core: self.core,
+            llc: self.llc,
+            xbar: self.xbar,
+        }
+    }
+
+    /// Rebuilds a single-cluster configuration from its parts.
+    pub fn from_cluster(cluster: ClusterConfig, dram: DramTimingConfig, seed: u64) -> Self {
+        SimConfig {
+            cores: cluster.cores,
+            core_mhz: cluster.core_mhz,
+            core: cluster.core,
+            llc: cluster.llc,
+            xbar: cluster.xbar,
+            dram,
+            seed,
+        }
+    }
+
     /// Checks structural invariants the simulators rely on.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cores` is zero or exceeds [`Self::MAX_CORES`] (the
-    /// sharer-mask width — `1 << core` on the directory mask would
-    /// otherwise overflow silently in release builds), or the DRAM
-    /// geometry is invalid (see [`DramTimingConfig::validate`]).
-    pub fn validate(&self) {
-        assert!(
-            self.cores >= 1 && self.cores <= Self::MAX_CORES,
-            "cluster must have 1..={} cores, got {}",
-            Self::MAX_CORES,
-            self.cores
-        );
-        if let Err(e) = self.dram.validate() {
-            panic!("invalid DRAM configuration: {e}");
-        }
+    /// Returns [`SimConfigError::Cores`] / [`SimConfigError::Frequency`]
+    /// for per-cluster violations (cluster index 0 — this is the
+    /// 1-cluster special case) and [`SimConfigError::Dram`] for an
+    /// invalid DRAM geometry (see [`DramTimingConfig::validate`]).
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        self.cluster().validate_at(0)?;
+        self.dram.validate().map_err(SimConfigError::Dram)
     }
 
     /// Core clock period in picoseconds.
     pub fn core_period_ps(&self) -> u64 {
         crate::period_ps(self.core_mhz)
+    }
+}
+
+/// A structurally invalid [`SimConfig`] / [`ChipConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SimConfigError {
+    /// A chip with no clusters at all.
+    NoClusters,
+    /// A cluster's core count outside `1..=`[`ClusterConfig::MAX_CORES`].
+    Cores {
+        /// Index of the offending cluster.
+        cluster: usize,
+        /// The rejected core count.
+        cores: u32,
+    },
+    /// A cluster's core frequency that is not positive and finite.
+    Frequency {
+        /// Index of the offending cluster.
+        cluster: usize,
+        /// The rejected frequency in MHz.
+        core_mhz: f64,
+    },
+    /// Invalid chip-shared DRAM geometry.
+    Dram(DramConfigError),
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimConfigError::NoClusters => write!(f, "chip must have at least one cluster"),
+            SimConfigError::Cores { cluster, cores } => write!(
+                f,
+                "cluster {cluster}: must have 1..={} cores, got {cores}",
+                ClusterConfig::MAX_CORES
+            ),
+            SimConfigError::Frequency { cluster, core_mhz } => write!(
+                f,
+                "cluster {cluster}: core frequency must be positive and finite, got {core_mhz}"
+            ),
+            SimConfigError::Dram(e) => write!(f, "invalid DRAM configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimConfigError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramConfigError> for SimConfigError {
+    fn from(e: DramConfigError) -> Self {
+        SimConfigError::Dram(e)
     }
 }
 
@@ -507,9 +739,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be positive")]
-    fn rejects_bad_frequency() {
-        let _ = SimConfig::paper_cluster(-1.0);
+    fn validate_rejects_bad_frequency() {
+        for bad in [-1.0, 0.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                SimConfig::paper_cluster(bad).validate(),
+                Err(SimConfigError::Frequency { cluster: 0, .. })
+            ));
+        }
     }
 
     #[test]
@@ -517,24 +753,93 @@ mod tests {
         let mut c = SimConfig::paper_cluster(1000.0);
         for cores in [1, 4, 8, 16, SimConfig::MAX_CORES] {
             c.cores = cores;
-            c.validate();
+            assert_eq!(c.validate(), Ok(()));
         }
     }
 
     #[test]
-    #[should_panic(expected = "cores")]
     fn validate_rejects_oversized_cluster() {
         let mut c = SimConfig::paper_cluster(1000.0);
         c.cores = SimConfig::MAX_CORES + 1;
-        c.validate();
+        assert!(matches!(
+            c.validate(),
+            Err(SimConfigError::Cores { cluster: 0, cores }) if cores == SimConfig::MAX_CORES + 1
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "cores")]
     fn validate_rejects_empty_cluster() {
         let mut c = SimConfig::paper_cluster(1000.0);
         c.cores = 0;
-        c.validate();
+        assert!(matches!(
+            c.validate(),
+            Err(SimConfigError::Cores {
+                cluster: 0,
+                cores: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn little_core_is_narrow_in_order_and_blocking() {
+        let little = CoreConfig::little_inorder();
+        let big = CoreConfig::cortex_a57();
+        assert!(little.in_order && !big.in_order);
+        assert!(little.width < big.width);
+        assert!(little.rob_entries < big.rob_entries);
+        assert_eq!(little.mshrs, 1, "blocking loads: a single MSHR");
+        assert!(little.l1d.size_bytes < big.l1d.size_bytes);
+    }
+
+    #[test]
+    fn homogeneous_chip_replicates_the_cluster() {
+        let c = SimConfig::paper_cluster(1500.0).with_seed(7);
+        let chip = ChipConfig::homogeneous(&c, 3);
+        assert_eq!(chip.clusters.len(), 3);
+        assert!(chip.clusters.iter().all(|cl| *cl == c.cluster()));
+        assert_eq!(chip.seed, 7);
+        assert_eq!(chip.dram, c.dram);
+        assert!(chip.is_homogeneous());
+        assert_eq!(chip.validate(), Ok(()));
+    }
+
+    #[test]
+    fn heterogeneous_chip_is_detected_and_validated_per_cluster() {
+        let big = SimConfig::paper_cluster(1000.0);
+        let mut chip = ChipConfig::homogeneous(&big, 2);
+        chip.clusters.push(ClusterConfig::little_cluster(400.0));
+        assert!(!chip.is_homogeneous());
+        assert_eq!(chip.validate(), Ok(()));
+
+        chip.clusters[2].cores = 0;
+        assert!(matches!(
+            chip.validate(),
+            Err(SimConfigError::Cores {
+                cluster: 2,
+                cores: 0
+            })
+        ));
+        chip.clusters[2].cores = 4;
+        chip.clusters[1].core_mhz = f64::NAN;
+        let msg = chip.validate().unwrap_err().to_string();
+        assert!(msg.contains("cluster 1"), "message must index: {msg}");
+    }
+
+    #[test]
+    fn empty_chip_rejected() {
+        let chip = ChipConfig {
+            clusters: Vec::new(),
+            dram: DramTimingConfig::ddr4_1600_paper(),
+            seed: 0,
+        };
+        assert_eq!(chip.validate(), Err(SimConfigError::NoClusters));
+    }
+
+    #[test]
+    fn cluster_round_trips_through_parts() {
+        let c = SimConfig::paper_cluster(800.0).with_seed(99);
+        let back = SimConfig::from_cluster(c.cluster(), c.dram, c.seed);
+        assert_eq!(back, c);
     }
 
     #[test]
@@ -598,11 +903,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid DRAM configuration")]
     fn sim_validate_rejects_zero_channel_dram() {
         let mut c = SimConfig::paper_cluster(1000.0);
         c.dram.channels = 0;
-        c.validate();
+        assert!(matches!(
+            c.validate(),
+            Err(SimConfigError::Dram(DramConfigError::Channels {
+                channels: 0
+            }))
+        ));
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("invalid DRAM configuration"), "{msg}");
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct Core {
     retry_buf: Vec<u64>,
     /// Background store (read-for-ownership) fills in flight.
     pending_stores: Vec<MemTicket>,
+    /// Sequence number of the next instruction to issue under the
+    /// in-order discipline ([`CoreConfig::in_order`]); unused (stays 0 or
+    /// trails) on out-of-order cores.
+    inorder_next: u64,
     /// Optional learning branch predictor (with its synthetic ground
     /// truth); `None` uses the stream's calibrated flags.
     bpred: Option<(BranchPredictor, SyntheticBranchBehaviour)>,
@@ -125,6 +129,7 @@ impl Core {
             wake_pool: Vec::new(),
             retry_buf: Vec::new(),
             pending_stores: Vec::new(),
+            inorder_next: 0,
             bpred: cfg
                 .branch_predictor
                 .map(|k| (BranchPredictor::new(k), SyntheticBranchBehaviour::new())),
@@ -308,6 +313,12 @@ impl Core {
         let poll_cycle = |t: MemTicket| mem.ticket_done_ps(t).map(|done| done.div_ceil(period_ps));
         let mut next = u64::MAX;
         let rob_full = self.rob.len() >= self.cfg.rob_entries as usize;
+        // An in-order core with a load miss in flight cannot issue anything
+        // until the fill is polled — the window's waiting entries are inert
+        // no matter when their producers complete (the queue movements the
+        // skipped ticks would have made are lazy and replayed identically
+        // on resume).
+        let blocked_inorder = self.cfg.in_order && !self.in_flight_loads.is_empty();
 
         // Fetch: an unblocked front end with window space dispatches every
         // cycle. (Unblocked with a full window only increments
@@ -357,6 +368,12 @@ impl Core {
                     None => {} // still queued in DRAM: uncore bound applies
                 },
                 Stage::Waiting => {
+                    // A blocking load gates issue entirely: waiting entries
+                    // cannot act until its fill is polled, which the Memory
+                    // arm (or the uncore fill-wake bound) schedules.
+                    if blocked_inorder {
+                        continue;
+                    }
                     // Mirrors `producer_ready`: a ready producer means this
                     // entry issues now (or stays issue-eligible), so the
                     // core is active.
@@ -473,6 +490,19 @@ impl Core {
             let Some(&Reverse(seq)) = self.ready.peek() else {
                 break;
             };
+            if self.cfg.in_order {
+                // Blocking loads: an outstanding load miss stalls issue
+                // entirely (no miss-under-miss).
+                if !self.in_flight_loads.is_empty() {
+                    break;
+                }
+                // Strict program-order issue: the heap yields the oldest
+                // *eligible* entry, but an in-order core may not slip past
+                // an older instruction that has not issued yet.
+                if seq != self.inorder_next {
+                    break;
+                }
+            }
             self.ready.pop();
             let idx = self.rob_index(seq).expect("ready entry is in the window");
             let (op, addr) = {
@@ -570,6 +600,9 @@ impl Core {
             }
             if op.is_memory() {
                 self.stats.l1d_accesses += 1;
+            }
+            if self.cfg.in_order {
+                self.inorder_next = seq + 1;
             }
             issued += 1;
         }

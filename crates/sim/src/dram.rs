@@ -535,6 +535,13 @@ pub struct DramSystem {
     next_issue_cache: Option<Option<u64>>,
     /// Memoized [`DramSystem::next_read_completion_ps`], same lifecycle.
     read_completion_cache: Option<Option<u64>>,
+    /// High-water mark of executed [`DramSystem::tick`] arguments. The
+    /// scheduler's clock never rewinds: a heterogeneous chip advances
+    /// each cluster by a count of its *own* cycles per window, so at a
+    /// window boundary a short-period cluster sits at an earlier
+    /// absolute time than the shared DRAM has reached — its memory
+    /// system clamps against this (see [`DramSystem::now_ps`]).
+    now_ps: u64,
 }
 
 impl DramSystem {
@@ -564,7 +571,16 @@ impl DramSystem {
             mutate_scheduler: false,
             next_issue_cache: None,
             read_completion_cache: None,
+            now_ps: 0,
         }
+    }
+
+    /// The latest instant the scheduler has executed a tick to — the
+    /// shared clock's high-water mark. Ticks that found an empty queue
+    /// don't count: no scheduling decision was made, so replaying the
+    /// interval later is exact.
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
     }
 
     /// The timing configuration.
@@ -859,6 +875,7 @@ impl DramSystem {
         if self.queued == 0 {
             return;
         }
+        self.now_ps = self.now_ps.max(until_ps);
         for ch in 0..self.channels.len() {
             #[cfg(debug_assertions)]
             {

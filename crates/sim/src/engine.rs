@@ -7,6 +7,17 @@
 //! coherence invalidations). Both now delegate to [`run_lanes`], so the
 //! loop — and its fast path — exist in exactly one place.
 //!
+//! # Clock domains
+//!
+//! Each [`Lane`] (one cluster) carries its own core-clock period, cycle
+//! counter and window bound, so a heterogeneous chip runs its clusters as
+//! independent clock domains against the one shared DRAM. Lane ticks are
+//! processed in global `(tick time, lane index)` order; when every lane
+//! shares the same period and window — the homogeneous case, detected on
+//! entry — the loop degenerates to the classic "tick all lanes each
+//! cycle" order, byte-for-byte identical to the single-clock engine it
+//! replaces.
+//!
 //! # The cycle-skip fast path
 //!
 //! Scale-out workloads at low frequency spend most cycles with every ROB
@@ -28,6 +39,12 @@
 //!   (or elides them when provably no-ops), so the DRAM scheduler makes
 //!   exactly the decisions it would have made naively.
 //!
+//! In a heterogeneous chip the bounds are compared in **picoseconds**: the
+//! skip target is the earliest event time across every clock domain, and
+//! each lane jumps to its own first cycle at or past that instant — no
+//! lane ever skips over one of its own ticks that could have observed the
+//! event.
+//!
 //! The skipped core ticks would then be no-ops except for two per-tick
 //! statistics — `stats.cycles` and `rob_full_cycles` — which
 //! [`Core::skip_to`] batch-applies. The result is **bit-identical**
@@ -48,12 +65,19 @@ use crate::memsys::MemorySystem;
 use crate::probe::{Probe, ProbeSample, PROBE_EPOCH_CYCLES};
 
 /// One cluster's mutable view for the shared loop: its cores, their
-/// instruction streams, and the cluster's private uncore (which may share
-/// a DRAM system with other lanes).
+/// instruction streams, the cluster's private uncore (which may share a
+/// DRAM system with other lanes), and its clock domain for this window.
 pub(crate) struct Lane<'a, S> {
     pub cores: &'a mut [Core],
     pub streams: &'a mut [S],
     pub mem: &'a mut MemorySystem,
+    /// This lane's core-clock period — its clock domain.
+    pub period_ps: u64,
+    /// This lane's current core cycle; advanced by the loop, read back by
+    /// the caller after [`run_lanes`] returns.
+    pub cycle: u64,
+    /// This lane's cycle bound for the window (exclusive).
+    pub end: u64,
 }
 
 /// Loop controls for [`run_lanes`]: the fast-path switch plus the
@@ -70,20 +94,41 @@ pub(crate) struct RunCtl<'p> {
     pub hook: Option<&'p mut Box<dyn Probe>>,
 }
 
-/// Advances all lanes from `*cycle` to `end` on a common core clock.
+/// Advances every lane to its own `end` cycle, each on its own clock.
 ///
 /// With `ctl.cycle_skip` enabled, quiescent stretches are jumped in one
 /// step; otherwise every cycle is ticked naively (the reference
 /// behaviour the differential tests compare against). Returns the number
-/// of cycles skipped (never ticked).
+/// of lane-0 cycles skipped (never ticked) — lane 0 is the chip's
+/// reference clock for diagnostics; in the homogeneous case every lane
+/// skips the same stretches.
 pub(crate) fn run_lanes<S: InstructionStream>(
     lanes: &mut [Lane<'_, S>],
     inv_buf: &mut Vec<Invalidation>,
-    cycle: &mut u64,
-    end: u64,
-    period_ps: u64,
+    ctl: RunCtl<'_>,
+) -> u64 {
+    let synced = lanes.windows(2).all(|w| {
+        w[0].period_ps == w[1].period_ps && w[0].cycle == w[1].cycle && w[0].end == w[1].end
+    });
+    if synced {
+        run_lanes_synced(lanes, inv_buf, ctl)
+    } else {
+        run_lanes_multiclock(lanes, inv_buf, ctl)
+    }
+}
+
+/// The single-clock loop: every lane shares one period, cycle counter and
+/// bound, so all lanes tick together each cycle. This is the homogeneous
+/// fast path — and the reference order the multi-clock loop reduces to
+/// when periods are equal.
+fn run_lanes_synced<S: InstructionStream>(
+    lanes: &mut [Lane<'_, S>],
+    inv_buf: &mut Vec<Invalidation>,
     mut ctl: RunCtl<'_>,
 ) -> u64 {
+    let period_ps = lanes[0].period_ps;
+    let end = lanes[0].end;
+    let mut cycle = lanes[0].cycle;
     let cycle_skip = ctl.cycle_skip;
     let mut skipped = 0;
     // Probe on entry (a run window may open mid-stall), then after any
@@ -99,19 +144,19 @@ pub(crate) fn run_lanes<S: InstructionStream>(
     } else {
         (0, 0)
     };
-    while *cycle < end {
+    while cycle < end {
         if probe {
-            if let Some(target) = next_event_cycle(lanes, *cycle, period_ps) {
+            if let Some(target) = next_event_cycle(lanes, cycle, period_ps) {
                 let target = target.min(end);
-                if target > *cycle {
-                    skip(lanes, *cycle, target, period_ps);
-                    skipped += target - *cycle;
-                    *cycle = target;
+                if target > cycle {
+                    skip(lanes, cycle, target, period_ps);
+                    skipped += target - cycle;
+                    cycle = target;
                     // A skip landing is an engine epoch: simulated state
                     // just moved across a stall, so sample it.
                     if let Some(hook) = ctl.hook.as_deref_mut() {
                         let sample =
-                            collect_sample(lanes, *cycle, period_ps, ctl.skipped_base + skipped);
+                            collect_sample(lanes, cycle, period_ps, ctl.skipped_base + skipped);
                         hook.sample(sample);
                     }
                     // An event is due at `target`: tick it directly.
@@ -120,14 +165,14 @@ pub(crate) fn run_lanes<S: InstructionStream>(
                 }
             }
         }
-        let now = *cycle * period_ps;
+        let now = cycle * period_ps;
         for lane in lanes.iter_mut() {
-            tick_lane(lane, inv_buf, *cycle, now, period_ps);
+            tick_lane(lane, inv_buf, cycle, now, period_ps);
         }
-        *cycle += 1;
+        cycle += 1;
         if let Some(hook) = ctl.hook.as_deref_mut() {
-            if *cycle % PROBE_EPOCH_CYCLES == 0 {
-                let sample = collect_sample(lanes, *cycle, period_ps, ctl.skipped_base + skipped);
+            if cycle % PROBE_EPOCH_CYCLES == 0 {
+                let sample = collect_sample(lanes, cycle, period_ps, ctl.skipped_base + skipped);
                 hook.sample(sample);
             }
         }
@@ -138,7 +183,132 @@ pub(crate) fn run_lanes<S: InstructionStream>(
             mshrs = mshrs2;
         }
     }
+    for lane in lanes.iter_mut() {
+        lane.cycle = cycle;
+    }
     skipped
+}
+
+/// The multi-clock loop: lane ticks are processed one at a time, ordered
+/// globally by the *end* of each tick — the instant that lane's uncore
+/// catches up to — lowest lane index first on ties, so the shared DRAM's
+/// clock (which only ever advances to tick-end boundaries) moves
+/// monotonically while clusters at different frequencies interleave as
+/// their clocks dictate. A lane that reaches its own `end` freezes (its
+/// cores and uncore stop ticking) while the others run on.
+///
+/// A cycle-skip in this loop jumps the *cores* immediately
+/// ([`Core::skip_to`] is exact for quiescent stretches) but streams the
+/// skipped uncore `tick` boundaries through the same event loop as
+/// mem-only replay ticks, so DRAM decisions and clock monotonicity are
+/// identical to the naive interleaving (the replay is elided when no
+/// queued command can issue before the target).
+fn run_lanes_multiclock<S: InstructionStream>(
+    lanes: &mut [Lane<'_, S>],
+    inv_buf: &mut Vec<Invalidation>,
+    mut ctl: RunCtl<'_>,
+) -> u64 {
+    let cycle_skip = ctl.cycle_skip;
+    let mut skipped0 = 0;
+    let mut probe = cycle_skip;
+    // Per-lane activity fingerprints, updated incrementally for the lane
+    // that just ticked (rescanning every lane per tick would be O(lanes²)
+    // per round).
+    let (mut sigs, mut mshrs): (Vec<u64>, Vec<u64>) = if cycle_skip {
+        lanes
+            .iter()
+            .map(|l| (lane_signature(l), lane_in_flight(l)))
+            .unzip()
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let mut sig: u64 = sigs.iter().fold(0, |a, s| a.wrapping_add(*s));
+    let mut mshr_total: u64 = mshrs.iter().sum();
+    // Lanes with `cycle < replay[i]` are inside a skipped stretch: their
+    // cores have already jumped, but their uncore boundaries still stream
+    // through the loop as mem-only ticks.
+    let mut replay: Vec<u64> = lanes.iter().map(|l| l.cycle).collect();
+    let mut replaying = 0usize;
+    loop {
+        // The pending lane tick with the earliest end boundary.
+        let mut key = u64::MAX;
+        let mut i = usize::MAX;
+        for (l, lane) in lanes.iter().enumerate() {
+            if lane.cycle >= lane.end {
+                continue;
+            }
+            let t = (lane.cycle + 1) * lane.period_ps;
+            if t < key {
+                key = t;
+                i = l;
+            }
+        }
+        if i == usize::MAX {
+            break;
+        }
+        if lanes[i].cycle < replay[i] {
+            // Skipped-window replay: the cores already jumped; only the
+            // uncore sees the boundary.
+            lanes[i].mem.tick(key);
+            lanes[i].cycle += 1;
+            if lanes[i].cycle >= replay[i] {
+                replaying -= 1;
+            }
+            continue;
+        }
+        if probe && replaying == 0 {
+            if let Some(target_ps) = next_event_ps(lanes) {
+                // Every lane is quiescent until the target: jump all
+                // clock domains across the stall.
+                let (s0, r) = begin_skip(lanes, target_ps, &mut replay);
+                skipped0 += s0;
+                replaying = r;
+                if let Some(hook) = ctl.hook.as_deref_mut() {
+                    let sample = collect_sample(
+                        lanes,
+                        lanes[0].cycle.max(replay[0]),
+                        lanes[0].period_ps,
+                        ctl.skipped_base + skipped0,
+                    );
+                    hook.sample(sample);
+                }
+                // An event is due at the target: tick it directly.
+                probe = false;
+                continue;
+            }
+        }
+        let cycle = lanes[i].cycle;
+        let now = cycle * lanes[i].period_ps;
+        let period_ps = lanes[i].period_ps;
+        tick_lane(&mut lanes[i], inv_buf, cycle, now, period_ps);
+        lanes[i].cycle += 1;
+        // Epoch probing follows lane 0's clock — the chip's reference
+        // domain — mirroring the homogeneous engine's sample points.
+        if i == 0 {
+            if let Some(hook) = ctl.hook.as_deref_mut() {
+                if lanes[0].cycle % PROBE_EPOCH_CYCLES == 0 {
+                    let sample = collect_sample(
+                        lanes,
+                        lanes[0].cycle,
+                        lanes[0].period_ps,
+                        ctl.skipped_base + skipped0,
+                    );
+                    hook.sample(sample);
+                }
+            }
+        }
+        if cycle_skip {
+            let (s2, m2) = (lane_signature(&lanes[i]), lane_in_flight(&lanes[i]));
+            let sig2 = sig.wrapping_sub(sigs[i]).wrapping_add(s2);
+            let mshr2 = mshr_total - mshrs[i] + m2;
+            probe = sig2 == sig || mshr2 > mshr_total;
+            sigs[i] = s2;
+            mshrs[i] = m2;
+            sig = sig2;
+            mshr_total = mshr2;
+        }
+    }
+    skipped0
 }
 
 /// Builds one probe sample from the lanes' current state. The DRAM
@@ -175,28 +345,36 @@ fn collect_sample<S>(
     }
 }
 
-/// Total data misses in flight across all lanes (summed MSHR occupancy).
-fn in_flight_data<S>(lanes: &[Lane<'_, S>]) -> u64 {
-    let mut n = 0u64;
-    for lane in lanes.iter() {
-        for core in lane.cores.iter() {
-            n += u64::from(core.in_flight_data());
-        }
-    }
-    n
+/// One lane's data misses in flight (summed MSHR occupancy).
+fn lane_in_flight<S>(lane: &Lane<'_, S>) -> u64 {
+    lane.cores
+        .iter()
+        .map(|c| u64::from(c.in_flight_data()))
+        .sum()
 }
 
-/// The lanes' combined progress fingerprint (see
-/// [`Core::activity_signature`]). Uncore counters are deliberately left
-/// out: DRAM commands issuing while every core is stalled are exactly the
-/// regime the fast path wants to probe (and skip across), not treat as
-/// activity.
+/// Total data misses in flight across all lanes.
+fn in_flight_data<S>(lanes: &[Lane<'_, S>]) -> u64 {
+    lanes.iter().map(lane_in_flight).sum()
+}
+
+/// One lane's progress fingerprint (see [`Core::activity_signature`]).
+fn lane_signature<S>(lane: &Lane<'_, S>) -> u64 {
+    let mut sig = 0u64;
+    for core in lane.cores.iter() {
+        sig = sig.wrapping_add(core.activity_signature());
+    }
+    sig
+}
+
+/// The lanes' combined progress fingerprint. Uncore counters are
+/// deliberately left out: DRAM commands issuing while every core is
+/// stalled are exactly the regime the fast path wants to probe (and skip
+/// across), not treat as activity.
 fn activity_signature<S>(lanes: &[Lane<'_, S>]) -> u64 {
     let mut sig = 0u64;
     for lane in lanes.iter() {
-        for core in lane.cores.iter() {
-            sig = sig.wrapping_add(core.activity_signature());
-        }
+        sig = sig.wrapping_add(lane_signature(lane));
     }
     sig
 }
@@ -229,6 +407,54 @@ fn skip<S: InstructionStream>(lanes: &mut [Lane<'_, S>], from: u64, to: u64, per
     }
 }
 
+/// Starts a multi-clock skip to `target_ps`: every unfinished lane's
+/// cores jump to the lane's first cycle at or past the target (capped by
+/// its own window bound) via [`Core::skip_to`]. When no queued DRAM
+/// command can issue before the target the lanes' cycle counters jump
+/// too — every skipped uncore boundary is provably a no-op; otherwise
+/// `replay[i]` marks each lane's landing cycle and the counters stay
+/// put, so the main loop streams the skipped boundaries through as
+/// mem-only ticks in the exact naive order. Returns the cycles lane 0
+/// skipped and how many lanes entered replay.
+fn begin_skip<S: InstructionStream>(
+    lanes: &mut [Lane<'_, S>],
+    target_ps: u64,
+    replay: &mut [u64],
+) -> (u64, usize) {
+    // The memory systems share one DRAM, so any lane's view of "next
+    // issue" is the chip-wide one.
+    let elide = !lanes
+        .iter()
+        .any(|l| l.cycle < l.end && l.mem.next_issue_ps().is_some_and(|s| s < target_ps));
+    let mut skipped0 = 0;
+    let mut replaying = 0;
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        if lane.cycle >= lane.end {
+            continue;
+        }
+        let to = target_ps
+            .div_ceil(lane.period_ps)
+            .min(lane.end)
+            .max(lane.cycle);
+        if to == lane.cycle {
+            continue;
+        }
+        for core in lane.cores.iter_mut() {
+            core.skip_to(lane.cycle, to);
+        }
+        if i == 0 {
+            skipped0 = to - lane.cycle;
+        }
+        if elide {
+            lane.cycle = to;
+        } else {
+            replay[i] = to;
+            replaying += 1;
+        }
+    }
+    (skipped0, replaying)
+}
+
 /// One naive cycle for one lane: tick the cores, let the uncore catch up
 /// to the end of the cycle, then apply coherence invalidations to L1s
 /// (posting write-backs for dirty copies). `inv_buf` is reused across
@@ -256,7 +482,8 @@ fn tick_lane<S: InstructionStream>(
 
 /// The earliest cycle at which *any* lane has work, or `None` if some
 /// lane is active right now (or nothing is scheduled at all — never skip
-/// blindly to the horizon).
+/// blindly to the horizon). Single-clock variant: all lanes share
+/// `cycle` and `period_ps`.
 fn next_event_cycle<S: InstructionStream>(
     lanes: &[Lane<'_, S>],
     cycle: u64,
@@ -281,6 +508,43 @@ fn next_event_cycle<S: InstructionStream>(
                 return None;
             }
             next = next.min(c);
+        }
+    }
+    if next == u64::MAX {
+        None
+    } else {
+        Some(next)
+    }
+}
+
+/// The earliest instant at which *any* lane has work, in picoseconds, or
+/// `None` if some unfinished lane is active at its current cycle (or
+/// nothing is scheduled at all). Multi-clock variant of
+/// [`next_event_cycle`]: each lane's bounds are converted to absolute
+/// time on its own clock before being combined. Finished lanes are
+/// ignored — their cores are frozen and their fills are never polled
+/// again.
+fn next_event_ps<S: InstructionStream>(lanes: &[Lane<'_, S>]) -> Option<u64> {
+    let mut next = u64::MAX;
+    for lane in lanes.iter() {
+        if lane.cycle >= lane.end {
+            continue;
+        }
+        if lane.mem.has_pending_invalidations() {
+            return None;
+        }
+        for core in lane.cores.iter() {
+            let c = core.quiescent_until(lane.mem, lane.cycle, lane.period_ps)?;
+            if c != u64::MAX {
+                next = next.min(c.saturating_mul(lane.period_ps));
+            }
+        }
+        if let Some(wake_ps) = lane.mem.next_fill_wake_ps() {
+            let c = wake_ps.div_ceil(lane.period_ps);
+            if c <= lane.cycle {
+                return None;
+            }
+            next = next.min(c.saturating_mul(lane.period_ps));
         }
     }
     if next == u64::MAX {

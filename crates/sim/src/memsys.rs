@@ -8,7 +8,7 @@
 //! apply to L1s.
 
 use crate::cache::SetAssocArray;
-use crate::config::SimConfig;
+use crate::config::{ClusterConfig, SimConfig};
 use crate::dram::{DramStats, DramSystem, DramTicket};
 use crate::fxhash::FxHashMap;
 use crate::llc::{Invalidation, LlcStats, SharedLlc, SharerMask};
@@ -77,18 +77,24 @@ impl MemorySystem {
     /// Builds the uncore from the simulator configuration, with its own
     /// private DRAM system.
     pub fn new(cfg: &SimConfig) -> Self {
-        Self::with_shared_dram(cfg, Rc::new(RefCell::new(DramSystem::new(cfg.dram))), 0)
+        Self::with_shared_dram(
+            &cfg.cluster(),
+            Rc::new(RefCell::new(DramSystem::new(cfg.dram))),
+            0,
+        )
     }
 
-    /// Builds the uncore as client `dram_owner` of a DRAM system shared
-    /// with other clusters (the multi-cluster chip configuration).
-    pub fn with_shared_dram(cfg: &SimConfig, dram: SharedDram, dram_owner: u32) -> Self {
+    /// Builds the uncore for one cluster as client `dram_owner` of a DRAM
+    /// system shared with other clusters (the multi-cluster chip
+    /// configuration). Each cluster brings its own crossbar and LLC
+    /// geometry — only the DRAM behind them is common.
+    pub fn with_shared_dram(cluster: &ClusterConfig, dram: SharedDram, dram_owner: u32) -> Self {
         MemorySystem {
-            xbar: Crossbar::new(cfg.xbar, cfg.cores),
-            llc: SharedLlc::new(cfg.llc),
+            xbar: Crossbar::new(cluster.xbar, cluster.cores),
+            llc: SharedLlc::new(cluster.llc),
             dram,
             dram_owner,
-            xbar_return_ps: cfg.xbar.traversal_ps,
+            xbar_return_ps: cluster.xbar.traversal_ps,
             requests: FxHashMap::default(),
             by_line: FxHashMap::default(),
             dram_to_line: FxHashMap::default(),
@@ -204,6 +210,11 @@ impl MemorySystem {
         completed.clear();
         {
             let mut dram = self.dram.borrow_mut();
+            // The shared scheduler's clock never rewinds: after a
+            // heterogeneous advance window a short-period cluster sits at
+            // an earlier absolute time than the DRAM has reached, and its
+            // late-timestamped arrivals simply become eligible now.
+            let until_ps = until_ps.max(dram.now_ps());
             dram.tick(until_ps);
             dram.drain_completed_for_into(self.dram_owner, &mut completed);
         }

@@ -42,6 +42,51 @@ const K_A57_FDSOI: f64 = 12.39;
 /// Minimum useful clock: below this the chip is for practical purposes off.
 pub const MIN_USEFUL_CLOCK: MegaHertz = MegaHertz(1.0);
 
+/// The core classes a heterogeneous chip mixes: each cluster picks one,
+/// and with it a timing model, so per-cluster operating points (V/f and
+/// body bias) resolve against the right critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CoreClass {
+    /// Out-of-order server core (Cortex-A57 class).
+    Big,
+    /// In-order efficiency core (Cortex-A53 class).
+    Little,
+}
+
+impl CoreClass {
+    /// The timing model for this class in `tech`.
+    pub fn timing(self, tech: Technology) -> CoreModel {
+        match self {
+            CoreClass::Big => CoreModel::cortex_a57(tech),
+            CoreClass::Little => CoreModel::cortex_a53(tech),
+        }
+    }
+
+    /// Resolves this class's operating point at `frequency` under `bias`
+    /// — the per-cluster V/f selection of a heterogeneous sweep.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::OperatingPoint::at`]: unreachable or sub-useful
+    /// frequencies, or an illegal bias for the technology.
+    pub fn operating_point(
+        self,
+        tech: Technology,
+        frequency: MegaHertz,
+        bias: BodyBias,
+    ) -> Result<crate::OperatingPoint, TechError> {
+        crate::OperatingPoint::at(&self.timing(tech), frequency, bias)
+    }
+
+    /// Short human-readable class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreClass::Big => "big",
+            CoreClass::Little => "little",
+        }
+    }
+}
+
 /// A core's timing model in a given technology.
 ///
 /// Combines a [`Technology`] preset with the core-specific calibration
@@ -387,5 +432,34 @@ mod tests {
         let f_hot = hot.fmax(Volts(0.5), BodyBias::ZERO).unwrap();
         // Temperature inversion: near threshold, hot is FASTER (Vth drops).
         assert!(f_hot > f_cold, "temperature inversion near threshold");
+    }
+
+    #[test]
+    fn core_classes_resolve_their_own_timing() {
+        let tech = Technology::preset(TechnologyKind::FdSoi28);
+        let big = CoreClass::Big.timing(tech.clone());
+        let little = CoreClass::Little.timing(tech.clone());
+        assert_eq!(big.name(), "Cortex-A57");
+        assert_eq!(little.name(), "Cortex-A53");
+        // Same voltage, shorter pipeline: the little core clocks lower.
+        let fb = big.fmax(Volts(0.9), BodyBias::ZERO).unwrap();
+        let fl = little.fmax(Volts(0.9), BodyBias::ZERO).unwrap();
+        assert!(fl < fb, "A53 fmax must trail A57: {fl} vs {fb}");
+    }
+
+    #[test]
+    fn per_class_operating_points_differ_at_equal_frequency() {
+        // The same 800 MHz target costs the little core more voltage —
+        // its critical path is the binding one per class.
+        let tech = Technology::preset(TechnologyKind::FdSoi28);
+        let f = MegaHertz(800.0);
+        let big = CoreClass::Big
+            .operating_point(tech.clone(), f, BodyBias::ZERO)
+            .unwrap();
+        let little = CoreClass::Little
+            .operating_point(tech, f, BodyBias::ZERO)
+            .unwrap();
+        assert_eq!(big.frequency, f);
+        assert!(little.vdd > big.vdd);
     }
 }

@@ -59,7 +59,7 @@ pub use bias::{BiasDirection, BodyBias, SleepMode, SleepTransition};
 pub use dvfs::{DvfsTransition, DvfsTransitionModel};
 pub use ekv::EkvModel;
 pub use error::TechError;
-pub use fmax::CoreModel;
+pub use fmax::{CoreClass, CoreModel};
 pub use leakage::LeakageModel;
 pub use opp::{OperatingPoint, OppTable};
 pub use sram::SramLimits;
