@@ -5,7 +5,9 @@
 //! Run with `cargo run --release -p ntc-bench --bin fig2`; set
 //! `NTC_FIDELITY=paper` for the paper's full SMARTS windows. With the
 //! `telemetry` feature, `--trace` / `--metrics` export a Chrome trace
-//! and a metrics snapshot under `results/telemetry/`.
+//! and a metrics snapshot under `results/telemetry/`. `--energy` (any
+//! build) records windowed energy attribution to `fig2.energy.jsonl`
+//! there — render it with `ntc-report fig2`.
 
 use ntc_bench::{Fidelity, TelemetryRun};
 

@@ -25,7 +25,7 @@ use ntc_core::{
 };
 use ntc_power::{
     BiasOptimizer, CoreActivity, CorePowerModel, DramConfig, DramPowerModel, DramTechnology,
-    LlcLeakageMode, LlcPowerModel,
+    LlcLeakageMode, LlcPowerModel, Scope,
 };
 use ntc_qos::QosCurve;
 use ntc_sampling::SampleWindow;
@@ -140,29 +140,37 @@ pub fn save_shared_store() {
 
 /// Where the figure binaries write telemetry artifacts
 /// (`<name>.trace.json` Chrome traces, `<name>.metrics.jsonl` metric
-/// snapshots).
+/// snapshots, `<name>.energy.jsonl` windowed energy attribution).
 pub const TELEMETRY_DIR: &str = "results/telemetry";
 
-/// Per-binary telemetry driver: parses `--trace` / `--metrics` from the
-/// command line, arms the runtime switches, and on [`TelemetryRun::finish`]
-/// exports whatever was collected.
+/// Per-binary telemetry driver: parses `--trace` / `--metrics` /
+/// `--energy` from the command line, arms the runtime switches, and on
+/// [`TelemetryRun::finish`] exports whatever was collected.
 ///
-/// The flags are sugar for `NTC_TRACE=1` / `NTC_METRICS=1` — either
-/// spelling works, and [`TelemetryRun::finish`] exports whenever the
-/// corresponding switch ended up on. Without the `telemetry` cargo
+/// `--trace` and `--metrics` are sugar for `NTC_TRACE=1` / `NTC_METRICS=1`
+/// — either spelling works, and [`TelemetryRun::finish`] exports whenever
+/// the corresponding switch ended up on. Without the `telemetry` cargo
 /// feature both are compile-time no-ops; requesting them then earns a
 /// warning instead of silently dropping data.
+///
+/// `--energy` (or `NTC_ENERGY=1`) arms the energy observability plane —
+/// it rides the probe machinery, not the telemetry switches, so it works
+/// in every build. Window width comes from `NTC_ENERGY_WINDOW` (cycles).
+/// When tracing is also on, the folded power rails additionally land in
+/// the Chrome trace as counter tracks.
 pub struct TelemetryRun {
     name: &'static str,
+    energy: bool,
 }
 
 impl TelemetryRun {
-    /// Parses the process arguments for `--trace` / `--metrics` and arms
-    /// telemetry accordingly; `name` stems the artifact file names.
-    /// Unknown arguments warn and are ignored (the figure binaries take
-    /// no other arguments).
+    /// Parses the process arguments for `--trace` / `--metrics` /
+    /// `--energy` and arms telemetry accordingly; `name` stems the
+    /// artifact file names. Unknown arguments warn and are ignored (the
+    /// figure binaries take no other arguments).
     pub fn from_args(name: &'static str) -> Self {
         let mut requested = false;
+        let mut energy = ntc_telemetry::env::flag("NTC_ENERGY");
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
                 "--trace" => {
@@ -173,9 +181,11 @@ impl TelemetryRun {
                     requested = true;
                     ntc_telemetry::set_metrics(true);
                 }
-                other => {
-                    eprintln!("warning: unknown argument {other:?} (expected --trace or --metrics)")
-                }
+                "--energy" => energy = true,
+                other => eprintln!(
+                    "warning: unknown argument {other:?} \
+                     (expected --trace, --metrics or --energy)"
+                ),
             }
         }
         if requested && !ntc_telemetry::compiled() {
@@ -184,7 +194,25 @@ impl TelemetryRun {
                  rebuild with `--features ntc-bench/telemetry`"
             );
         }
-        TelemetryRun { name }
+        if energy {
+            ntc_core::arm_energy(ntc_telemetry::env::parse_or(
+                "NTC_ENERGY_WINDOW",
+                ntc_sim::probe::ENERGY_WINDOW_CYCLES,
+                |v| {
+                    v.trim()
+                        .parse::<u64>()
+                        .map_err(|e| format!("NTC_ENERGY_WINDOW {v:?}: {e}"))
+                        .and_then(|w| {
+                            if w == 0 {
+                                Err("NTC_ENERGY_WINDOW must be positive".to_owned())
+                            } else {
+                                Ok(w)
+                            }
+                        })
+                },
+            ));
+        }
+        TelemetryRun { name, energy }
     }
 
     /// Exports collected telemetry under [`TELEMETRY_DIR`]: the Chrome
@@ -212,8 +240,141 @@ impl TelemetryRun {
                 eprint!("{}", ntc_telemetry::metrics::summary_table(&snapshots));
             }
         }
+        if self.energy {
+            self.export_energy();
+        }
+    }
+
+    /// Drains the energy sink, folds every probed run through the paper
+    /// server's power models, and writes `<name>.energy.jsonl`: one
+    /// `"run"` summary line per simulated measurement (windowed vs
+    /// analytic energy and their closure) followed by its `"window"`
+    /// time-series lines. With tracing also on, the power/UIPS rails
+    /// additionally land in the Chrome trace as counter ("C") tracks.
+    fn export_energy(&self) {
+        let runs = ntc_core::take_runs();
+        ntc_core::disarm_energy();
+        if runs.is_empty() {
+            eprintln!(
+                "telemetry: energy was armed but no run activity was recorded \
+                 (every measurement came from the cache?)"
+            );
+            return;
+        }
+        let server = paper_server();
+        let sweep = FrequencySweep::paper_ladder();
+        let folded = match ntc_core::fold_runs(&sweep, &server, &runs) {
+            Ok(folded) => folded,
+            Err(err) => {
+                eprintln!("warning: could not fold energy windows: {err}");
+                return;
+            }
+        };
+
+        let mut lines = Vec::new();
+        let mut rails = Vec::new();
+        for run in &folded {
+            let windowed = run.windowed.total(Scope::Server).0;
+            let analytic = run.analytic.total(Scope::Server).0;
+            let mut line = format!(
+                "{{\"kind\":\"run\",\"mhz\":{},\"cycles\":{},\"ticked_cycles\":{},\
+                 \"skipped_cycles\":{},\"windows\":{},\"coalesced\":{},\
+                 \"windowed_server_j\":{:e},\"analytic_server_j\":{:e},\
+                 \"closure_error\":{:e},\"mean_server_w\":{},\"uips\":{:e}",
+                run.mhz,
+                run.cycles,
+                run.cycles - run.skipped_cycles,
+                run.skipped_cycles,
+                run.windows.len(),
+                run.coalesced,
+                windowed,
+                analytic,
+                run.closure_error(),
+                run.windowed.mean_power(Scope::Server).0,
+                run.windowed.user_instructions / run.windowed.elapsed.0.max(f64::MIN_POSITIVE),
+            );
+            for (component, windowed_j, _) in run.component_energy() {
+                line.push_str(&format!(",\"{component}_j\":{windowed_j:e}"));
+            }
+            line.push('}');
+            lines.push(line);
+            for w in &run.windows {
+                let p = &w.window.power;
+                lines.push(format!(
+                    "{{\"kind\":\"window\",\"mhz\":{},\"start_s\":{:e},\"end_s\":{:e},\
+                     \"cycles\":{},\"skipped_cycles\":{},\"uips\":{:e},\
+                     \"cores_w\":{},\"llc_w\":{},\"xbar_w\":{},\"io_w\":{},\"dram_w\":{},\
+                     \"server_w\":{},\"server_j\":{:e}}}",
+                    run.mhz,
+                    w.window.start.0,
+                    w.window.end.0,
+                    w.cycles,
+                    w.skipped_cycles,
+                    w.window.uips,
+                    p.cores().0,
+                    p.llc.0,
+                    p.xbar.0,
+                    p.io.0,
+                    p.dram().0,
+                    p.server().0,
+                    w.server_j,
+                ));
+                if ntc_telemetry::tracing_enabled() {
+                    // Counter timestamps are *simulated* seconds (as µs);
+                    // a dedicated pid keeps them off the wall-clock span
+                    // tracks, and one counter name per frequency keeps
+                    // the per-run time axes (each starts at 0) apart.
+                    rails.push(ntc_telemetry::TraceEvent::counter(
+                        format!("power {:.0} MHz (W)", run.mhz),
+                        "energy",
+                        w.window.start.0 * 1e6,
+                        ENERGY_COUNTER_PID,
+                        ntc_telemetry::counter_args(&[
+                            ("cores", p.cores().0),
+                            ("llc", p.llc.0),
+                            ("xbar", p.xbar.0),
+                            ("io", p.io.0),
+                            ("dram", p.dram().0),
+                        ]),
+                    ));
+                    rails.push(ntc_telemetry::TraceEvent::counter(
+                        format!("uips {:.0} MHz", run.mhz),
+                        "energy",
+                        w.window.start.0 * 1e6,
+                        ENERGY_COUNTER_PID,
+                        ntc_telemetry::counter_args(&[("uips", w.window.uips)]),
+                    ));
+                }
+            }
+            eprintln!(
+                "telemetry: energy {:.0} MHz: {} windows, {:.3} J windowed vs {:.3} J analytic \
+                 (closure {:.2e}), skip ratio {:.2}",
+                run.mhz,
+                run.windows.len(),
+                windowed,
+                analytic,
+                run.closure_error(),
+                run.skip_ratio(),
+            );
+        }
+        ntc_telemetry::push_events(rails);
+
+        let path = format!("{TELEMETRY_DIR}/{}.energy.jsonl", self.name);
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(TELEMETRY_DIR)?;
+            std::fs::write(&path, lines.join("\n") + "\n")
+        };
+        match write() {
+            Ok(()) => eprintln!("telemetry: wrote {} energy records to {path}", lines.len()),
+            Err(err) => eprintln!("warning: could not write {path}: {err}"),
+        }
     }
 }
+
+/// The `pid` energy counter tracks are filed under in Chrome traces —
+/// their timestamps are simulated time, not wall-clock, so they get a
+/// track group of their own.
+pub const ENERGY_COUNTER_PID: u64 = 424_242;
 
 /// Runs the 100 MHz–2 GHz sweep for one workload profile, memoizing the
 /// per-frequency cluster simulations in the [`shared_store`].

@@ -46,6 +46,7 @@ pub mod governor;
 pub mod hetero;
 pub mod manager;
 pub mod measure;
+pub mod observe;
 pub mod optimum;
 pub mod proportionality;
 pub mod report;
@@ -65,6 +66,10 @@ pub use manager::{BiasManager, ManagedPhase, ManagerPolicy};
 pub use measure::{
     chip_fingerprint, config_fingerprint, profile_fingerprint, ClusterMeasurement, ClusterMeasurer,
     MeasureError, MeasurementCache, MeasurementKey, MeasurementStore, SimMeasurer, TableMeasurer,
+};
+pub use observe::{
+    arm_energy, disarm_energy, energy_armed, fold_run, fold_runs, take_runs, RunActivity,
+    RunEnergy, WindowEnergy,
 };
 pub use optimum::ConstrainedOptimum;
 pub use proportionality::{proportionality_score, UtilizationPoint};

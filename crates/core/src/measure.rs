@@ -535,8 +535,30 @@ impl ClusterMeasurer for SimMeasurer {
         });
         prewarm_cluster(&mut sim, &self.profile);
         sim.warm_up(self.window.warmup_cycles);
+        // The energy plane: attach the window probe *after* warm-up so
+        // its boundary baseline lands on the measured region's entry.
+        // Probes observe only — the armed path is bit-identical to the
+        // plain one (the `energy-probe` diffcheck oracle enforces it).
+        let energy = crate::observe::energy_armed().then(|| {
+            let probe = ntc_sim::EnergyProbe::with_window(crate::observe::energy_window_cycles());
+            let handle = probe.handle();
+            sim.attach_probe(Box::new(probe));
+            handle
+        });
         let stats = sim.run_measured(self.window.measure_cycles);
-        Ok(ClusterMeasurement::from_stats(&stats))
+        let measurement = ClusterMeasurement::from_stats(&stats);
+        if let Some(handle) = energy {
+            sim.detach_probe();
+            crate::observe::record_run(crate::observe::RunActivity {
+                mhz,
+                total: measurement,
+                cycles: stats.cycles,
+                wall_ps: stats.wall_ps,
+                windows: handle.finish(),
+                coalesced: handle.coalesced(),
+            });
+        }
+        Ok(measurement)
     }
 
     fn key(&self, mhz: f64) -> Option<MeasurementKey> {

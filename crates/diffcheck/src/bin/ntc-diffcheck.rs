@@ -23,7 +23,8 @@ OPTIONS:
     --seed N         Master seed (decimal or 0x-hex). Default 0x5EED0001.
     --case M         Check only case index M (the repro path).
     --pair NAME      Restrict to one oracle pair; repeatable. Names:
-                     cycle-skip, dram-sched, telemetry, sweep, percentile.
+                     cycle-skip, dram-sched, telemetry, sweep, percentile,
+                     energy-probe.
     --budget DUR     Wall-clock budget: 500ms, 30s, 10m. Default 30s.
     --cases K        Stop after K cases (overrides the default budget).
     --mutate         Inject the deliberate scheduler fault (self-test:

@@ -8,7 +8,8 @@
 //! simple reference implementation: the cycle-skip engine by the naive
 //! tick loop, the indexed FR-FCFS scheduler by a scan-everything oracle,
 //! the probed simulator by a plain run, the parallel sweep by its serial
-//! twin, and the power-of-two histogram by exact sorted percentiles.
+//! twin, the power-of-two histogram by exact sorted percentiles, and the
+//! energy probe's windowed attribution by the cumulative run counters.
 //! This crate turns that redundancy into a randomized checker:
 //!
 //! 1. [`CaseShape::generate`] derives an arbitrary-but-valid simulator

@@ -1,15 +1,21 @@
-//! The five fast/reference oracle pairs.
+//! The six fast/reference oracle pairs.
 //!
 //! Each pair runs the same [`CaseShape`] through an optimised path and a
 //! simple reference path and demands identical results — bit-identical
 //! [`SimStats`] for the simulator pairs, point-identical sweeps, and the
 //! structural bucket identity (plus the 2× error bound) for histogram
-//! percentiles. Any mismatch comes back as a [`Divergence`] whose detail
+//! percentiles. The energy-probe pair additionally demands that the
+//! probe's activity windows partition the run exactly: every windowed
+//! counter must sum back to the cumulative [`SimStats`] total, integer
+//! for integer. Any mismatch comes back as a [`Divergence`] whose detail
 //! names the first differing counters.
 
 use crate::case::CaseShape;
 use ntc_core::{FrequencySweep, ServerConfig, TableMeasurer};
-use ntc_sim::{ChipSim, ClusterSim, InstructionStream, SimStats, TimeSeriesProbe};
+use ntc_sim::{
+    ActivityWindow, ChipSim, ClusterSim, EnergyProbe, InstructionStream, Probe, SimStats,
+    TimeSeriesProbe,
+};
 use ntc_telemetry::metrics::{bucket_index, bucket_upper_bound};
 use ntc_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
@@ -27,16 +33,21 @@ pub enum OraclePair {
     Sweep,
     /// Histogram p50/p90/p99 vs exact sorted percentiles.
     Percentile,
+    /// Energy-probed simulation vs a plain run (bit-identity), plus the
+    /// windowed-activity closure: summed window deltas must equal the
+    /// cumulative counters exactly.
+    EnergyProbe,
 }
 
 impl OraclePair {
     /// Every pair, in round-robin order.
-    pub const ALL: [OraclePair; 5] = [
+    pub const ALL: [OraclePair; 6] = [
         OraclePair::CycleSkip,
         OraclePair::DramSched,
         OraclePair::Telemetry,
         OraclePair::Sweep,
         OraclePair::Percentile,
+        OraclePair::EnergyProbe,
     ];
 
     /// The CLI name (`--pair` value).
@@ -47,6 +58,7 @@ impl OraclePair {
             OraclePair::Telemetry => "telemetry",
             OraclePair::Sweep => "sweep",
             OraclePair::Percentile => "percentile",
+            OraclePair::EnergyProbe => "energy-probe",
         }
     }
 
@@ -131,13 +143,26 @@ impl<S: InstructionStream> SimDriver for ChipSim<S> {
 
 /// Runs the shape once under the given knob settings.
 fn run_shape(shape: &CaseShape, k: Knobs) -> (SimStats, SimStats) {
+    let probe = k
+        .probed
+        .then(|| Box::new(TimeSeriesProbe::new()) as Box<dyn Probe>);
+    run_shape_probed(shape, k, probe)
+}
+
+/// Runs the shape with an explicit probe (or none) attached before the
+/// warm-up, so windowed probes observe the entire run.
+fn run_shape_probed(
+    shape: &CaseShape,
+    k: Knobs,
+    probe: Option<Box<dyn Probe>>,
+) -> (SimStats, SimStats) {
     if shape.use_chip {
         let mut sim = ChipSim::new_chip(shape.chip_config(), |cl, c| shape.stream(cl, c));
         sim.set_cycle_skip(k.cycle_skip);
         sim.set_reference_dram_scheduler(k.reference_sched);
         sim.set_dram_scheduler_mutation(k.mutate);
-        if k.probed {
-            sim.attach_probe(Box::new(TimeSeriesProbe::new()));
+        if let Some(probe) = probe {
+            sim.attach_probe(probe);
         }
         drive(&mut sim, shape)
     } else {
@@ -145,8 +170,8 @@ fn run_shape(shape: &CaseShape, k: Knobs) -> (SimStats, SimStats) {
         sim.set_cycle_skip(k.cycle_skip);
         sim.set_reference_dram_scheduler(k.reference_sched);
         sim.set_dram_scheduler_mutation(k.mutate);
-        if k.probed {
-            sim.attach_probe(Box::new(TimeSeriesProbe::new()));
+        if let Some(probe) = probe {
+            sim.attach_probe(probe);
         }
         drive(&mut sim, shape)
     }
@@ -296,6 +321,93 @@ fn check_percentile(shape: &CaseShape) -> Option<Divergence> {
     None
 }
 
+/// The integer activity counters every [`ActivityWindow`] must close
+/// over: `(name, summed over windows, cumulative total)` triples.
+fn closure_counters(
+    windows: &[ActivityWindow],
+    totals: &SimStats,
+) -> [(&'static str, u64, u64); 7] {
+    let sum = |field: fn(&ActivityWindow) -> u64| windows.iter().map(field).sum::<u64>();
+    [
+        ("user_instrs", sum(|w| w.user_instrs), totals.user_instrs()),
+        ("instrs", sum(|w| w.instrs), totals.instrs()),
+        ("llc_hits", sum(|w| w.llc_hits), totals.llc.hits),
+        ("llc_misses", sum(|w| w.llc_misses), totals.llc.misses),
+        (
+            "xbar_transfers",
+            sum(|w| w.xbar_transfers),
+            totals.xbar_transfers,
+        ),
+        ("dram_reads", sum(|w| w.dram_reads), totals.dram.reads),
+        ("dram_writes", sum(|w| w.dram_writes), totals.dram.writes),
+    ]
+}
+
+/// The energy-probe oracle: a run with an [`EnergyProbe`] attached must
+/// be bit-identical to a plain run, and the probe's windows must
+/// partition the run — contiguous on the cycle axis from zero to the
+/// final cycle, with every activity counter summing back to the
+/// cumulative total exactly (integers, no tolerance).
+fn check_energy_probe(shape: &CaseShape, mutate: bool) -> Option<Divergence> {
+    let pair = OraclePair::EnergyProbe;
+    let knobs = Knobs {
+        mutate,
+        ..Knobs::default()
+    };
+    // A case-derived width that leaves boundaries mid-run, so the check
+    // exercises multi-window folding rather than one giant window.
+    let window_cycles = (shape.measure_cycles / 7).max(1);
+    let probe = EnergyProbe::with_window(window_cycles);
+    let handle = probe.handle();
+    let probed = run_shape_probed(shape, knobs, Some(Box::new(probe)));
+    let plain = run_shape(shape, knobs);
+    if probed != plain {
+        return Some(Divergence {
+            pair,
+            detail: format!(
+                "probed run not bit-identical: {}",
+                describe(&probed, &plain)
+            ),
+        });
+    }
+    let windows = handle.finish();
+    let totals = &probed.1;
+    let mut cursor = 0u64;
+    for (i, w) in windows.iter().enumerate() {
+        if w.start_cycle != cursor {
+            return Some(Divergence {
+                pair,
+                detail: format!(
+                    "window {i} starts at cycle {} but the previous ended at {cursor}",
+                    w.start_cycle
+                ),
+            });
+        }
+        cursor = w.end_cycle;
+    }
+    if cursor != totals.cycles {
+        return Some(Divergence {
+            pair,
+            detail: format!(
+                "windows cover cycles 0..{cursor} but the run spans 0..{}",
+                totals.cycles
+            ),
+        });
+    }
+    for (name, windowed, cumulative) in closure_counters(&windows, totals) {
+        if windowed != cumulative {
+            return Some(Divergence {
+                pair,
+                detail: format!(
+                    "activity closure broken: windows sum {name} to {windowed}, \
+                     cumulative stats say {cumulative}"
+                ),
+            });
+        }
+    }
+    None
+}
+
 /// Checks one oracle pair on one case. `mutate` injects the deliberate
 /// scheduler fault (see `DramSystem::set_scheduler_mutation`) into every
 /// *indexed*-scheduler run: only the [`OraclePair::DramSched`] pair
@@ -345,6 +457,7 @@ pub fn check(pair: OraclePair, shape: &CaseShape, mutate: bool) -> Option<Diverg
         ),
         OraclePair::Sweep => check_sweep(shape),
         OraclePair::Percentile => check_percentile(shape),
+        OraclePair::EnergyProbe => check_energy_probe(shape, mutate),
     }
 }
 

@@ -12,6 +12,35 @@ use ntc_tech::{Joules, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// One windowed power sample: `power` held from `start` to `end` while
+/// delivering `uips` user instructions per second — the unit of the
+/// energy observability plane's time series. A sequence of windows
+/// integrates into an [`EnergyAccount`] via
+/// [`EnergyAccount::from_windows`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerWindow {
+    /// Window start, seconds from the run origin.
+    pub start: Seconds,
+    /// Window end, seconds from the run origin.
+    pub end: Seconds,
+    /// Per-component power held across the window.
+    pub power: PowerBreakdown,
+    /// User instructions per second across the window.
+    pub uips: f64,
+}
+
+impl PowerWindow {
+    /// Window width.
+    pub fn duration(&self) -> Seconds {
+        Seconds(self.end.0 - self.start.0)
+    }
+
+    /// Energy dissipated within a scope across the window.
+    pub fn energy(&self, scope: Scope) -> Joules {
+        self.power.at_scope(scope).over_time(self.duration())
+    }
+}
+
 /// Integrated per-component energy.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct EnergyAccount {
@@ -59,6 +88,24 @@ impl EnergyAccount {
         self.dram_dynamic += e(breakdown.dram_dynamic);
         self.elapsed += dt;
         self.user_instructions += uips * dt.0;
+    }
+
+    /// Integrates one windowed power sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window ends before it starts.
+    pub fn add_window(&mut self, window: &PowerWindow) {
+        self.add_epoch(&window.power, window.duration(), window.uips);
+    }
+
+    /// Integrates a whole windowed time series into a fresh account.
+    pub fn from_windows<'a>(windows: impl IntoIterator<Item = &'a PowerWindow>) -> Self {
+        let mut acc = Self::new();
+        for w in windows {
+            acc.add_window(w);
+        }
+        acc
     }
 
     /// Total energy at a scope.
@@ -178,6 +225,32 @@ mod tests {
         quiet.add_epoch(&breakdown(2.0), Seconds(1.0), 0.5e9);
         assert!(quiet.fixed_share() > busy.fixed_share());
         assert!(quiet.fixed_share() > 0.8, "{:.2}", quiet.fixed_share());
+    }
+
+    #[test]
+    fn windowed_integration_matches_epochs() {
+        let windows = [
+            PowerWindow {
+                start: Seconds(0.0),
+                end: Seconds(5.0),
+                power: breakdown(20.0),
+                uips: 1.0e9,
+            },
+            PowerWindow {
+                start: Seconds(5.0),
+                end: Seconds(10.0),
+                power: breakdown(5.0),
+                uips: 0.4e9,
+            },
+        ];
+        let windowed = EnergyAccount::from_windows(&windows);
+        let mut epochs = EnergyAccount::new();
+        epochs.add_epoch(&breakdown(20.0), Seconds(5.0), 1.0e9);
+        epochs.add_epoch(&breakdown(5.0), Seconds(5.0), 0.4e9);
+        assert_eq!(windowed, epochs, "windows are just labelled epochs");
+        let w = &windows[0];
+        assert!((w.duration().0 - 5.0).abs() < 1e-12);
+        assert!((w.energy(Scope::Server).0 - breakdown(20.0).server().0 * 5.0).abs() < 1e-9);
     }
 
     #[test]

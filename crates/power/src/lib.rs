@@ -36,7 +36,7 @@ pub use breakdown::{PowerBreakdown, Scope};
 pub use cacti::{CactiModel, CactiTech};
 pub use delivery::{CoolingModel, DeliveryChain, DeliveryStage};
 pub use dram::{DramConfig, DramPowerModel, DramTechnology, DramTraffic};
-pub use energy::EnergyAccount;
+pub use energy::{EnergyAccount, PowerWindow};
 pub use io::{IoPeripheral, IoPowerModel};
 pub use llc::{LlcLeakageMode, LlcPowerModel};
 pub use xbar::XbarPowerModel;

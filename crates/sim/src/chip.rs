@@ -239,9 +239,10 @@ impl<S: InstructionStream> ChipSim<S> {
     pub fn run_measured(&mut self, cycles: u64) -> SimStats {
         let _span = ntc_telemetry::trace::span_cat("sim", "sim.run_measured");
         let before = self.stats();
+        let skipped_before = self.skipped_cycles;
         self.advance(cycles);
         let cycle0 = self.clusters[0].cycle;
-        SimStats {
+        let window = SimStats {
             cores: self
                 .clusters
                 .iter()
@@ -253,10 +254,13 @@ impl<S: InstructionStream> ChipSim<S> {
             dram: self.dram.borrow().stats().delta_since(&before.dram),
             xbar_transfers: self.xbar_transfers() - before.xbar_transfers,
             dram_queue_high_water: self.dram.borrow().queue_depth_high_water() as u64,
+            dram_channel_queue_high_water: self.dram.borrow().channel_queue_high_water(),
             core_mhz: self.clusters[0].config.core_mhz,
             cycles: cycle0 - before.cycles,
             wall_ps: (cycle0 - before.cycles) * self.clusters[0].config.core_period_ps(),
-        }
+        };
+        crate::cluster::record_window_metrics(&window, self.skipped_cycles - skipped_before);
+        window
     }
 
     /// Runs a measurement window and returns each cluster's deltas
@@ -287,6 +291,7 @@ impl<S: InstructionStream> ChipSim<S> {
                     dram: after.dram.delta_since(&b.dram),
                     xbar_transfers: after.xbar_transfers - b.xbar_transfers,
                     dram_queue_high_water: after.dram_queue_high_water,
+                    dram_channel_queue_high_water: after.dram_channel_queue_high_water.clone(),
                     core_mhz: cl.config.core_mhz,
                     cycles: after.cycles - b.cycles,
                     wall_ps: (after.cycles - b.cycles) * cl.config.core_period_ps(),
@@ -324,6 +329,7 @@ impl<S: InstructionStream> ChipSim<S> {
             dram: self.dram.borrow().stats(),
             xbar_transfers: cl.mem.xbar_transfers(),
             dram_queue_high_water: self.dram.borrow().queue_depth_high_water() as u64,
+            dram_channel_queue_high_water: self.dram.borrow().channel_queue_high_water(),
             core_mhz: cl.config.core_mhz,
             cycles: cl.cycle,
             wall_ps: cl.cycle * cl.config.core_period_ps(),
@@ -348,6 +354,7 @@ impl<S: InstructionStream> ChipSim<S> {
             dram: self.dram.borrow().stats(),
             xbar_transfers: self.xbar_transfers(),
             dram_queue_high_water: self.dram.borrow().queue_depth_high_water() as u64,
+            dram_channel_queue_high_water: self.dram.borrow().channel_queue_high_water(),
             core_mhz: self.clusters[0].config.core_mhz,
             cycles: self.clusters[0].cycle,
             wall_ps: self.clusters[0].cycle * self.clusters[0].config.core_period_ps(),

@@ -13,6 +13,32 @@ use crate::llc::{Invalidation, SharerMask};
 use crate::memsys::MemorySystem;
 use crate::probe::Probe;
 use crate::stats::SimStats;
+use ntc_telemetry::{LazyCounter, LazyHistogram};
+
+// Windowed simulator diagnostics, registered lazily (and compiled away
+// entirely without the telemetry feature). Counters accumulate window
+// deltas across every measured run in the process; the histogram records
+// one high-water observation per window.
+static SIM_SKIPPED_CYCLES: LazyCounter = LazyCounter::new("sim.skipped_cycles");
+static SIM_TICKED_CYCLES: LazyCounter = LazyCounter::new("sim.ticked_cycles");
+static SIM_DRAM_ROW_HITS: LazyCounter = LazyCounter::new("sim.dram.row_hits");
+static SIM_DRAM_ROW_MISSES: LazyCounter = LazyCounter::new("sim.dram.row_misses");
+static SIM_LLC_HITS: LazyCounter = LazyCounter::new("sim.llc.hits");
+static SIM_LLC_MISSES: LazyCounter = LazyCounter::new("sim.llc.misses");
+static SIM_DRAM_QUEUE_HIGH_WATER: LazyHistogram = LazyHistogram::new("sim.dram.queue_high_water");
+
+/// Records the `sim.*` metrics for one measured window (no-op unless the
+/// telemetry runtime is compiled in and armed). Shared by
+/// [`ClusterSim::run_measured`] and [`crate::ChipSim::run_measured`].
+pub(crate) fn record_window_metrics(stats: &SimStats, skipped_delta: u64) {
+    SIM_SKIPPED_CYCLES.add(skipped_delta);
+    SIM_TICKED_CYCLES.add(stats.cycles.saturating_sub(skipped_delta));
+    SIM_DRAM_ROW_HITS.add(stats.dram.row_hits);
+    SIM_DRAM_ROW_MISSES.add(stats.dram.row_misses);
+    SIM_LLC_HITS.add(stats.llc.hits);
+    SIM_LLC_MISSES.add(stats.llc.misses);
+    SIM_DRAM_QUEUE_HIGH_WATER.record(stats.dram_queue_high_water);
+}
 
 /// A running cluster simulation: `N` cores, each driven by its own
 /// instruction stream, sharing an LLC, crossbar and DRAM.
@@ -187,8 +213,9 @@ impl<S: InstructionStream> ClusterSim<S> {
     pub fn run_measured(&mut self, cycles: u64) -> SimStats {
         let _span = ntc_telemetry::trace::span_cat("sim", "sim.run_measured");
         let before = self.stats();
+        let skipped_before = self.skipped_cycles;
         self.advance(cycles);
-        SimStats {
+        let window = SimStats {
             cores: self
                 .cores
                 .iter()
@@ -199,10 +226,13 @@ impl<S: InstructionStream> ClusterSim<S> {
             dram: self.mem.dram_stats().delta_since(&before.dram),
             xbar_transfers: self.mem.xbar_transfers() - before.xbar_transfers,
             dram_queue_high_water: self.mem.dram_queue_high_water() as u64,
+            dram_channel_queue_high_water: self.mem.dram_channel_queue_high_water(),
             core_mhz: self.config.core_mhz,
             cycles: self.cycle - before.cycles,
             wall_ps: (self.cycle - before.cycles) * self.config.core_period_ps(),
-        }
+        };
+        record_window_metrics(&window, self.skipped_cycles - skipped_before);
+        window
     }
 
     /// Cumulative statistics since construction.
@@ -213,6 +243,7 @@ impl<S: InstructionStream> ClusterSim<S> {
             dram: self.mem.dram_stats(),
             xbar_transfers: self.mem.xbar_transfers(),
             dram_queue_high_water: self.mem.dram_queue_high_water() as u64,
+            dram_channel_queue_high_water: self.mem.dram_channel_queue_high_water(),
             core_mhz: self.config.core_mhz,
             cycles: self.cycle,
             wall_ps: self.cycle * self.config.core_period_ps(),

@@ -144,6 +144,13 @@ fn run_lanes_synced<S: InstructionStream>(
     } else {
         (0, 0)
     };
+    // Boundary samples bracket every run window so windowed probes (the
+    // energy plane) partition the run exactly; same-cycle duplicates
+    // across adjacent windows are the probe's to thin.
+    if let Some(hook) = ctl.hook.as_deref_mut() {
+        let sample = collect_sample(lanes, cycle, period_ps, ctl.skipped_base);
+        hook.sample(sample);
+    }
     while cycle < end {
         if probe {
             if let Some(target) = next_event_cycle(lanes, cycle, period_ps) {
@@ -182,6 +189,10 @@ fn run_lanes_synced<S: InstructionStream>(
             sig = sig2;
             mshrs = mshrs2;
         }
+    }
+    if let Some(hook) = ctl.hook.as_deref_mut() {
+        let sample = collect_sample(lanes, cycle, period_ps, ctl.skipped_base + skipped);
+        hook.sample(sample);
     }
     for lane in lanes.iter_mut() {
         lane.cycle = cycle;
@@ -229,6 +240,12 @@ fn run_lanes_multiclock<S: InstructionStream>(
     // through the loop as mem-only ticks.
     let mut replay: Vec<u64> = lanes.iter().map(|l| l.cycle).collect();
     let mut replaying = 0usize;
+    // Boundary sample on entry (see the synced loop): lane 0 is the
+    // reference clock.
+    if let Some(hook) = ctl.hook.as_deref_mut() {
+        let sample = collect_sample(lanes, lanes[0].cycle, lanes[0].period_ps, ctl.skipped_base);
+        hook.sample(sample);
+    }
     loop {
         // The pending lane tick with the earliest end boundary.
         let mut key = u64::MAX;
@@ -308,6 +325,15 @@ fn run_lanes_multiclock<S: InstructionStream>(
             mshr_total = mshr2;
         }
     }
+    if let Some(hook) = ctl.hook.as_deref_mut() {
+        let sample = collect_sample(
+            lanes,
+            lanes[0].cycle,
+            lanes[0].period_ps,
+            ctl.skipped_base + skipped0,
+        );
+        hook.sample(sample);
+    }
     skipped0
 }
 
@@ -325,10 +351,22 @@ fn collect_sample<S>(
     skipped_cycles: u64,
 ) -> ProbeSample {
     let mut rob = 0u64;
+    let (mut user_instrs, mut instrs, mut rob_full_cycles) = (0u64, 0u64, 0u64);
+    let (mut llc_hits, mut llc_misses, mut xbar_transfers) = (0u64, 0u64, 0u64);
     for lane in lanes.iter() {
         for core in lane.cores.iter() {
             rob += core.rob_occupancy() as u64;
+            let cs = core.stats();
+            user_instrs += cs.user_instrs;
+            instrs += cs.instrs();
+            rob_full_cycles += cs.rob_full_cycles;
         }
+        // Each lane (cluster) owns its LLC and crossbar; sum them for the
+        // chip-wide activity view.
+        let llc = lane.mem.llc_stats();
+        llc_hits += llc.hits;
+        llc_misses += llc.misses;
+        xbar_transfers += lane.mem.xbar_transfers();
     }
     let mem = &lanes[0].mem;
     let dram = mem.dram_stats();
@@ -342,6 +380,14 @@ fn collect_sample<S>(
         dram_row_hits: dram.row_hits,
         dram_row_misses: dram.row_misses,
         skipped_cycles,
+        user_instrs,
+        instrs,
+        rob_full_cycles,
+        llc_hits,
+        llc_misses,
+        xbar_transfers,
+        dram_reads: dram.reads,
+        dram_writes: dram.writes,
     }
 }
 

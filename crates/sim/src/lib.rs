@@ -74,7 +74,9 @@ pub use config::{
     LlcConfig, SimConfig, SimConfigError, XbarConfig,
 };
 pub use instr::{Instr, InstructionStream, OpClass};
-pub use probe::{Probe, ProbeSample, TimeSeriesProbe};
+pub use probe::{
+    ActivityWindow, EnergyProbe, EnergyProbeHandle, Probe, ProbeSample, TimeSeriesProbe,
+};
 pub use stats::{CoreStats, SimStats};
 pub use trace::{Trace, TraceRecorder, TraceStream};
 

@@ -335,6 +335,11 @@ impl MemorySystem {
         self.dram.borrow().queue_depth_high_water()
     }
 
+    /// Per-channel DRAM queue high-water marks since construction.
+    pub fn dram_channel_queue_high_water(&self) -> Vec<u32> {
+        self.dram.borrow().channel_queue_high_water()
+    }
+
     /// Requests queued at the DRAM scheduler right now (telemetry probes).
     pub fn dram_pending(&self) -> usize {
         self.dram.borrow().pending()

@@ -112,6 +112,11 @@ pub struct SimStats {
     /// reports the since-construction maximum, because a maximum has no
     /// meaningful difference.
     pub dram_queue_high_water: u64,
+    /// Per-channel DRAM queue high-water marks **since simulator
+    /// construction** — the per-channel breakdown of
+    /// [`dram_queue_high_water`](Self::dram_queue_high_water), serialized
+    /// so channel-imbalance diagnostics survive into artifacts.
+    pub dram_channel_queue_high_water: Vec<u32>,
     /// Core frequency the window ran at (MHz).
     pub core_mhz: f64,
     /// Cycles simulated (same for every core).

@@ -5,7 +5,10 @@
 //! and the naive loop.
 
 use ntc_sim::streams::{RandomAccessStream, StrideStream};
-use ntc_sim::{ChipSim, ClusterSim, SimConfig, SimStats, TimeSeriesProbe};
+use ntc_sim::{
+    ChipConfig, ChipSim, ClusterConfig, ClusterSim, EnergyProbe, SimConfig, SimStats,
+    TimeSeriesProbe,
+};
 
 const WARM: u64 = 2_000;
 const MEASURE: u64 = 10_000;
@@ -133,6 +136,96 @@ fn probed_chip_stats_are_bit_identical() {
     let (probed, samples) = run(true);
     assert_eq!(plain, probed, "chip stats must not see the probe");
     assert!(samples > 0);
+}
+
+/// A big/little chip — 2 GHz paper cluster beside a 500 MHz little
+/// cluster — exercising the multiclock engine loop, with warm-up and a
+/// measurement window so probes see run-window boundaries too.
+fn hetero_chip_stats(skip: bool, probed: bool) -> (SimStats, SimStats, usize) {
+    let mut config = ChipConfig::homogeneous(&SimConfig::paper_cluster(2000.0), 2);
+    config.clusters[1] = ClusterConfig::little_cluster(500.0);
+    let mut chip = ChipSim::new_chip(config, |cl, c| {
+        RandomAccessStream::new(64 << 20, 0.3, 4, u64::from(cl) * 8 + u64::from(c))
+    });
+    chip.set_cycle_skip(skip);
+    let samples = if probed {
+        let probe = TimeSeriesProbe::new();
+        let handle = probe.samples();
+        chip.attach_probe(Box::new(probe));
+        Some(handle)
+    } else {
+        None
+    };
+    chip.run(WARM);
+    let window = chip.run_measured(MEASURE);
+    let totals = chip.stats();
+    (window, totals, samples.map_or(0, |s| s.borrow().len()))
+}
+
+#[test]
+fn probed_hetero_chip_stats_are_bit_identical() {
+    for skip in [true, false] {
+        let (plain_window, plain_totals, _) = hetero_chip_stats(skip, false);
+        let (probed_window, probed_totals, samples) = hetero_chip_stats(skip, true);
+        assert_eq!(
+            plain_window, probed_window,
+            "probed mixed-frequency window must match plain (skip={skip})"
+        );
+        assert_eq!(
+            plain_totals, probed_totals,
+            "probed mixed-frequency totals must match plain (skip={skip})"
+        );
+        assert!(samples > 0, "the probe must collect samples (skip={skip})");
+    }
+}
+
+#[test]
+fn hetero_chip_cycle_skip_matches_the_naive_loop() {
+    let (skip_window, skip_totals, _) = hetero_chip_stats(true, false);
+    let (naive_window, naive_totals, _) = hetero_chip_stats(false, false);
+    assert_eq!(
+        skip_window, naive_window,
+        "multiclock cycle-skip window must match the naive loop"
+    );
+    assert_eq!(
+        skip_totals, naive_totals,
+        "multiclock cycle-skip totals must match the naive loop"
+    );
+}
+
+// The energy probe's closure guarantee on the multiclock loop: windows
+// partition the reference-lane cycle axis exactly, and every activity
+// counter sums back to the cumulative chip totals — including the little
+// cluster's commits after the reference lane freezes at its window end.
+#[test]
+fn hetero_chip_energy_windows_close_over_the_run() {
+    let mut config = ChipConfig::homogeneous(&SimConfig::paper_cluster(2000.0), 2);
+    config.clusters[1] = ClusterConfig::little_cluster(500.0);
+    let mut chip = ChipSim::new_chip(config, |cl, c| {
+        RandomAccessStream::new(64 << 20, 0.3, 4, u64::from(cl) * 8 + u64::from(c))
+    });
+    let probe = EnergyProbe::with_window(MEASURE / 8);
+    let handle = probe.handle();
+    chip.attach_probe(Box::new(probe));
+    chip.run(WARM);
+    chip.run_measured(MEASURE);
+    let totals = chip.stats();
+    let windows = handle.finish();
+    assert!(windows.len() > 2, "expected several windows");
+    let mut cursor = 0;
+    for w in &windows {
+        assert_eq!(w.start_cycle, cursor, "windows must tile contiguously");
+        cursor = w.end_cycle;
+    }
+    assert_eq!(cursor, totals.cycles, "windows must span the whole run");
+    let sum = |field: fn(&ntc_sim::ActivityWindow) -> u64| windows.iter().map(field).sum::<u64>();
+    assert_eq!(sum(|w| w.user_instrs), totals.user_instrs());
+    assert_eq!(sum(|w| w.instrs), totals.instrs());
+    assert_eq!(sum(|w| w.llc_hits), totals.llc.hits);
+    assert_eq!(sum(|w| w.llc_misses), totals.llc.misses);
+    assert_eq!(sum(|w| w.xbar_transfers), totals.xbar_transfers);
+    assert_eq!(sum(|w| w.dram_reads), totals.dram.reads);
+    assert_eq!(sum(|w| w.dram_writes), totals.dram.writes);
 }
 
 // With the telemetry feature compiled in, force tracing on around a

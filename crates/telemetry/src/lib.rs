@@ -33,7 +33,9 @@ pub mod trace;
 pub use metrics::{
     Counter, Gauge, Histogram, LazyCounter, LazyHistogram, MetricSnapshot, MetricValue, Registry,
 };
-pub use trace::{span, span_cat, span_with, ChromeTrace, Span, TraceEvent};
+pub use trace::{
+    counter_args, push_events, span, span_cat, span_with, ChromeTrace, Span, TraceEvent,
+};
 
 /// Whether the telemetry runtime was compiled in (`enabled` feature).
 ///

@@ -20,15 +20,15 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// One Chrome trace event. Field names match the trace-event JSON
-/// schema: `ph` is the phase (always `"X"` = complete event here), `ts`
-/// and `dur` are microseconds, `pid`/`tid` select the track.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// schema: `ph` is the phase (`"X"` = complete span, `"C"` = counter),
+/// `ts` and `dur` are microseconds, `pid`/`tid` select the track.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Span name (e.g. `ladder 1200 MHz`).
     pub name: String,
     /// Category (e.g. `sweep`, `measure`, `sim`).
     pub cat: String,
-    /// Event phase; spans record `"X"` (complete).
+    /// Event phase; spans record `"X"` (complete), counter rails `"C"`.
     pub ph: String,
     /// Start time in microseconds since the process trace epoch.
     pub ts: f64,
@@ -38,6 +38,90 @@ pub struct TraceEvent {
     pub pid: u64,
     /// Thread track id (small integers assigned per thread).
     pub tid: u64,
+    /// Event arguments; counter ("C") events carry their series values
+    /// here (`{"series": value, ...}`). `None` for plain spans — and
+    /// omitted from the JSON entirely (hand-written serde below), so
+    /// span-only traces are byte-compatible with earlier exports.
+    pub args: Option<serde_json::Value>,
+}
+
+impl TraceEvent {
+    /// Builds a Chrome counter ("C") event: Perfetto renders one stacked
+    /// area track per `(pid, name)` with a rail per key in `args`
+    /// (assemble the value with [`counter_args`]).
+    ///
+    /// Counter timestamps need not be wall-clock — the energy plane
+    /// stamps *simulated* time. Give such counters their own `pid` so
+    /// their track does not interleave with wall-clock span tracks.
+    pub fn counter(
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts_us: f64,
+        pid: u64,
+        args: serde_json::Value,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ph: "C".to_owned(),
+            ts: ts_us,
+            dur: 0.0,
+            pid,
+            tid: 0,
+            args: Some(args),
+        }
+    }
+}
+
+/// Builds a counter-event `args` object from `(rail, value)` pairs —
+/// the vendored serde shim has no `json!` macro.
+pub fn counter_args(pairs: &[(&str, f64)]) -> serde_json::Value {
+    serde_json::Value::Map(
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), serde_json::Value::F64(v)))
+            .collect(),
+    )
+}
+
+// Hand-written (not derived) so a `None` args field vanishes from the
+// JSON instead of serializing as `"args":null`.
+impl Serialize for TraceEvent {
+    fn to_content(&self) -> serde::Content {
+        let mut fields = vec![
+            ("name".to_owned(), self.name.to_content()),
+            ("cat".to_owned(), self.cat.to_content()),
+            ("ph".to_owned(), self.ph.to_content()),
+            ("ts".to_owned(), self.ts.to_content()),
+            ("dur".to_owned(), self.dur.to_content()),
+            ("pid".to_owned(), self.pid.to_content()),
+            ("tid".to_owned(), self.tid.to_content()),
+        ];
+        if let Some(args) = &self.args {
+            fields.push(("args".to_owned(), args.to_content()));
+        }
+        serde::Content::Map(fields)
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let field = |key: &str| {
+            content
+                .get(key)
+                .ok_or_else(|| serde::DeError::expected(key, "TraceEvent"))
+        };
+        Ok(TraceEvent {
+            name: String::from_content(field("name")?)?,
+            cat: String::from_content(field("cat")?)?,
+            ph: String::from_content(field("ph")?)?,
+            ts: f64::from_content(field("ts")?)?,
+            dur: f64::from_content(field("dur")?)?,
+            pid: u64::from_content(field("pid")?)?,
+            tid: u64::from_content(field("tid")?)?,
+            args: content.get("args").cloned(),
+        })
+    }
 }
 
 /// Top-level Chrome trace JSON document: `{"traceEvents": [...]}`.
@@ -74,8 +158,9 @@ thread_local! {
     static LOCAL: RefCell<Option<(u64, Buffer)>> = const { RefCell::new(None) };
 }
 
-fn record(name: Cow<'static, str>, cat: &'static str, start_us: f64) {
-    let end_us = now_us();
+// Runs `f` with this thread's `(tid, buffer)`, registering the buffer
+// into `sinks()` on the thread's first event.
+fn with_local_buffer(f: impl FnOnce(u64, &Buffer)) {
     LOCAL.with(|local| {
         let mut local = local.borrow_mut();
         let (tid, buffer) = local.get_or_insert_with(|| {
@@ -87,6 +172,13 @@ fn record(name: Cow<'static, str>, cat: &'static str, start_us: f64) {
                 .push(Arc::clone(&buffer));
             (tid, buffer)
         });
+        f(*tid, buffer);
+    });
+}
+
+fn record(name: Cow<'static, str>, cat: &'static str, start_us: f64) {
+    let end_us = now_us();
+    with_local_buffer(|tid, buffer| {
         buffer
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -97,8 +189,24 @@ fn record(name: Cow<'static, str>, cat: &'static str, start_us: f64) {
                 ts: start_us,
                 dur: (end_us - start_us).max(0.0),
                 pid: u64::from(std::process::id()),
-                tid: *tid,
+                tid,
+                args: None,
             });
+    });
+}
+
+/// Appends pre-built events (e.g. [`TraceEvent::counter`] rails) to the
+/// calling thread's trace buffer, so they drain through [`take_events`]
+/// alongside recorded spans. No-op when tracing is disabled.
+pub fn push_events(events: Vec<TraceEvent>) {
+    if !crate::tracing_enabled() || events.is_empty() {
+        return;
+    }
+    with_local_buffer(|_tid, buffer| {
+        buffer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend(events);
     });
 }
 
@@ -201,6 +309,7 @@ mod tests {
                 dur: 200.25,
                 pid: 42,
                 tid: 1,
+                args: None,
             },
             TraceEvent {
                 name: "ladder 600 MHz".to_owned(),
@@ -210,6 +319,7 @@ mod tests {
                 dur: 100.5,
                 pid: 42,
                 tid: 2,
+                args: None,
             },
         ];
         let json = chrome_trace_json(&events);
@@ -217,6 +327,9 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         drop(value);
         assert!(json.starts_with("{\"traceEvents\":["));
+        // Spans carry no args: the field must vanish from the JSON, so
+        // span-only traces look exactly as they did before counters.
+        assert!(!json.contains("args"));
         let parsed: ChromeTrace = serde_json::from_str(&json).expect("parses back");
         assert_eq!(parsed.traceEvents.len(), 2);
         for (orig, back) in events.iter().zip(&parsed.traceEvents) {
@@ -227,6 +340,40 @@ mod tests {
             assert!((orig.dur - back.dur).abs() < 1e-9);
             assert_eq!((orig.pid, orig.tid), (back.pid, back.tid));
         }
+    }
+
+    #[test]
+    fn counter_events_round_trip_with_args() {
+        let rail = TraceEvent::counter(
+            "power (W)",
+            "energy",
+            12.5,
+            2,
+            counter_args(&[("cores", 6.25), ("dram", 16.9)]),
+        );
+        let json = chrome_trace_json(std::slice::from_ref(&rail));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\""));
+        let parsed: ChromeTrace = serde_json::from_str(&json).expect("parses back");
+        assert_eq!(parsed.traceEvents[0], rail);
+        let args = parsed.traceEvents[0].args.as_ref().unwrap();
+        assert!((args["dram"].as_f64().unwrap() - 16.9).abs() < 1e-12);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn counter_pushes_are_inert_without_the_feature() {
+        push_events(vec![TraceEvent::counter(
+            "never.recorded",
+            "test",
+            0.0,
+            1,
+            counter_args(&[("x", 1.0)]),
+        )]);
+        assert!(
+            take_events().is_empty(),
+            "no events may be buffered when tracing is compiled out"
+        );
     }
 
     #[cfg(not(feature = "enabled"))]
