@@ -3,7 +3,8 @@
 //!
 //! Times the same kernel groups as the `simulator_kernels` Criterion
 //! bench — cluster cycles per workload class, the cycle-skip fast path
-//! against the naive loop across three clocks, and the DRAM scheduler
+//! against the naive loop across three clocks, the epoch-barrier
+//! parallel chip, the batched frequency ladder, and the DRAM scheduler
 //! in both the random and deep-queue regimes — with a cheap best-of-N
 //! `Instant` harness, then appends `{commit, date, groups}` to the
 //! `trajectory` array (creating it when absent). The existing top-level
@@ -59,6 +60,33 @@ fn cycle_skip_kernel_ms(mhz: f64, skip: bool) -> f64 {
         });
         sim.set_cycle_skip(skip);
         black_box(sim.run(20_000));
+    })
+}
+
+fn parallel_chip_kernel_ms(threads: usize) -> f64 {
+    use ntc_sim::ChipSim;
+    best_of(|| {
+        let mut chip = ChipSim::new(SimConfig::paper_cluster(2000.0), 4, |cl, c| {
+            PointerChaseStream::new(256 << 20, 0, u64::from(cl) * 4 + u64::from(c))
+        });
+        chip.set_cycle_skip(false);
+        chip.set_threads(threads);
+        black_box(chip.run(20_000));
+    })
+}
+
+fn batched_ladder_kernel_ms(batched: bool) -> f64 {
+    use ntc_core::{ClusterMeasurer, SimMeasurer};
+    let freqs = [2000.0, 1500.0, 1000.0, 500.0, 250.0];
+    let measurer = SimMeasurer::fast(WorkloadProfile::cloudsuite(CloudSuiteApp::WebSearch));
+    best_of(|| {
+        if batched {
+            black_box(measurer.measure_ladder(&freqs).unwrap());
+        } else {
+            for &mhz in &freqs {
+                black_box(measurer.measure(mhz).unwrap());
+            }
+        }
     })
 }
 
@@ -181,6 +209,36 @@ fn main() -> ExitCode {
                 (
                     "memory_bound_nominal_naive_ms",
                     Value::F64(cycle_skip_kernel_ms(2000.0, false)),
+                ),
+            ]),
+        ),
+        (
+            "parallel_chip",
+            map(vec![
+                (
+                    "chase_4cl_naive_serial_ms",
+                    Value::F64(parallel_chip_kernel_ms(1)),
+                ),
+                (
+                    "chase_4cl_naive_2threads_ms",
+                    Value::F64(parallel_chip_kernel_ms(2)),
+                ),
+                (
+                    "chase_4cl_naive_4threads_ms",
+                    Value::F64(parallel_chip_kernel_ms(4)),
+                ),
+            ]),
+        ),
+        (
+            "batched_ladder",
+            map(vec![
+                (
+                    "web_search_5pt_per_point_ms",
+                    Value::F64(batched_ladder_kernel_ms(false)),
+                ),
+                (
+                    "web_search_5pt_batched_ms",
+                    Value::F64(batched_ladder_kernel_ms(true)),
                 ),
             ]),
         ),

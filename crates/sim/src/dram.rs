@@ -753,6 +753,24 @@ impl DramSystem {
         self.stats
     }
 
+    /// Earliest completion recorded for `owner` that the owner has not yet
+    /// drained, or `None` when its completion buffer is empty.
+    ///
+    /// A read that has *issued* leaves the queues — and therefore the
+    /// [`DramSystem::next_read_completion_ps`] bound — the moment its data
+    /// return time is decided, even when that time is still in the future.
+    /// Until the owner's memory system drains the completion, the fill is
+    /// invisible to its ticket state too, so the cycle-skip fill-wake bound
+    /// must take this buffer into account: on a heterogeneous chip another
+    /// cluster's ticks advance the shared scheduler between this owner's
+    /// drains, and a skip computed without this term can jump past the
+    /// fill's poll cycle.
+    pub fn next_undrained_completion_ps(&self, owner: u32) -> Option<u64> {
+        self.completed
+            .get(owner as usize)
+            .and_then(|done| done.iter().map(|&(_, d)| d).min())
+    }
+
     /// Refreshes the memoized per-bank next-event minima for banks whose
     /// timing state or queue membership changed since the last query.
     fn refresh_bank_bounds(&mut self) {

@@ -57,12 +57,125 @@
 //! fingerprint) or launched a new data miss (MSHR occupancy rose — the
 //! core is likely about to block on the fill); active stretches pay
 //! nothing for the fast path.
+//!
+//! Probing is additionally *adaptive* (see [`SkipGovernor`]): when the
+//! realized payoff — cycles actually elided per probe paid — drops below
+//! break-even over a window of probes, the engine stops probing for a
+//! fixed number of naive ticks before re-sampling. At low core frequency
+//! a DRAM miss spans few core cycles, so the elidable stretches are short
+//! and the probes plus replayed uncore boundaries cost more host time
+//! than the cheap event-driven core ticks they save; the governor detects
+//! exactly that regime and self-disables. The governor gates only
+//! *whether* a skip is looked for — never the legality or effect of one —
+//! and is driven by deterministic counters, so `SimStats` remain
+//! bit-identical whichever decisions it takes.
 
 use crate::core::Core;
 use crate::instr::InstructionStream;
 use crate::llc::Invalidation;
 use crate::memsys::MemorySystem;
 use crate::probe::{Probe, ProbeSample, PROBE_EPOCH_CYCLES};
+
+/// Probes per payoff-evaluation window of the adaptive gate.
+const GOV_WINDOW_PROBES: u32 = 64;
+/// Minimum average payoff per probe, in replayed-skip-cycle units (an
+/// elided cycle counts [`GOV_ELIDED_WEIGHT`]× — the uncore boundaries
+/// were never ticked), for probing to keep paying for itself. A probe is
+/// an O(window) scan per core and a replayed skip still ticks the uncore
+/// every boundary, so short stretches must clear this bar or the governor
+/// suspends. Calibrated on the BENCH_sim.json memory-bound cells: the
+/// realized payoff is ~18/probe at the 2 GHz nominal clock (where skip
+/// wins 1.3×) and ~8.5 / ~3.5 at 1 GHz / 500 MHz (where it loses), so 12
+/// separates the regimes with margin on both sides.
+const GOV_MIN_PAYOFF: u64 = 12;
+/// How much more an elided skip cycle is worth than a replayed one: the
+/// replay still pays one uncore `tick` per boundary, so a replayed skip
+/// only saves the (cheap, event-driven) core ticks.
+const GOV_ELIDED_WEIGHT: u64 = 8;
+/// Naive ticks a suspended governor waits before re-arming. Long enough
+/// that a workload stuck in the short-stall regime pays a probe tax only
+/// once per ~16k ticks; short enough that a phase change toward long
+/// stalls (e.g. the clock dropping, a stream turning memory-bound) is
+/// picked back up quickly.
+const GOV_REARM_TICKS: u64 = 16_384;
+
+/// Adaptive gating for the cycle-skip fast path.
+///
+/// The event-driven core rewrite (see BENCH_sim.json) made naive ticks
+/// ~10× cheaper, which inverted the skip economics at low frequency:
+/// misses span few core cycles there, so each probe buys a short skip
+/// whose uncore boundaries are usually replayed anyway — the fast path
+/// was *losing* to naive below ~1 GHz. The governor meters realized
+/// payoff (credit per probe over fixed windows) and suspends probing when
+/// a window comes in under break-even. Counters only — no host clocks —
+/// so every run replays its decisions identically.
+struct SkipGovernor {
+    /// Probes paid in the current evaluation window.
+    probes: u32,
+    /// Payoff earned this window, in replayed-skip-cycle units (see
+    /// [`GOV_MIN_PAYOFF`]): a fully elided skip credits
+    /// [`GOV_ELIDED_WEIGHT`]× its length, a replayed skip (the uncore
+    /// still ticked every boundary) only 1× — the core-tick sliver.
+    credit: u64,
+    /// When nonzero the governor is suspended: this many naive ticks
+    /// remain before it re-arms and re-samples the payoff. While
+    /// suspended the engine also elides the per-tick activity-signature
+    /// scans — a suspended tick costs one branch and a decrement over the
+    /// skip-off loop.
+    rearm: u64,
+}
+
+impl SkipGovernor {
+    fn new() -> SkipGovernor {
+        SkipGovernor {
+            probes: 0,
+            credit: 0,
+            rearm: 0,
+        }
+    }
+
+    /// Whether the governor is armed (probing and paying for signatures).
+    fn probing(&self) -> bool {
+        self.rearm == 0
+    }
+
+    /// One suspended naive tick; returns `true` when the suspension just
+    /// ended (the caller re-seeds its signature fingerprints — they went
+    /// stale while elided — and probes again).
+    fn tick_suspended(&mut self) -> bool {
+        self.rearm -= 1;
+        if self.rearm == 0 {
+            self.probes = 0;
+            self.credit = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Records one paid probe and its payoff; suspends on a bad window.
+    fn record(&mut self, credit: u64) {
+        self.probes += 1;
+        self.credit += credit;
+        if self.probes >= GOV_WINDOW_PROBES {
+            if self.credit < u64::from(self.probes) * GOV_MIN_PAYOFF {
+                self.rearm = GOV_REARM_TICKS;
+            }
+            self.probes = 0;
+            self.credit = 0;
+        }
+    }
+
+    /// Payoff credit for a skip of `cycles`: weighted up when the uncore
+    /// replay was elided, 1× per cycle when every boundary was still
+    /// ticked (the saved core ticks are cheap post-event-driven-rewrite).
+    fn credit_for(cycles: u64, replay_elided: bool) -> u64 {
+        if replay_elided {
+            cycles * GOV_ELIDED_WEIGHT
+        } else {
+            cycles
+        }
+    }
+}
 
 /// One cluster's mutable view for the shared loop: its cores, their
 /// instruction streams, the cluster's private uncore (which may share a
@@ -139,6 +252,7 @@ fn run_lanes_synced<S: InstructionStream>(
     // probing it would be pure overhead. Wrong hints only waste one cheap
     // probe — legality is established by the probe itself, never here.
     let mut probe = cycle_skip;
+    let mut gov = SkipGovernor::new();
     let (mut sig, mut mshrs) = if cycle_skip {
         (activity_signature(lanes), in_flight_data(lanes))
     } else {
@@ -152,24 +266,31 @@ fn run_lanes_synced<S: InstructionStream>(
         hook.sample(sample);
     }
     while cycle < end {
-        if probe {
-            if let Some(target) = next_event_cycle(lanes, cycle, period_ps) {
+        if probe && gov.probing() {
+            let mut credit = 0;
+            let jumped = next_event_cycle(lanes, cycle, period_ps).is_some_and(|target| {
                 let target = target.min(end);
-                if target > cycle {
-                    skip(lanes, cycle, target, period_ps);
-                    skipped += target - cycle;
-                    cycle = target;
-                    // A skip landing is an engine epoch: simulated state
-                    // just moved across a stall, so sample it.
-                    if let Some(hook) = ctl.hook.as_deref_mut() {
-                        let sample =
-                            collect_sample(lanes, cycle, period_ps, ctl.skipped_base + skipped);
-                        hook.sample(sample);
-                    }
-                    // An event is due at `target`: tick it directly.
-                    probe = false;
-                    continue;
+                if target <= cycle {
+                    return false;
                 }
+                let elided = skip(lanes, cycle, target, period_ps);
+                credit = SkipGovernor::credit_for(target - cycle, elided);
+                skipped += target - cycle;
+                cycle = target;
+                true
+            });
+            gov.record(credit);
+            if jumped {
+                // A skip landing is an engine epoch: simulated state just
+                // moved across a stall, so sample it.
+                if let Some(hook) = ctl.hook.as_deref_mut() {
+                    let sample =
+                        collect_sample(lanes, cycle, period_ps, ctl.skipped_base + skipped);
+                    hook.sample(sample);
+                }
+                // An event is due at `target`: tick it directly.
+                probe = false;
+                continue;
             }
         }
         let now = cycle * period_ps;
@@ -184,10 +305,16 @@ fn run_lanes_synced<S: InstructionStream>(
             }
         }
         if cycle_skip {
-            let (sig2, mshrs2) = (activity_signature(lanes), in_flight_data(lanes));
-            probe = sig2 == sig || mshrs2 > mshrs;
-            sig = sig2;
-            mshrs = mshrs2;
+            if gov.probing() {
+                let (sig2, mshrs2) = (activity_signature(lanes), in_flight_data(lanes));
+                probe = sig2 == sig || mshrs2 > mshrs;
+                sig = sig2;
+                mshrs = mshrs2;
+            } else if gov.tick_suspended() {
+                sig = activity_signature(lanes);
+                mshrs = in_flight_data(lanes);
+                probe = true;
+            }
         }
     }
     if let Some(hook) = ctl.hook.as_deref_mut() {
@@ -222,6 +349,7 @@ fn run_lanes_multiclock<S: InstructionStream>(
     let cycle_skip = ctl.cycle_skip;
     let mut skipped0 = 0;
     let mut probe = cycle_skip;
+    let mut gov = SkipGovernor::new();
     // Per-lane activity fingerprints, updated incrementally for the lane
     // that just ticked (rescanning every lane per tick would be O(lanes²)
     // per round).
@@ -273,13 +401,14 @@ fn run_lanes_multiclock<S: InstructionStream>(
             }
             continue;
         }
-        if probe && replaying == 0 {
+        if probe && replaying == 0 && gov.probing() {
             if let Some(target_ps) = next_event_ps(lanes) {
                 // Every lane is quiescent until the target: jump all
                 // clock domains across the stall.
-                let (s0, r) = begin_skip(lanes, target_ps, &mut replay);
-                skipped0 += s0;
-                replaying = r;
+                let jump = begin_skip(lanes, target_ps, &mut replay);
+                skipped0 += jump.skipped0;
+                replaying = jump.replaying;
+                gov.record(SkipGovernor::credit_for(jump.total, jump.elided));
                 if let Some(hook) = ctl.hook.as_deref_mut() {
                     let sample = collect_sample(
                         lanes,
@@ -293,6 +422,7 @@ fn run_lanes_multiclock<S: InstructionStream>(
                 probe = false;
                 continue;
             }
+            gov.record(0);
         }
         let cycle = lanes[i].cycle;
         let now = cycle * lanes[i].period_ps;
@@ -315,14 +445,24 @@ fn run_lanes_multiclock<S: InstructionStream>(
             }
         }
         if cycle_skip {
-            let (s2, m2) = (lane_signature(&lanes[i]), lane_in_flight(&lanes[i]));
-            let sig2 = sig.wrapping_sub(sigs[i]).wrapping_add(s2);
-            let mshr2 = mshr_total - mshrs[i] + m2;
-            probe = sig2 == sig || mshr2 > mshr_total;
-            sigs[i] = s2;
-            mshrs[i] = m2;
-            sig = sig2;
-            mshr_total = mshr2;
+            if gov.probing() {
+                let (s2, m2) = (lane_signature(&lanes[i]), lane_in_flight(&lanes[i]));
+                let sig2 = sig.wrapping_sub(sigs[i]).wrapping_add(s2);
+                let mshr2 = mshr_total - mshrs[i] + m2;
+                probe = sig2 == sig || mshr2 > mshr_total;
+                sigs[i] = s2;
+                mshrs[i] = m2;
+                sig = sig2;
+                mshr_total = mshr2;
+            } else if gov.tick_suspended() {
+                for (l, lane) in lanes.iter().enumerate() {
+                    sigs[l] = lane_signature(lane);
+                    mshrs[l] = lane_in_flight(lane);
+                }
+                sig = sigs.iter().fold(0, |a, s| a.wrapping_add(*s));
+                mshr_total = mshrs.iter().sum();
+                probe = true;
+            }
         }
     }
     if let Some(hook) = ctl.hook.as_deref_mut() {
@@ -432,8 +572,14 @@ fn activity_signature<S>(lanes: &[Lane<'_, S>]) -> u64 {
 /// (and hence all completion times) are identical to the naive loop's.
 /// When no queued command can issue inside the window the replay is
 /// elided entirely: every skipped `tick` would be a no-op, and the resume
-/// tick's window covers them.
-fn skip<S: InstructionStream>(lanes: &mut [Lane<'_, S>], from: u64, to: u64, period_ps: u64) {
+/// tick's window covers them. Returns whether the replay was elided (the
+/// governor credits elided skips at full value).
+fn skip<S: InstructionStream>(
+    lanes: &mut [Lane<'_, S>],
+    from: u64,
+    to: u64,
+    period_ps: u64,
+) -> bool {
     for lane in lanes.iter_mut() {
         for core in lane.cores.iter_mut() {
             core.skip_to(from, to);
@@ -450,29 +596,63 @@ fn skip<S: InstructionStream>(lanes: &mut [Lane<'_, S>], from: u64, to: u64, per
                 lane.mem.tick(t);
             }
         }
+        false
+    } else {
+        // Even when no command can issue inside the window, a completion
+        // already recorded at the shared DRAM (issued by another lane's
+        // tick) is only delivered to this lane at its own `tick`. The
+        // landing cycle's cores poll *before* its memory tick, so catch
+        // each lane's drains up to the landing boundary first — exactly
+        // the boundaries the naive loop would have ticked by then.
+        for lane in lanes.iter_mut() {
+            lane.mem.tick(until);
+        }
+        true
     }
+}
+
+/// What [`begin_skip`] did, for the loop's bookkeeping and the governor.
+struct SkipJump {
+    /// Cycles lane 0 skipped (the chip's diagnostic reference clock).
+    skipped0: u64,
+    /// Total cycles skipped across all lanes (the governor's payoff).
+    total: u64,
+    /// Lanes that entered replay.
+    replaying: usize,
+    /// Whether the intermediate uncore boundaries were elided.
+    elided: bool,
 }
 
 /// Starts a multi-clock skip to `target_ps`: every unfinished lane's
 /// cores jump to the lane's first cycle at or past the target (capped by
-/// its own window bound) via [`Core::skip_to`]. When no queued DRAM
-/// command can issue before the target the lanes' cycle counters jump
-/// too — every skipped uncore boundary is provably a no-op; otherwise
-/// `replay[i]` marks each lane's landing cycle and the counters stay
-/// put, so the main loop streams the skipped boundaries through as
-/// mem-only ticks in the exact naive order. Returns the cycles lane 0
-/// skipped and how many lanes entered replay.
+/// its own window bound) via [`Core::skip_to`], `replay[i]` marks each
+/// lane's landing cycle, and the main loop streams the remaining uncore
+/// boundaries through as mem-only ticks in the exact naive order. When
+/// the shared DRAM queue is empty and every unfinished lane jumps, the
+/// intermediate boundaries are provably no-ops and each lane's counter
+/// advances straight to the landing boundary (`to - 1`), leaving just
+/// one replay tick per lane.
 fn begin_skip<S: InstructionStream>(
     lanes: &mut [Lane<'_, S>],
     target_ps: u64,
     replay: &mut [u64],
-) -> (u64, usize) {
-    // The memory systems share one DRAM, so any lane's view of "next
-    // issue" is the chip-wide one.
-    let elide = !lanes
-        .iter()
-        .any(|l| l.cycle < l.end && l.mem.next_issue_ps().is_some_and(|s| s < target_ps));
+) -> SkipJump {
+    // Eliding the skipped uncore boundaries is only provably a no-op when
+    // nothing at all is queued at the shared DRAM (no command can issue
+    // at any skipped boundary, no matter how far ahead other clusters
+    // have dragged the shared clock) AND every unfinished lane jumps, so
+    // no core tick — and hence no new request whose arrival could change
+    // an FR-FCFS pick — interleaves with the skipped window. Anything
+    // else streams the boundaries through the main loop as mem-only
+    // replay ticks, reproducing the naive interleave exactly. The
+    // memory systems share one DRAM, so lane 0's pending count is the
+    // chip-wide one.
+    let elide = lanes[0].mem.dram_pending() == 0
+        && lanes
+            .iter()
+            .all(|l| l.cycle >= l.end || target_ps.div_ceil(l.period_ps).min(l.end) > l.cycle);
     let mut skipped0 = 0;
+    let mut total = 0;
     let mut replaying = 0;
     for (i, lane) in lanes.iter_mut().enumerate() {
         if lane.cycle >= lane.end {
@@ -491,14 +671,28 @@ fn begin_skip<S: InstructionStream>(
         if i == 0 {
             skipped0 = to - lane.cycle;
         }
-        if elide {
-            lane.cycle = to;
-        } else {
-            replay[i] = to;
-            replaying += 1;
-        }
+        total += to - lane.cycle;
+        // Even a fully elided lane still owes its *landing* boundary a
+        // memory tick: completions sitting undrained at the shared DRAM
+        // are delivered only by this lane's own `tick`, and the landing
+        // cycle's cores poll before that tick runs. The landing boundary
+        // must also order correctly against *other* lanes' post-landing
+        // core ticks with earlier keys (a faster lane's landing tick can
+        // enqueue a request that the naive loop pops at this lane's next
+        // boundary) — so it is never ticked eagerly here; both modes
+        // stream their boundaries through the main loop, an elided lane
+        // just enters it at `to - 1` (one boundary) instead of at its
+        // current cycle (all of them).
+        lane.cycle = if elide { to - 1 } else { lane.cycle };
+        replay[i] = to;
+        replaying += 1;
     }
-    (skipped0, replaying)
+    SkipJump {
+        skipped0,
+        total,
+        replaying,
+        elided: elide,
+    }
 }
 
 /// One naive cycle for one lane: tick the cores, let the uncore catch up
@@ -520,7 +714,8 @@ fn tick_lane<S: InstructionStream>(
     for inv in inv_buf.drain(..) {
         for c in 0..lane.cores.len() {
             if inv.cores & (1 << c as u32) != 0 && lane.cores[c].invalidate_l1d(inv.line_addr) {
-                lane.mem.writeback(c as u32, inv.line_addr, now + period_ps);
+                lane.mem
+                    .drain_writeback(c as u32, inv.line_addr, now + period_ps);
             }
         }
     }

@@ -139,6 +139,39 @@ fn one_cluster_chip_matches_cluster_sim() {
     }
 }
 
+/// Regression for the hetero multiclock cycle-skip divergence (ROADMAP
+/// item 5, fixed here): on a multi-cluster chip with per-cluster clocks,
+/// serial chunk boundaries were taken per-lane in *cycles*, which lands at
+/// different wall-clock instants per cluster. A fast cluster frozen at its
+/// chunk end watched slower clusters drive the shared DRAM past it, so its
+/// post-chunk submits enqueued after boundaries the reference ordering
+/// would have interleaved them before. Fixed by cutting every internal
+/// epoch at a single ps-aligned common frontier (per-lane end =
+/// `floor(frontier/period)`).
+///
+/// These replay the originally-diverging diffcheck cases by fixed seed.
+/// `ntc-diffcheck --seed 1592590337 --case 900 --pair cycle-skip` was the
+/// canonical repro; 5112 and 7416 are neighbors from the same seed that
+/// diverged before the fix. Each runs in tens of milliseconds.
+#[test]
+fn hetero_multiclock_cycle_skip_fixed_seed_regression() {
+    use ntc_diffcheck::{check, CaseShape, OraclePair};
+    for case in [900, 5112, 7416] {
+        let shape = CaseShape::generate(1592590337, case);
+        assert!(
+            shape.use_chip,
+            "case {case} no longer generates a chip shape; pick a new repro case"
+        );
+        if let Some(d) = check(OraclePair::CycleSkip, &shape, false) {
+            panic!(
+                "hetero multiclock cycle-skip regression: seed 1592590337 \
+                 case {case} diverged again: {}",
+                d.detail
+            );
+        }
+    }
+}
+
 /// Write-sharing stream: stores walk a small shared region so ownership
 /// transfers generate invalidations naming high core indices.
 struct SharedWriter {

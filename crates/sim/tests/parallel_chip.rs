@@ -1,0 +1,175 @@
+//! Differential tests for the epoch-barrier parallel chip engine.
+//!
+//! A [`ChipSim`] with worker threads must be *bit-identical* to the
+//! serial engine: every field of [`SimStats`] — per-core counters, cache
+//! and DRAM statistics, queue high-water marks — must match across stream
+//! classes, core frequencies, cycle-skip on/off, and homogeneous as well
+//! as heterogeneous (multi-clock) chips. An attached [`EnergyProbe`] must
+//! still produce windows that tile the run contiguously and close against
+//! the chip totals.
+
+use ntc_sim::streams::{RandomAccessStream, StrideStream};
+use ntc_sim::{
+    ActivityWindow, ChipConfig, ChipSim, ClusterConfig, EnergyProbe, Instr, InstructionStream,
+    SimConfig, SimStats,
+};
+
+const WARM: u64 = 2_000;
+const MEASURE: u64 = 8_000;
+
+enum TestStream {
+    Random(RandomAccessStream),
+    Stride(StrideStream),
+}
+
+impl InstructionStream for TestStream {
+    fn next_instr(&mut self) -> Instr {
+        match self {
+            TestStream::Random(s) => s.next_instr(),
+            TestStream::Stride(s) => s.next_instr(),
+        }
+    }
+}
+
+fn memory_bound(cluster: u32, core: u32) -> TestStream {
+    TestStream::Random(RandomAccessStream::new(
+        256 << 20,
+        0.30,
+        6,
+        100 + u64::from(cluster) * 8 + u64::from(core),
+    ))
+}
+
+fn streaming(cluster: u32, core: u32) -> TestStream {
+    TestStream::Stride(StrideStream::new(
+        64,
+        512 << 20,
+        0.25 + 0.01 * f64::from(cluster * 4 + core),
+    ))
+}
+
+fn homogeneous(mhz: f64) -> ChipConfig {
+    ChipConfig::homogeneous(&SimConfig::paper_cluster(mhz), 3)
+}
+
+fn heterogeneous(mhz: f64) -> ChipConfig {
+    // One big cluster at `mhz` plus two little clusters on incommensurate
+    // slower clocks — the multi-clock regime where the serial engine
+    // interleaves lane boundaries irregularly.
+    let mut config = ChipConfig::homogeneous(&SimConfig::paper_cluster(mhz), 3);
+    config.clusters[1] = ClusterConfig::little_cluster(mhz / 4.0);
+    config.clusters[2] = ClusterConfig::little_cluster(mhz / 2.5);
+    config
+}
+
+/// Runs the same chip serially and with `threads` workers and demands
+/// bit-identical measured-window and cumulative statistics.
+fn assert_parallel_identical(
+    config: ChipConfig,
+    make: fn(u32, u32) -> TestStream,
+    skip: bool,
+    threads: usize,
+    what: &str,
+) {
+    let run = |threads: usize| -> (SimStats, SimStats) {
+        let mut chip = ChipSim::new_chip(config.clone(), make);
+        chip.set_cycle_skip(skip);
+        chip.set_threads(threads);
+        chip.run(WARM);
+        let window = chip.run_measured(MEASURE);
+        (window, chip.stats())
+    };
+    let (serial_window, serial_total) = run(1);
+    let (par_window, par_total) = run(threads);
+    assert_eq!(
+        serial_window, par_window,
+        "measured window diverged ({what}, skip={skip}, threads={threads})"
+    );
+    assert_eq!(
+        serial_total, par_total,
+        "cumulative stats diverged ({what}, skip={skip}, threads={threads})"
+    );
+}
+
+#[test]
+fn homogeneous_memory_bound_identical() {
+    for mhz in [800.0, 2000.0] {
+        for skip in [true, false] {
+            assert_parallel_identical(homogeneous(mhz), memory_bound, skip, 2, "homo/random");
+        }
+    }
+}
+
+#[test]
+fn homogeneous_streaming_identical() {
+    for mhz in [800.0, 2000.0] {
+        for skip in [true, false] {
+            assert_parallel_identical(homogeneous(mhz), streaming, skip, 3, "homo/stride");
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_memory_bound_identical() {
+    for mhz in [800.0, 2000.0] {
+        for skip in [true, false] {
+            assert_parallel_identical(heterogeneous(mhz), memory_bound, skip, 2, "hetero/random");
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_streaming_identical() {
+    for mhz in [800.0, 2000.0] {
+        for skip in [true, false] {
+            assert_parallel_identical(heterogeneous(mhz), streaming, skip, 3, "hetero/stride");
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_threads_cap_at_cluster_count() {
+    // More workers than clusters must behave like clusters-many workers.
+    assert_parallel_identical(
+        homogeneous(1000.0),
+        memory_bound,
+        true,
+        16,
+        "oversubscribed",
+    );
+}
+
+#[test]
+fn parallel_energy_probe_windows_tile_and_close() {
+    let mut chip = ChipSim::new_chip(heterogeneous(2000.0), memory_bound);
+    chip.set_threads(2);
+    let probe = EnergyProbe::with_window(MEASURE / 8);
+    let handle = probe.handle();
+    chip.attach_probe(Box::new(probe));
+    chip.run(WARM);
+    chip.run_measured(MEASURE);
+    let totals = chip.stats();
+    let windows = handle.finish();
+    assert!(windows.len() > 2, "expected several windows");
+    let mut cursor = 0;
+    for w in &windows {
+        assert_eq!(w.start_cycle, cursor, "windows must tile contiguously");
+        cursor = w.end_cycle;
+    }
+    assert_eq!(cursor, totals.cycles, "windows must span the whole run");
+    let sum = |field: fn(&ActivityWindow) -> u64| windows.iter().map(field).sum::<u64>();
+    assert_eq!(sum(|w| w.user_instrs), totals.user_instrs());
+    assert_eq!(sum(|w| w.instrs), totals.instrs());
+    assert_eq!(sum(|w| w.llc_hits), totals.llc.hits);
+    assert_eq!(sum(|w| w.llc_misses), totals.llc.misses);
+    assert_eq!(sum(|w| w.xbar_transfers), totals.xbar_transfers);
+    assert_eq!(sum(|w| w.dram_reads), totals.dram.reads);
+    assert_eq!(sum(|w| w.dram_writes), totals.dram.writes);
+
+    // And the probed parallel run's statistics still match an unprobed
+    // serial run: observation changes nothing.
+    let mut serial = ChipSim::new_chip(heterogeneous(2000.0), memory_bound);
+    serial.run(WARM);
+    serial.run_measured(MEASURE);
+    assert_eq!(serial.stats(), totals);
+}
